@@ -1,0 +1,12 @@
+first-order bandgap reference with mismatch analysis
+VDD vdd 0 2.5
+EAMP vref 0 x y 300
+R1 vref x 9.3k tol=0.005
+R2 vref y 9.3k tol=0.005
+Q1 x x 0
+R3 y z 1k tol=0.005
+Q2 z z 0 area=8
+RSTART vdd x 1meg
+.op
+.dcmatch vref
+.end

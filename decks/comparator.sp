@@ -1,0 +1,24 @@
+StrongARM comparator input-offset mismatch analysis (paper Fig. 6 testbench)
+VDD vdd 0 1.2
+VCLK clk 0 PULSE(0 1.2 0 100p 100p 1.9n 4n)
+VCM cm 0 0.7
+EP inp cm vos 0 0.5
+EM inm cm vos 0 -0.5
+M1 tail clk 0 0 nmos013 w=16u l=0.13u
+M2 dim inp tail 0 nmos013 w=8.32u l=0.13u
+M3 dip inm tail 0 nmos013 w=8.32u l=0.13u
+M4 outm outp dim 0 nmos013 w=4u l=0.13u
+M5 outp outm dip 0 nmos013 w=4u l=0.13u
+M6 outm outp vdd vdd pmos013 w=4u l=0.13u
+M7 outp outm vdd vdd pmos013 w=4u l=0.13u
+M8 outm clk vdd vdd pmos013 w=2u l=0.13u
+M9 outp clk vdd vdd pmos013 w=2u l=0.13u
+M10 dim clk vdd vdd pmos013 w=1u l=0.13u
+M11 dip clk vdd vdd pmos013 w=1u l=0.13u
+M12 outp clk outm vdd pmos013 w=4u l=0.13u
+CLP outp 0 500f
+CLM outm 0 500f
+GFB vos 0 outp outm 0.8u
+CFB vos 0 1p
+.mismatch vos pss=4n
+.end

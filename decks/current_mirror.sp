@@ -1,0 +1,10 @@
+NMOS current mirror: classic DC mismatch example
+VDD vdd 0 1.2
+IREF vdd nref 100u
+M1 nref nref 0 0 nmos013 w=4u l=0.5u
+M2 out nref 0 0 nmos013 w=4u l=0.5u
+RL vdd out 2k
+.op
+.dcmatch out
+.mc n=500 seed=7
+.end

@@ -1,0 +1,10 @@
+mismatched resistor divider
+V1 in 0 2.0
+R1 in out 10k tol=0.01
+R2 out 0 10k tol=0.01
+C1 out 0 1n
+.op
+.dcmatch out
+.ac 100 1meg V1 out
+.noise out 1 1k 100k
+.end

@@ -1,0 +1,23 @@
+Fig. 7 logic path: delay mismatch at output A (X rises first)
+.subckt inv in out vdd
+Mn out in 0 0 nmos013 w=0.8u l=0.13u
+Mp out in vdd vdd pmos013 w=1.6u l=0.13u
+Cl out 0 40f
+.ends
+VDD vdd 0 1.2
+VX in_x 0 PULSE(0 1.2 0.2n 50p 50p 3.95n 8n)
+VY in_y 0 PULSE(0 1.2 1.0n 50p 50p 3.95n 8n)
+* shared chain from Y
+Xa in_y ny1 vdd inv
+Xb ny1 ny2 vdd inv
+* disjoint chains from X
+Xc1 in_x nc1 vdd inv
+Xc2 nc1 nc2 vdd inv
+* output NAND (A)
+Mna out_a ny2 gx 0 nmos013 w=8u l=0.13u
+Mnb gx nc2 0 0 nmos013 w=8u l=0.13u
+Mpa out_a ny2 vdd vdd pmos013 w=16u l=0.13u
+Mpb out_a nc2 vdd vdd pmos013 w=16u l=0.13u
+Cla out_a 0 20f
+.mismatchdelay out_a pss=8n vth=0.6 after=1n edge=fall
+.end

@@ -1,0 +1,12 @@
+5T OTA in unity gain: input-referred offset mismatch
+VDD vdd 0 1.2
+VCM inp 0 0.7
+VB bias 0 0.55
+M5 tail bias 0 0 nmos013 w=8u l=0.26u
+M1 d1 inp tail 0 nmos013 w=4u l=0.26u
+M2 out out tail 0 nmos013 w=4u l=0.26u
+M3 d1 d1 vdd vdd pmos013 w=2u l=0.26u
+M4 out d1 vdd vdd pmos013 w=2u l=0.26u
+.op
+.dcmatch out
+.end

@@ -1,0 +1,14 @@
+5-stage ring oscillator, frequency mismatch analysis
+.subckt inv in out vdd
+Mn out in 0 0 nmos013 w=2u l=0.13u
+Mp out in vdd vdd pmos013 w=4u l=0.13u
+Cl out 0 50f
+.ends
+VDD vdd 0 1.2
+X1 s1 s2 vdd inv
+X2 s2 s3 vdd inv
+X3 s3 s4 vdd inv
+X4 s4 s5 vdd inv
+X5 s5 s1 vdd inv
+.mismatchfreq s1 fguess=1.2g
+.end

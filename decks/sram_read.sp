@@ -1,0 +1,15 @@
+6T SRAM cell in read condition (note: multi-stable; the .op/.dcmatch
+* cards below use the cold-started state -- use the library API for the
+* warm-started stored-0 state, see lib/cells/sram.ml)
+VDD vdd 0 1.2
+VWL wl 0 1.2
+VBL bl 0 1.2
+VBLB blb 0 1.2
+M1 q qb 0 0 nmos013 w=0.6u l=0.13u
+M3 q qb vdd vdd pmos013 w=0.3u l=0.13u
+M2 qb q 0 0 nmos013 w=0.6u l=0.13u
+M4 qb q vdd vdd pmos013 w=0.3u l=0.13u
+M5 bl wl q 0 nmos013 w=0.4u l=0.13u
+M6 blb wl qb 0 nmos013 w=0.4u l=0.13u
+.op
+.end
