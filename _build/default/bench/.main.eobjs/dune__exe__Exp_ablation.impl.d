@@ -1,0 +1,1 @@
+bench/exp_ablation.ml: Analysis Array Cx Float Format List Logic_path Optimize Period_sens Pss Pss_osc Report Ring_osc Strongarm Util

@@ -1,0 +1,1 @@
+bench/exp_fig10.ml: Analysis Array Design_sens Float Format List Report String Strongarm Util

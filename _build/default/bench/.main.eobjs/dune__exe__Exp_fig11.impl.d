@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Analysis Array Circuit Format List Monte_carlo Printf Report Ring_osc Rng Stats Util

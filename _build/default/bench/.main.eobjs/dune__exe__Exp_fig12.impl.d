@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Analysis Array Format Monte_carlo Printf Report Ring_osc Stats Util

@@ -1,0 +1,1 @@
+bench/exp_fig5.ml: Analysis Format List Report Strongarm Util

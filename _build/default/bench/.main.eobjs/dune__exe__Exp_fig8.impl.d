@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Analysis Array Bytes Float Format Logic_path Pnoise Pss Report Stdlib Util

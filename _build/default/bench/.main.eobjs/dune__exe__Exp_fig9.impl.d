@@ -1,0 +1,1 @@
+bench/exp_fig9.ml: Analysis Array Format Monte_carlo Printf Report Stats Strongarm Util

@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Analysis Correlation Format Logic_path Report Util

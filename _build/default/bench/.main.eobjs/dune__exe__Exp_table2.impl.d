@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Analysis Array Format Logic_path Monte_carlo Report Ring_osc Stats Strongarm Util

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bech Exp_ablation Exp_fig10 Exp_fig11 Exp_fig12 Exp_fig5 Exp_fig8 Exp_fig9 Exp_table1 Exp_table2 Format List String Sys Unix

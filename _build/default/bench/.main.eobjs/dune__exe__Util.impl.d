@@ -1,0 +1,1 @@
+bench/util.ml: Analysis Format Logic_path Special Stats Strongarm Unix Waveform

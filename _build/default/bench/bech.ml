@@ -1,0 +1,117 @@
+(* Bechamel micro-benchmarks: one Test.make per analysis kernel, so the
+   cost structure behind Table II / Fig. 5 is measurable in isolation. *)
+
+open Bechamel
+open Toolkit
+
+let divider () =
+  let b = Builder.create () in
+  Builder.vdc b "V1" "in" "0" 2.0;
+  Builder.resistor ~tol:0.01 b "R1" "in" "out" 1e3;
+  Builder.resistor ~tol:0.01 b "R2" "out" "0" 1e3;
+  Builder.capacitor b "C1" "out" "0" 1e-12;
+  Builder.finish b
+
+let test_dc =
+  let c = divider () in
+  Test.make ~name:"dc: divider operating point"
+    (Staged.stage (fun () -> ignore (Dc.solve c)))
+
+let test_dc_match =
+  let c = divider () in
+  Test.make ~name:"dcmatch: divider"
+    (Staged.stage (fun () -> ignore (Sens.dc_match c ~output:"out")))
+
+let inverter_circuit () =
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" 1.2;
+  Builder.vsource b "VIN" "in" "0"
+    (Wave.square ~v1:0.0 ~v2:1.2 ~period:4e-9 ~transition:100e-12 ());
+  Gates.inverter b "inv" ~input:"in" ~output:"out" ~vdd:"vdd";
+  Builder.finish b
+
+let test_tran =
+  let c = inverter_circuit () in
+  Test.make ~name:"tran: inverter, 1 cycle, 200 steps"
+    (Staged.stage (fun () ->
+         ignore (Tran.run ~record:false c ~tstart:0.0 ~tstop:4e-9 ~dt:20e-12 ())))
+
+let test_pss =
+  let c = inverter_circuit () in
+  Test.make ~name:"pss: inverter shooting (200 steps)"
+    (Staged.stage (fun () -> ignore (Pss.solve ~steps:200 c ~period:4e-9)))
+
+let test_lptv_build =
+  let c = inverter_circuit () in
+  let pss = Pss.solve ~steps:200 c ~period:4e-9 in
+  Test.make ~name:"lptv: build (200 complex factorizations)"
+    (Staged.stage (fun () -> ignore (Lptv.build pss ~f_offset:1.0)))
+
+let test_pnoise =
+  let c = inverter_circuit () in
+  let pss = Pss.solve ~steps:200 c ~period:4e-9 in
+  let lptv = Lptv.build pss ~f_offset:1.0 in
+  let sources = Pnoise.mismatch_sources lptv in
+  Test.make ~name:"pnoise: adjoint sideband (N=0)"
+    (Staged.stage (fun () ->
+         ignore (Pnoise.analyze lptv ~output:"out" ~harmonic:0 ~sources)))
+
+let test_osc_pss =
+  Test.make ~name:"oscillator: ring PSS + period sensitivities"
+    (Staged.stage (fun () ->
+         let osc = Ring_osc.solve_pss () in
+         ignore (Period_sens.analyze osc)))
+
+let test_mc_sample =
+  let c = divider () in
+  let params = Circuit.mismatch_params c in
+  let rng = Rng.create 42 in
+  Test.make ~name:"mc: one divider sample (draw+apply+dc)"
+    (Staged.stage (fun () ->
+         let deltas = Monte_carlo.draw_deltas rng params in
+         let c' = Circuit.apply_deltas c deltas in
+         ignore (Dc.solve c')))
+
+let test_lu =
+  let rng = Rng.create 3 in
+  let n = 40 in
+  let m = Mat.init n n (fun i j -> if i = j then 8.0 else Rng.uniform rng) in
+  Test.make ~name:"numeric: 40x40 LU factorize+solve"
+    (Staged.stage (fun () ->
+         let lu = Lu.factorize m in
+         ignore (Lu.solve lu (Vec.make n 1.0))))
+
+let benchmark test =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) () in
+  let raw = Benchmark.all cfg instances test in
+  let results =
+    List.map (fun instance -> Analyze.all (Analyze.ols ~bootstrap:0
+      ~r_square:true ~predictors:[| Measure.run |]) instance raw)
+      instances
+  in
+  Analyze.merge (Analyze.ols ~bootstrap:0 ~r_square:true
+    ~predictors:[| Measure.run |]) instances results
+
+let run ~quick =
+  Util.section "BECHAMEL: per-kernel micro-benchmarks";
+  let tests =
+    if quick then [ test_dc; test_dc_match; test_lu ]
+    else
+      [ test_dc; test_dc_match; test_lu; test_tran; test_pss; test_lptv_build;
+        test_pnoise; test_osc_pss; test_mc_sample ]
+  in
+  List.iter
+    (fun test ->
+      let results = benchmark (Test.make_grouped ~name:"g" [ test ]) in
+      Hashtbl.iter
+        (fun _metric tbl ->
+          Hashtbl.iter
+            (fun name result ->
+              match Analyze.OLS.estimates result with
+              | Some [ est ] ->
+                Format.printf "%-48s %12.1f ns/run@." name est
+              | Some _ | None -> Format.printf "%-48s (no estimate)@." name)
+            tbl)
+        results)
+    tests

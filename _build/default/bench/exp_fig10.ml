@@ -1,0 +1,54 @@
+(* Fig. 10: sensitivity of the comparator input-offset variation to
+   each transistor width (eq. 14-16).  Paper shape: the input pair
+   M2-M3 dominates — increase their width to reduce the offset. *)
+
+let run ~quick:_ =
+  Util.section "FIG 10: StrongARM offset sensitivity to transistor widths";
+  let params, _circuit, ctx = Util.comparator_context () in
+  let rep = Analysis.dc_variation ctx ~output:Strongarm.vos_node in
+  Format.printf "sigma(VOS) = %.3f mV@.@." (rep.Report.sigma *. 1e3);
+  let entries =
+    Design_sens.width_sensitivities rep ~width_of:(fun name ->
+        if List.mem name Strongarm.comparator_device_names then
+          Some (Strongarm.width_of params name)
+        else None)
+  in
+  Format.printf "%a@." Design_sens.pp_entries entries;
+  (* bar view of the unitless ranking, Fig. 10(b) style *)
+  let max_mag =
+    Array.fold_left
+      (fun acc e -> Float.max acc (Float.abs e.Design_sens.dsigma_relative))
+      1e-12 entries
+  in
+  Format.printf "@.relative sensitivity (dsigma/sigma per dW/W):@.";
+  Array.iter
+    (fun e ->
+      let n =
+        int_of_float
+          (Float.abs e.Design_sens.dsigma_relative /. max_mag *. 40.0)
+      in
+      Format.printf "  %-5s %+8.4f |%s@." e.Design_sens.device
+        e.Design_sens.dsigma_relative (String.make n '#'))
+    entries;
+  (* verification by brute force: upsize M2/M3 by 50% and re-run *)
+  Format.printf "@.cross-check: upsizing the input pair by 50%%...@.";
+  let p_big =
+    { params with Strongarm.w_in = params.Strongarm.w_in *. 1.5 }
+  in
+  let c_big = Strongarm.testbench ~params:p_big () in
+  let ctx_big =
+    Analysis.prepare ~steps:400 c_big ~period:p_big.Strongarm.clk_period
+  in
+  let rep_big = Analysis.dc_variation ctx_big ~output:Strongarm.vos_node in
+  Format.printf "sigma(VOS): %.3f mV -> %.3f mV (%.1f%%)@."
+    (rep.Report.sigma *. 1e3)
+    (rep_big.Report.sigma *. 1e3)
+    (Util.pct rep_big.Report.sigma rep.Report.sigma);
+  Format.printf
+    "@.paper shape: M2-M3 carry the largest width sensitivity; upsizing them@.\
+     reduces the offset variation.  The re-analysis also exposes the limit@.\
+     of eq. 14-16's frozen-sensitivity assumption: a bigger input pair@.\
+     loads the latch's internal nodes, so the latch devices' referred@.\
+     sensitivities grow and eat most of the first-order benefit --@.\
+     resizing the latch along with the pair (see the ablation's@.\
+     water-filling) recovers it.@."

@@ -1,0 +1,85 @@
+(* Fig. 11: error of the pseudo-noise sigma(f) estimate and the MC
+   skewness of the ring-oscillator frequency distribution as the
+   transistor current mismatch grows.  Paper shape: the error exceeds
+   10% for severe mismatch, and the distribution grows increasingly
+   skewed — both consequences of circuit nonlinearity the linear
+   perturbation model cannot capture.
+
+   Configuration: the near-threshold ring (VDD = 0.5 V), where VT
+   deviations act on an exponential-ish current law.  (At the nominal
+   1.2 V supply the EKV inverter is so linear in its mismatch that the
+   error stays below ~2% even at 3sigma(IDS) ~ 50% — that run is
+   included as the first row for reference.)
+
+   Estimator note: comparing the analytic sigma with an n-sample MC
+   sigma carries the +/- few-percent MC confidence interval, so the
+   error column uses common random numbers: each sample's frequency is
+   evaluated both with the full nonlinear solver and with the
+   first-order model on the same deltas; the ratio of the two sample
+   sigmas cancels the sampling noise almost entirely. *)
+
+let point ~params ~n_mc ~label =
+  let circuit = Ring_osc.build ~params () in
+  let rep, _ =
+    Analysis.frequency_variation circuit ~anchor:Ring_osc.anchor
+      ~f_guess:(Ring_osc.f_guess params)
+  in
+  let mismatch_params = Circuit.mismatch_params circuit in
+  let rng =
+    Rng.create (110 + int_of_float (params.Ring_osc.mismatch_scale *. 100.0))
+  in
+  let nonlinear = Array.make n_mc 0.0 in
+  let linear = Array.make n_mc 0.0 in
+  let failed = ref 0 in
+  let i = ref 0 in
+  while !i < n_mc && !failed < n_mc do
+    let deltas = Monte_carlo.draw_deltas rng mismatch_params in
+    (match
+       Ring_osc.measure_frequency_tran ~params
+         (Circuit.apply_deltas circuit deltas)
+     with
+     | f ->
+       nonlinear.(!i) <- f;
+       linear.(!i) <- Report.linear_prediction rep ~deltas;
+       incr i
+     | exception _ -> incr failed)
+  done;
+  let s_nl = Stats.std_dev nonlinear in
+  let s_lin = Stats.std_dev linear in
+  let x_axis = 300.0 *. Ring_osc.sigma_ids_rel params in
+  Format.printf "%-10s %8.0f%% %12.4g %12.4g %8.1f%% %9.1f%% %10.4f %7d@." label
+    x_axis rep.Report.sigma s_nl
+    (Util.pct s_lin s_nl)
+    (Util.pct (Stats.mean nonlinear) rep.Report.nominal)
+    (Stats.normalized_skewness nonlinear)
+    !failed
+
+let run ~quick =
+  let n_mc = if quick then 120 else 400 in
+  Util.section
+    (Printf.sprintf
+       "FIG 11: sigma(f) estimation error & skewness vs mismatch (MC n=%d)"
+       n_mc);
+  Format.printf "%-10s %9s %12s %12s %9s %10s %10s %7s@." "config" "3s(IDS)"
+    "sigma(PN)" "sigma(MC)" "err*" "mean shift" "norm skew" "failed";
+  (* reference: the nominal-supply ring is nearly linear *)
+  point ~params:Ring_osc.default_params ~n_mc ~label:"vdd=1.2";
+  let scales = if quick then [ 1.0; 2.0; 3.0 ] else [ 0.5; 1.0; 1.5; 2.0; 2.5; 3.0 ] in
+  List.iter
+    (fun scale ->
+      point
+        ~params:{ Ring_osc.low_headroom_params with Ring_osc.mismatch_scale = scale }
+        ~n_mc
+        ~label:(Printf.sprintf "vdd=0.5 x%.1f" scale))
+    scales;
+  Format.printf
+    "@.err* = sigma error of the first-order model evaluated on the same@.\
+     samples as the MC column (common random numbers cancel the sampling@.\
+     noise); mean shift = (mean(MC) - f0)/f0, the second-order curvature@.\
+     effect no linear model can produce.@.";
+  Format.printf
+    "paper shape: the linear model's failure grows with mismatch and the@.\
+     distribution departs from the model's Gaussian (skew, shift).  On the@.\
+     EKV ring the dominant failure is the mean shift (approaching -20%% at@.\
+     3x technology) together with growing skew, while sigma itself stays@.\
+     accurate longer than on the paper's BSIM testbench.@."

@@ -1,0 +1,123 @@
+(* Table II: benchmark summary — sigma and runtime of the pseudo-noise
+   analysis vs Monte-Carlo for the three circuits.  The paper reports a
+   100-1000x speed-up over a 1000-point Monte-Carlo with matching sigma.
+
+   Monte-Carlo sample counts are configurable; the 1000-point cost is
+   also extrapolated from the measured per-sample time so the table can
+   be compared with the paper's even in --quick runs. *)
+
+type line = {
+  name : string;
+  metric : string;
+  sigma_linear : float;
+  t_linear : float;
+  sigma_mc : float;
+  n_mc : int;
+  t_mc : float;
+  failed : int;
+}
+
+let print_line l =
+  let t_mc_1000 = l.t_mc /. float_of_int l.n_mc *. 1000.0 in
+  Format.printf "%-14s %-12s %11.4g %11.4g %7.1f%% %9.3f %9.1f %9.1f %8.0fx@."
+    l.name l.metric l.sigma_linear l.sigma_mc
+    (Util.pct l.sigma_linear l.sigma_mc)
+    l.t_linear l.t_mc t_mc_1000
+    (t_mc_1000 /. l.t_linear);
+  if l.failed > 0 then
+    Format.printf "  !! %d Monte-Carlo samples failed to converge@." l.failed
+
+let comparator ~n =
+  let (params, circuit, ctx), t_prep = Util.timed Util.comparator_context in
+  let rep, t_rep =
+    Util.timed (fun () -> Analysis.dc_variation ctx ~output:Strongarm.vos_node)
+  in
+  ignore params;
+  let mc =
+    Monte_carlo.run_scalar ~seed:1001 ~n ~circuit
+      ~measure:(fun c -> Strongarm.measure_offset_tran ~settle_cycles:50 c)
+      ()
+  in
+  {
+    name = "comparator";
+    metric = "VOS [V]";
+    sigma_linear = rep.Report.sigma;
+    t_linear = t_prep +. t_rep;
+    sigma_mc = mc.Monte_carlo.summaries.(0).Stats.std_dev;
+    n_mc = n;
+    t_mc = mc.Monte_carlo.seconds;
+    failed = mc.Monte_carlo.failed;
+  }
+
+let logic_path ~n =
+  let (lp, ctx, crossing), t_prep =
+    Util.timed (fun () -> Util.logic_path_context Logic_path.X_first)
+  in
+  let rep, t_rep =
+    Util.timed (fun () ->
+        Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing)
+  in
+  let mc =
+    Monte_carlo.run_scalar ~seed:1002 ~n ~circuit:lp.Logic_path.circuit
+      ~measure:(fun c ->
+        fst (Logic_path.measure_delays { lp with Logic_path.circuit = c }))
+      ()
+  in
+  {
+    name = "logic path";
+    metric = "delay [s]";
+    sigma_linear = rep.Report.sigma;
+    t_linear = t_prep +. t_rep;
+    sigma_mc = mc.Monte_carlo.summaries.(0).Stats.std_dev;
+    n_mc = n;
+    t_mc = mc.Monte_carlo.seconds;
+    failed = mc.Monte_carlo.failed;
+  }
+
+let ring_osc ~n =
+  let circuit = Ring_osc.build () in
+  let (rep, _osc), t_linear =
+    Util.timed (fun () ->
+        Analysis.frequency_variation circuit ~anchor:Ring_osc.anchor
+          ~f_guess:(Ring_osc.f_guess Ring_osc.default_params))
+  in
+  let mc =
+    Monte_carlo.run_scalar ~seed:1003 ~n ~circuit
+      ~measure:Ring_osc.measure_frequency_tran ()
+  in
+  {
+    name = "oscillator";
+    metric = "freq [Hz]";
+    sigma_linear = rep.Report.sigma;
+    t_linear;
+    sigma_mc = mc.Monte_carlo.summaries.(0).Stats.std_dev;
+    n_mc = n;
+    t_mc = mc.Monte_carlo.seconds;
+    failed = mc.Monte_carlo.failed;
+  }
+
+let run ~quick =
+  let n_cmp, n_lp, n_ro = if quick then (60, 100, 100) else (200, 300, 300) in
+  Util.section "TABLE II: benchmark summary (pseudo-noise vs Monte-Carlo)";
+  Format.printf
+    "(MC counts: comparator %d, logic path %d, oscillator %d; the paper's \
+     1000-pt@. runtime column is extrapolated from the measured per-sample \
+     cost)@.@."
+    n_cmp n_lp n_ro;
+  Format.printf "%-14s %-12s %11s %11s %8s %9s %9s %9s %9s@." "circuit"
+    "metric" "sigma(PN)" "sigma(MC)" "err" "t(PN) s" "t(MC) s" "t(MC1k)"
+    "speedup";
+  let l1 = comparator ~n:n_cmp in
+  print_line l1;
+  let l2 = logic_path ~n:n_lp in
+  print_line l2;
+  let l3 = ring_osc ~n:n_ro in
+  print_line l3;
+  Format.printf
+    "@.95%% CI on the MC sigmas: +/-%.1f%% (n=%d), +/-%.1f%% (n=%d), \
+     +/-%.1f%% (n=%d)@."
+    (Util.sigma_ci_pct n_cmp) n_cmp (Util.sigma_ci_pct n_lp) n_lp
+    (Util.sigma_ci_pct n_ro) n_ro;
+  Format.printf
+    "paper shape: matching sigma within the MC confidence interval and a@.\
+     100-1000x speed-up against the 1000-point Monte-Carlo.@."

@@ -1,0 +1,155 @@
+(* varsim — command-line front end.
+
+   Subcommands:
+     varsim run <deck.sp>        run every analysis card in a deck
+     varsim op <deck.sp>         DC operating point only
+     varsim dcmatch <deck.sp> -o out
+     varsim mismatch <deck.sp> -o out --period 4n
+     varsim demo [comparator|logicpath|ringosc]   built-in benchmarks *)
+
+open Cmdliner
+
+let read_deck path =
+  try Ok (Spice_elab.load_file path) with
+  | Spice_lexer.Lex_error (ln, msg) ->
+    Error (Printf.sprintf "%s:%d: lex error: %s" path ln msg)
+  | Spice_parser.Parse_error (ln, msg) ->
+    Error (Printf.sprintf "%s:%d: parse error: %s" path ln msg)
+  | Spice_elab.Elab_error (ln, msg) ->
+    Error (Printf.sprintf "%s:%d: elaboration error: %s" path ln msg)
+  | Sys_error msg -> Error msg
+
+let deck_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK"
+         ~doc:"SPICE-style netlist file")
+
+let handle = function
+  | Ok () -> `Ok ()
+  | Error msg -> `Error (false, msg)
+
+let run_cmd =
+  let run path =
+    handle
+      (match read_deck path with
+       | Error e -> Error e
+       | Ok deck ->
+         Spice_run.run Format.std_formatter deck;
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run every analysis card in a netlist deck")
+    Term.(ret (const run $ deck_arg))
+
+let op_cmd =
+  let run path =
+    handle
+      (match read_deck path with
+       | Error e -> Error e
+       | Ok deck ->
+         Spice_run.run_analysis Format.std_formatter deck Spice_ast.A_op;
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "op" ~doc:"DC operating point of a deck")
+    Term.(ret (const run $ deck_arg))
+
+let output_arg =
+  Arg.(required & opt (some string) None & info [ "o"; "output" ]
+         ~docv:"NODE" ~doc:"Output node")
+
+let dcmatch_cmd =
+  let run path output =
+    handle
+      (match read_deck path with
+       | Error e -> Error e
+       | Ok deck ->
+         Spice_run.run_analysis Format.std_formatter deck
+           (Spice_ast.A_dc_match { output });
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "dcmatch"
+       ~doc:"Classical DC match analysis (sigma of a DC node voltage)")
+    Term.(ret (const run $ deck_arg $ output_arg))
+
+let period_arg =
+  let period_conv =
+    Arg.conv
+      ~docv:"T"
+      ( (fun s ->
+          match Spice_lexer.parse_number s with
+          | Some v when v > 0.0 -> Ok v
+          | Some _ | None -> Error (`Msg "expected a positive time, e.g. 4n")),
+        fun ppf v -> Format.fprintf ppf "%g" v )
+  in
+  Arg.(required & opt (some period_conv) None & info [ "period" ] ~docv:"T"
+         ~doc:"PSS fundamental period (suffixes allowed, e.g. 4n)")
+
+let mismatch_cmd =
+  let run path output period =
+    handle
+      (match read_deck path with
+       | Error e -> Error e
+       | Ok deck ->
+         Spice_run.run_analysis Format.std_formatter deck
+           (Spice_ast.A_mismatch_dc { output; period });
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "mismatch"
+       ~doc:"Pseudo-noise mismatch analysis of a DC-like performance \
+             (PSS + LPTV baseband)")
+    Term.(ret (const run $ deck_arg $ output_arg $ period_arg))
+
+let demo_cmd =
+  let demos = [ ("comparator", `Comparator); ("logicpath", `Logicpath);
+                ("ringosc", `Ringosc) ] in
+  let which =
+    Arg.(value & pos 0 (enum demos) `Ringosc & info [] ~docv:"DEMO"
+           ~doc:"comparator | logicpath | ringosc")
+  in
+  let run which =
+    match which with
+    | `Comparator ->
+      let params = Strongarm.default_params in
+      let circuit = Strongarm.testbench ~params () in
+      let ctx =
+        Analysis.prepare ~steps:400 circuit ~period:params.Strongarm.clk_period
+      in
+      Format.printf "%a@." Report.pp
+        (Analysis.dc_variation ctx ~output:Strongarm.vos_node)
+    | `Logicpath ->
+      let lp = Logic_path.build Logic_path.X_first in
+      let ctx =
+        Analysis.prepare ~steps:800 lp.Logic_path.circuit
+          ~period:lp.Logic_path.period
+      in
+      let crossing =
+        { Analysis.edge = Waveform.Falling;
+          threshold = lp.Logic_path.vdd /. 2.0;
+          after = Logic_path.trigger_time lp }
+      in
+      let rep_a = Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing in
+      let rep_b = Analysis.delay_variation ctx ~output:Logic_path.out_b ~crossing in
+      Format.printf "%a@.%a@.rho(A,B) = %.3f@." Report.pp rep_a Report.pp rep_b
+        (Correlation.coefficient rep_a rep_b)
+    | `Ringosc ->
+      let circuit = Ring_osc.build () in
+      let rep, _ =
+        Analysis.frequency_variation circuit ~anchor:Ring_osc.anchor
+          ~f_guess:(Ring_osc.f_guess Ring_osc.default_params)
+      in
+      Format.printf "%a@." Report.pp rep
+  in
+  Cmd.v
+    (Cmd.info "demo" ~doc:"Run a built-in benchmark circuit analysis")
+    Term.(const run $ which)
+
+let main =
+  Cmd.group
+    (Cmd.info "varsim" ~version:"1.0.0"
+       ~doc:"Transient mismatch variation analysis via pseudo-noise LPTV \
+             simulation")
+    [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; demo_cmd ]
+
+let () = exit (Cmd.eval main)

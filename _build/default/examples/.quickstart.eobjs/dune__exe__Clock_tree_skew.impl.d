@@ -1,0 +1,1 @@
+examples/clock_tree_skew.ml: Array Clock_tree Correlation Format Monte_carlo Report Stats Tran Unix Waveform

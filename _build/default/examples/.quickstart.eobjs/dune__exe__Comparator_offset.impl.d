@@ -1,0 +1,1 @@
+examples/comparator_offset.ml: Analysis Array Circuit Design_sens Format List Monte_carlo Report Special Stats Strongarm Sys Unix

@@ -1,0 +1,1 @@
+examples/dac_dnl.ml: Array Circuit Correlation Dac_string Format Monte_carlo Printf Report Sens Stats

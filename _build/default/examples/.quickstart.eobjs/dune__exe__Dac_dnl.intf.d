@@ -1,0 +1,1 @@
+examples/dac_dnl.mli:

@@ -1,0 +1,1 @@
+examples/dc_match_gallery.ml: Array Bandgap Current_mirror Dc Format Monte_carlo Ota Sens Sram Stats

@@ -1,0 +1,1 @@
+examples/dc_match_gallery.mli:

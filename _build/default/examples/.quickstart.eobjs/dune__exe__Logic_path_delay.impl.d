@@ -1,0 +1,1 @@
+examples/logic_path_delay.ml: Analysis Array Circuit Correlation Format Logic_path Monte_carlo Report Stats Waveform

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ac Analysis Array Builder Circuit Cx Dc Float Format List Monte_carlo Report Sens Stats

@@ -1,0 +1,1 @@
+examples/ring_oscillator.ml: Analysis Array Circuit Format Monte_carlo Pss Pss_osc Report Ring_osc Rng Stats Unix

@@ -1,0 +1,1 @@
+examples/yield_optimize.ml: Analysis Array Design_sens Format List Optimize Report Strongarm

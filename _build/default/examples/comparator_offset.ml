@@ -1,0 +1,62 @@
+(* Input-offset variation of the StrongARM clocked comparator — the
+   paper's §IV-A / Fig. 6 / Fig. 9 / Fig. 10 experiment end-to-end.
+
+   Run with: dune exec examples/comparator_offset.exe [-- --mc N] *)
+
+let () =
+  let mc_n =
+    match Array.to_list Sys.argv with
+    | _ :: "--mc" :: n :: _ -> int_of_string n
+    | _ -> 150
+  in
+  let params = Strongarm.default_params in
+  Format.printf "=== StrongARM comparator input-offset variation ===@.@.";
+
+  (* the Fig. 6 testbench: comparator + clock + ideal feedback
+     integrator that holds the loop at the metastable point *)
+  let circuit = Strongarm.testbench ~params () in
+  Format.printf "testbench: %d devices, %d MNA unknowns, %d mismatch params@.@."
+    (Array.length (Circuit.devices circuit))
+    (Circuit.size circuit)
+    (Array.length (Circuit.mismatch_params circuit));
+
+  (* pseudo-noise analysis: PSS (shooting) + LPTV baseband PSD at 1 Hz *)
+  let t0 = Unix.gettimeofday () in
+  let ctx = Analysis.prepare ~steps:400 circuit ~period:params.Strongarm.clk_period in
+  let rep = Analysis.dc_variation ctx ~output:Strongarm.vos_node in
+  let t_linear = Unix.gettimeofday () -. t0 in
+  Format.printf "%a@." Report.pp rep;
+  Format.printf "pseudo-noise analysis: sigma(VOS) = %.3f mV in %.2f s@.@."
+    (rep.Report.sigma *. 1e3) t_linear;
+
+  (* Fig. 10: width sensitivity of the offset variance per transistor *)
+  Format.printf "--- Fig. 10: width sensitivities (eq. 14-16) ---@.";
+  let entries =
+    Design_sens.width_sensitivities rep ~width_of:(fun name ->
+        if List.mem name Strongarm.comparator_device_names then
+          Some (Strongarm.width_of params name)
+        else None)
+  in
+  Format.printf "%a@." Design_sens.pp_entries entries;
+
+  (* Monte-Carlo comparison (Fig. 9): each sample re-runs the settling
+     transient of the same testbench *)
+  Format.printf "--- Monte-Carlo (%d samples, long settling transients) ---@." mc_n;
+  let mc =
+    Monte_carlo.run_scalar ~seed:9 ~n:mc_n ~circuit
+      ~measure:(fun c -> Strongarm.measure_offset_tran ~settle_cycles:50 c)
+      ()
+  in
+  let s = mc.Monte_carlo.summaries.(0) in
+  Format.printf
+    "MC: sigma = %.3f mV (mean %.3f mV, skew %+.3f) in %.1f s  ->  speed-up %.0fx@.@."
+    (s.Stats.std_dev *. 1e3) (s.Stats.mean *. 1e3) s.Stats.skewness
+    mc.Monte_carlo.seconds
+    (mc.Monte_carlo.seconds /. t_linear);
+
+  (* histogram with the linear-analysis Gaussian overlaid (Fig. 9) *)
+  let samples = Monte_carlo.samples_of mc 0 in
+  let h = Stats.histogram ~bins:25 samples in
+  let pdf = Special.normal_pdf ~mu:0.0 ~sigma:rep.Report.sigma in
+  Format.printf "offset histogram [V] ('#' = MC density, '*' = pseudo-noise PDF):@.";
+  Stats.pp_histogram ~width:46 ~overlay_pdf:pdf Format.std_formatter h

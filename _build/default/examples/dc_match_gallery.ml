@@ -1,0 +1,77 @@
+(* The DC match applications the paper's introduction cites — "the
+   offset voltage of an operational amplifier, the output voltage of a
+   bandgap reference circuit, or static noise margin of SRAM memory
+   cells" — each analyzed with the linear sensitivity method and
+   cross-checked against Monte Carlo.
+
+   Run with: dune exec examples/dc_match_gallery.exe *)
+
+let line title linear mc_sigma mc_failed seconds =
+  Format.printf "%-34s %12.4g %12.4g %7.1f%% %6d %8.2fs@." title linear mc_sigma
+    (100.0 *. (linear -. mc_sigma) /. mc_sigma)
+    mc_failed seconds
+
+let () =
+  Format.printf "=== DC match gallery (linear sensitivity vs Monte Carlo) ===@.@.";
+  Format.printf "%-34s %12s %12s %8s %6s %9s@." "circuit / metric" "linear"
+    "MC sigma" "err" "fail" "MC time";
+
+  (* 1. OTA input-referred offset *)
+  let p_ota = Ota.default_params in
+  let ota = Ota.build_unity_gain ~params:p_ota () in
+  let dcm = Sens.dc_match ota ~output:Ota.output_node in
+  let mc =
+    Monte_carlo.run_scalar ~seed:4 ~n:2000 ~circuit:ota
+      ~measure:(fun c -> Ota.measure_offset c p_ota) ()
+  in
+  line "5T OTA offset [V]" dcm.Sens.sigma
+    mc.Monte_carlo.summaries.(0).Stats.std_dev mc.Monte_carlo.failed
+    mc.Monte_carlo.seconds;
+
+  (* 2. Bandgap reference output *)
+  let bg = Bandgap.build () in
+  let x_bg = Dc.solve bg in
+  let dcm_bg = Sens.dc_match ~x_op:x_bg bg ~output:Bandgap.output_node in
+  let mc_bg =
+    Monte_carlo.run_scalar ~seed:3 ~n:2000 ~circuit:bg
+      ~measure:(Bandgap.measure_vref ~x0:x_bg) ()
+  in
+  line "bandgap VREF [V]" dcm_bg.Sens.sigma
+    mc_bg.Monte_carlo.summaries.(0).Stats.std_dev mc_bg.Monte_carlo.failed
+    mc_bg.Monte_carlo.seconds;
+
+  (* 3. SRAM read-disturb voltage *)
+  let p_sram = Sram.default_params in
+  let sram = Sram.build_read ~params:p_sram () in
+  let x_sram = Sram.read_state ~params:p_sram sram in
+  let dcm_sram = Sens.dc_match ~x_op:x_sram sram ~output:"q" in
+  let mc_sram =
+    Monte_carlo.run_scalar ~seed:8 ~n:2000 ~circuit:sram
+      ~measure:(fun c -> Sram.measure_read_bump ~params:p_sram c) ()
+  in
+  line "6T SRAM V_read [V]" dcm_sram.Sens.sigma
+    mc_sram.Monte_carlo.summaries.(0).Stats.std_dev mc_sram.Monte_carlo.failed
+    mc_sram.Monte_carlo.seconds;
+
+  (* 4. Current mirror ratio *)
+  let p_cm = Current_mirror.default_params in
+  let cm = Current_mirror.build ~params:p_cm () in
+  let dcm_cm = Sens.dc_match cm ~output:Current_mirror.output_node in
+  let sigma_ratio =
+    dcm_cm.Sens.sigma /. (p_cm.Current_mirror.r_load *. p_cm.Current_mirror.i_ref)
+  in
+  let mc_cm =
+    Monte_carlo.run_scalar ~seed:17 ~n:2000 ~circuit:cm
+      ~measure:(fun c -> Current_mirror.measure_current_ratio c p_cm) ()
+  in
+  line "current mirror dI/I" sigma_ratio
+    mc_cm.Monte_carlo.summaries.(0).Stats.std_dev mc_cm.Monte_carlo.failed
+    mc_cm.Monte_carlo.seconds;
+  Format.printf "  (closed-form Pelgrom for the mirror: %.4g)@."
+    (Current_mirror.analytic_sigma_rel p_cm);
+
+  Format.printf
+    "@.each linear column is one operating point + one adjoint solve; the@.\
+     breakdown lists (not shown) rank every device's contribution for free.@.\
+     Note the SRAM/bandgap caveat: multi-stable circuits need the operating@.\
+     point of the *intended* state (see Sens docs).@."

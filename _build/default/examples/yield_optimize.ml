@@ -1,0 +1,65 @@
+(* Yield optimization via mismatch sensitivities — the paper's §VII
+   workflow end-to-end: analyze once, rank the width sensitivities
+   (eq. 14-16), redistribute the width budget, verify by re-analysis.
+
+   Run with: dune exec examples/yield_optimize.exe *)
+
+let () =
+  Format.printf "=== StrongARM offset: width-budget optimization (§VII) ===@.@.";
+  let params = Strongarm.default_params in
+  let circuit = Strongarm.testbench ~params () in
+  let ctx = Analysis.prepare ~steps:400 circuit ~period:params.Strongarm.clk_period in
+  let rep = Analysis.dc_variation ctx ~output:Strongarm.vos_node in
+  Format.printf "baseline sigma(VOS) = %.3f mV@.@." (rep.Report.sigma *. 1e3);
+
+  let width_of name =
+    if List.mem name Strongarm.comparator_device_names then
+      Some (Strongarm.width_of params name)
+    else None
+  in
+
+  (* rank the levers (Fig. 10) *)
+  let entries = Design_sens.width_sensitivities rep ~width_of in
+  Format.printf "--- width sensitivities (largest first) ---@.%a@."
+    Design_sens.pp_entries entries;
+
+  (* closed-form water-filling at the same total width *)
+  let result = Optimize.width_allocation rep ~width_of () in
+  Format.printf "--- proposed reallocation (same total width) ---@.";
+  Array.iter
+    (fun (a : Optimize.allocation) ->
+      Format.printf "  %-5s %6.2f um -> %6.2f um@." a.Optimize.device
+        (a.Optimize.width_old *. 1e6)
+        (a.Optimize.width_new *. 1e6))
+    result.Optimize.allocations;
+  Format.printf "first-order prediction: sigma -> %.3f mV@.@."
+    (result.Optimize.sigma_predicted *. 1e3);
+
+  (* close the loop: rebuild with the proposed sizes and re-analyze *)
+  let width name =
+    match
+      Array.find_opt
+        (fun (a : Optimize.allocation) -> a.Optimize.device = name)
+        result.Optimize.allocations
+    with
+    | Some a -> a.Optimize.width_new
+    | None -> Strongarm.width_of params name
+  in
+  let params' =
+    { params with
+      Strongarm.w_tail = width "M1";
+      w_in = width "M2";
+      w_cross_n = width "M4";
+      w_cross_p = width "M6";
+      w_pre = width "M8";
+      w_pre_int = width "M10";
+      w_eq = width "M12";
+    }
+  in
+  let circuit' = Strongarm.testbench ~params:params' () in
+  let ctx' = Analysis.prepare ~steps:400 circuit' ~period:params'.Strongarm.clk_period in
+  let rep' = Analysis.dc_variation ctx' ~output:Strongarm.vos_node in
+  Format.printf "re-analysis at the proposed sizing: sigma = %.3f mV@."
+    (rep'.Report.sigma *. 1e3);
+  Format.printf "improvement: %.1f%% at zero area cost@."
+    (100.0 *. (1.0 -. (rep'.Report.sigma /. rep.Report.sigma)))

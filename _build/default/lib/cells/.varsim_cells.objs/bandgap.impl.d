@@ -1,0 +1,1 @@
+lib/cells/bandgap.ml: Bjt Builder Circuit Dc

@@ -1,0 +1,1 @@
+lib/cells/bandgap.mli: Circuit Vec

@@ -1,0 +1,1 @@
+lib/cells/clock_tree.ml: Analysis Array Builder Correlation Gates Printf Wave Waveform

@@ -1,0 +1,1 @@
+lib/cells/clock_tree.mli: Circuit Gates Report

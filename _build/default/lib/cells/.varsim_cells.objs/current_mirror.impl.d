@@ -1,0 +1,1 @@
+lib/cells/current_mirror.ml: Builder Circuit Dc Mosfet Wave

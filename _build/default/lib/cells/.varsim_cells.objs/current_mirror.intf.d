@@ -1,0 +1,1 @@
+lib/cells/current_mirror.mli: Circuit

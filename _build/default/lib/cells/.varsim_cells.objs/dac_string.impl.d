@@ -1,0 +1,1 @@
+lib/cells/dac_string.ml: Array Builder Circuit Dc Printf

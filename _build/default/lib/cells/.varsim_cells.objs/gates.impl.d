@@ -1,0 +1,1 @@
+lib/cells/gates.ml: Builder Mosfet Printf

@@ -1,0 +1,1 @@
+lib/cells/gates.mli: Builder

@@ -1,0 +1,1 @@
+lib/cells/logic_path.ml: Builder Circuit Float Gates Printf Tran Wave Waveform

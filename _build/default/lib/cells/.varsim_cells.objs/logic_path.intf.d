@@ -1,0 +1,1 @@
+lib/cells/logic_path.mli: Circuit

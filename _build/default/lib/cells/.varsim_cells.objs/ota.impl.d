@@ -1,0 +1,1 @@
+lib/cells/ota.ml: Builder Circuit Dc Mosfet

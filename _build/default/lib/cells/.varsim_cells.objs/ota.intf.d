@@ -1,0 +1,1 @@
+lib/cells/ota.mli: Circuit

@@ -1,0 +1,1 @@
+lib/cells/ring_osc.ml: Array Builder Circuit Dc Float List Mosfet Printf Pss_osc Tran Vec Waveform

@@ -1,0 +1,1 @@
+lib/cells/ring_osc.mli: Circuit Pss_osc

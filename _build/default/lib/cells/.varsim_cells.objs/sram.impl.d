@@ -1,0 +1,1 @@
+lib/cells/sram.ml: Array Builder Circuit Dc Mosfet Vec

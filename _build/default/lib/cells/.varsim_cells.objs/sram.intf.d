@@ -1,0 +1,1 @@
+lib/cells/sram.mli: Circuit Vec

@@ -1,0 +1,1 @@
+lib/cells/strongarm.ml: Builder Mosfet Stdlib Tran Wave Waveform

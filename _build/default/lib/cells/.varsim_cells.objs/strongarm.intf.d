@@ -1,0 +1,1 @@
+lib/cells/strongarm.mli: Circuit

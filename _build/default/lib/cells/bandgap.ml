@@ -1,0 +1,50 @@
+type params = {
+  n_ratio : float;
+  r1 : float;
+  r3 : float;
+  r_tol : float;
+  amp_gain : float;
+  vdd : float;
+}
+
+let default_params =
+  {
+    n_ratio = 8.0;
+    r1 = 9.3e3;
+    r3 = 1e3;
+    r_tol = 0.005;
+    amp_gain = 300.0;
+    vdd = 2.5;
+  }
+
+let output_node = "vref"
+
+let build ?(params = default_params) () =
+  let p = params in
+  let b = Builder.create () in
+  (* ideal amplifier: vref = gain·(x - y), closing the loop that forces
+     the branch taps equal *)
+  Builder.vcvs b "EAMP" output_node "0" "x" "y" p.amp_gain;
+  Builder.resistor ~tol:p.r_tol b "R1" output_node "x" p.r1;
+  Builder.resistor ~tol:p.r_tol b "R2" output_node "y" p.r1;
+  (* branch 1: diode-connected unit bipolar *)
+  Builder.bjt b "Q1" ~c:"x" ~b:"x" ~e:"0" ();
+  (* branch 2: R3 in series with the N-times bipolar *)
+  Builder.resistor ~tol:p.r_tol b "R3" "y" "z" p.r3;
+  Builder.bjt ~area:p.n_ratio b "Q2" ~c:"z" ~b:"z" ~e:"0" ();
+  (* startup: the all-off state is also an equilibrium of a bandgap;
+     a weak pull-up from the supply breaks it (and perturbs the
+     reference by ~1%, as a real startup device would) *)
+  Builder.resistor b "RSTART" "vdd" "x" 1e6;
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  Builder.finish b
+
+let measure_vref ?x0 circuit =
+  let x = Dc.solve ?x0 circuit in
+  Circuit.voltage circuit x output_node
+
+let expected_vref p =
+  let circuit = build ~params:p () in
+  let x = Dc.solve circuit in
+  let vbe1 = Circuit.voltage circuit x "x" in
+  vbe1 +. (p.r1 /. p.r3 *. Bjt.npn_default.Bjt.phi_t *. log p.n_ratio)

@@ -1,0 +1,35 @@
+(** First-order bandgap reference core — "the output voltage of a
+    bandgap reference circuit" is one of the DC match applications the
+    paper's introduction cites.
+
+    Op-amp topology: an ideal high-gain amplifier forces the two branch
+    taps equal; the ΔV_BE of a 1:N bipolar pair across R3 sets the PTAT
+    current, and V_out = V_BE1 + (R1/R3)·φt·ln N (plus a ~1 % startup
+    perturbation; the all-off state is also an equilibrium, so a weak
+    pull-up breaks it as in real designs).  Mismatch sources:
+    ΔI_S/I_S of both bipolars (a ΔV_BE error amplified by R1/R3) and the
+    resistor tolerances. *)
+
+type params = {
+  n_ratio : float;   (** emitter-area ratio of Q2 : Q1 *)
+  r1 : float;        (** branch resistors (R1 = R2) *)
+  r3 : float;        (** PTAT resistor *)
+  r_tol : float;     (** relative σ of each resistor *)
+  amp_gain : float;  (** ideal amplifier gain *)
+  vdd : float;
+}
+
+val default_params : params
+
+val output_node : string
+
+val build : ?params:params -> unit -> Circuit.t
+
+val measure_vref : ?x0:Vec.t -> Circuit.t -> float
+(** DC solve and read the reference output (Monte-Carlo kernel).
+    Warm-starting from the nominal solution ([x0]) makes per-sample
+    Newton robust against the bandgap's hard bias point. *)
+
+val expected_vref : params -> float
+(** First-order design value V_BE + (R1/R3)·φt·ln N (V_BE from the
+    nominal operating point). *)

@@ -1,0 +1,81 @@
+type params = {
+  levels : int;
+  vdd : float;
+  period : float;
+  buffer_sizing : Gates.sizing;
+  sink_load : float;
+}
+
+let default_params =
+  {
+    levels = 3;
+    vdd = 1.2;
+    period = 8e-9;
+    buffer_sizing = { Gates.wn = 1e-6; wp = 2e-6; l = 0.13e-6; c_load = 15e-15 };
+    sink_load = 30e-15;
+  }
+
+let sink_count p = 1 lsl p.levels
+let sink i = Printf.sprintf "sink%d" i
+let trigger_time _p = 0.2e-9
+
+let node_name ~levels l i =
+  if l = levels then sink i else Printf.sprintf "t%d_%d" l i
+
+let build ?(params = default_params) () =
+  let p = params in
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  Builder.vsource b "VCLK" "clkin" "0"
+    (Wave.Pulse
+       {
+         Wave.v1 = 0.0; v2 = p.vdd; delay = trigger_time p; rise = 50e-12;
+         fall = 50e-12; width = (p.period /. 2.0) -. 50e-12; period = p.period;
+       });
+  (* root buffer: level 0 *)
+  Gates.inverter_chain ~sizing:p.buffer_sizing b "b0_0" ~input:"clkin"
+    ~output:(node_name ~levels:p.levels 0 0) ~vdd:"vdd" ~stages:2;
+  (* levels 1..levels: buffer i at level l is fed by node (l-1, i/2) *)
+  for l = 1 to p.levels do
+    for i = 0 to (1 lsl l) - 1 do
+      Gates.inverter_chain ~sizing:p.buffer_sizing b
+        (Printf.sprintf "b%d_%d" l i)
+        ~input:(node_name ~levels:p.levels (l - 1) (i / 2))
+        ~output:(node_name ~levels:p.levels l i)
+        ~vdd:"vdd" ~stages:2
+    done
+  done;
+  for i = 0 to sink_count p - 1 do
+    Builder.capacitor b (Printf.sprintf "cs%d" i) (sink i) "0" p.sink_load
+  done;
+  Builder.finish b
+
+let sink_reports ?(params = default_params) ?(steps = 800) () =
+  let circuit = build ~params () in
+  let ctx = Analysis.prepare ~steps circuit ~period:params.period in
+  let crossing =
+    {
+      Analysis.edge = Waveform.Rising;
+      threshold = params.vdd /. 2.0;
+      after = trigger_time params;
+    }
+  in
+  Array.init (sink_count params) (fun i ->
+      Analysis.delay_variation ctx ~output:(sink i) ~crossing)
+
+let skew_sigma_matrix reports =
+  let n = Array.length reports in
+  Array.init n (fun i ->
+      Array.init n (fun j ->
+          if i = j then 0.0
+          else Correlation.difference_sigma reports.(i) reports.(j)))
+
+let divergence_level ~levels i j =
+  if i = j then invalid_arg "Clock_tree.divergence_level: same sink";
+  (* smallest level l at which the ancestors (i >> (levels-l)) differ *)
+  let rec find l =
+    if l > levels then levels
+    else if i lsr (levels - l) <> j lsr (levels - l) then l
+    else find (l + 1)
+  in
+  find 1

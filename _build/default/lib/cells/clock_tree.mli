@@ -1,0 +1,43 @@
+(** Buffered binary clock-distribution tree — the "skews in a clock
+    distribution network" application the paper's introduction
+    motivates.
+
+    A root driver fans out through [levels] levels of buffer pairs to
+    2^levels sinks.  Sink delays share the buffers on their common
+    root-to-sink path, so the skew σ between two sinks depends on where
+    their paths diverge — the correlation structure eq. (10)–(13)
+    extracts from one pseudo-noise analysis. *)
+
+type params = {
+  levels : int;          (** tree depth; sinks = 2^levels *)
+  vdd : float;
+  period : float;
+  buffer_sizing : Gates.sizing;
+  sink_load : float;     (** extra capacitance at each sink *)
+}
+
+val default_params : params
+(** 3 levels (8 sinks), 1.2 V, 8 ns period. *)
+
+val build : ?params:params -> unit -> Circuit.t
+
+val sink_count : params -> int
+
+val sink : int -> string
+(** Node name of sink [i] (0-based). *)
+
+val trigger_time : params -> float
+(** Rising-edge launch time of the root clock. *)
+
+val sink_reports :
+  ?params:params -> ?steps:int -> unit -> Report.t array
+(** One pseudo-noise delay report per sink (single PSS + LPTV pass,
+    one adjoint per sink). *)
+
+val skew_sigma_matrix : Report.t array -> float array array
+(** [m.(i).(j)] = σ(delay_i − delay_j) via eq. (13). *)
+
+val divergence_level : levels:int -> int -> int -> int
+(** Level (1..levels) at which the root-to-sink paths of two sinks
+    diverge — smaller means an earlier split (less shared path, more
+    skew variance). *)

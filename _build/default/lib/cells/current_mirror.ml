@@ -1,0 +1,46 @@
+type params = {
+  i_ref : float;
+  w : float;
+  l : float;
+  r_load : float;
+  vdd : float;
+}
+
+let default_params =
+  { i_ref = 100e-6; w = 4e-6; l = 0.5e-6; r_load = 2e3; vdd = 1.2 }
+
+let output_node = "out"
+
+let build ?(params = default_params) () =
+  let p = params in
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  Builder.isource b "IREF" "vdd" "nref" (Wave.Dc p.i_ref);
+  Builder.mosfet b "M1" ~d:"nref" ~g:"nref" ~s:"0" ~model:Mosfet.nmos_013
+    ~w:p.w ~l:p.l ();
+  Builder.mosfet b "M2" ~d:output_node ~g:"nref" ~s:"0" ~model:Mosfet.nmos_013
+    ~w:p.w ~l:p.l ();
+  Builder.resistor b "RL" "vdd" output_node p.r_load;
+  Builder.finish b
+
+let measure_current_ratio circuit p =
+  let x = Dc.solve circuit in
+  let v_out = Circuit.voltage circuit x output_node in
+  let i_out = (p.vdd -. v_out) /. p.r_load in
+  i_out /. p.i_ref
+
+(* gm/ID at the mirror bias: solve the nominal circuit for VGS, then
+   evaluate the model there (both devices share the bias to first
+   order; CLM on M2 is a small correction) *)
+let analytic_sigma_rel p =
+  let circuit = build ~params:p () in
+  let x = Dc.solve circuit in
+  let vg = Circuit.voltage circuit x "nref" in
+  let op =
+    Mosfet.eval Mosfet.nmos_013 ~w:p.w ~l:p.l ~dvt:0.0 ~dbeta:0.0 ~vd:vg ~vg
+      ~vs:0.0
+  in
+  let gm_over_id = op.Mosfet.gg /. op.Mosfet.id in
+  let svt = Mosfet.sigma_vt Mosfet.nmos_013 ~w:p.w ~l:p.l in
+  let sbeta = Mosfet.sigma_beta Mosfet.nmos_013 ~w:p.w ~l:p.l in
+  sqrt 2.0 *. sqrt (((gm_over_id *. svt) ** 2.0) +. (sbeta ** 2.0))

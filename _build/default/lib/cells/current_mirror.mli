@@ -1,0 +1,27 @@
+(** Simple NMOS current mirror — the canonical DC mismatch example
+    (the class of circuits the paper's refs [8],[9] handle, used here to
+    cross-validate the whole mismatch chain against the closed-form
+    Pelgrom prediction). *)
+
+type params = {
+  i_ref : float;
+  w : float;
+  l : float;
+  r_load : float;  (** output load resistor to VDD *)
+  vdd : float;
+}
+
+val default_params : params
+
+val build : ?params:params -> unit -> Circuit.t
+(** Nodes: ["nref"] (diode-connected gate), ["out"] (M2 drain). *)
+
+val output_node : string
+
+val measure_current_ratio : Circuit.t -> params -> float
+(** I_out/I_ref from a DC solve (Monte-Carlo kernel). *)
+
+val analytic_sigma_rel : params -> float
+(** Closed-form σ(ΔI/I) of the mirror:
+    √(2)·√((gm/ID·σVT)² + σβ²) with gm/ID evaluated from the model at
+    the mirror's own bias. *)

@@ -1,0 +1,32 @@
+type params = {
+  codes : int;
+  r_unit : float;
+  r_tol : float;
+  vref : float;
+}
+
+let default_params = { codes = 8; r_unit = 1e3; r_tol = 0.01; vref = 1.0 }
+
+let tap k = Printf.sprintf "tap%d" k
+
+let build ?(params = default_params) () =
+  let p = params in
+  if p.codes < 2 then invalid_arg "Dac_string.build";
+  let b = Builder.create () in
+  Builder.vdc b "VREF" "vref" "0" p.vref;
+  let node_of k = if k = 0 then "0" else if k = p.codes then "vref" else tap k in
+  for k = 1 to p.codes do
+    Builder.resistor ~tol:p.r_tol b
+      (Printf.sprintf "R%d" k)
+      (node_of k)
+      (node_of (k - 1))
+      p.r_unit
+  done;
+  Builder.finish b
+
+let ideal_tap_voltage p k =
+  p.vref *. float_of_int k /. float_of_int p.codes
+
+let measure_taps circuit p =
+  let x = Dc.solve circuit in
+  Array.init (p.codes - 1) (fun i -> Circuit.voltage circuit x (tap (i + 1)))

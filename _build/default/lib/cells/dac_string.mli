@@ -1,0 +1,26 @@
+(** Resistor-string DAC for the paper's §V-D DNL example (eq. 13).
+
+    A string of [codes] nominally equal resistors between VREF and
+    ground; tap [k] (k = 1..codes-1) is the output of code [k].  Each
+    resistor carries a relative mismatch σ, so adjacent code outputs are
+    strongly correlated — exactly the situation where the covariance
+    term of eq. (13) matters. *)
+
+type params = {
+  codes : int;     (** number of resistors (taps = codes-1) *)
+  r_unit : float;
+  r_tol : float;   (** relative σ of each unit resistor *)
+  vref : float;
+}
+
+val default_params : params
+
+val build : ?params:params -> unit -> Circuit.t
+
+val tap : int -> string
+(** Node name of tap [k]. *)
+
+val ideal_tap_voltage : params -> int -> float
+
+val measure_taps : Circuit.t -> params -> float array
+(** DC solve, return all tap voltages (Monte-Carlo kernel). *)

@@ -1,0 +1,62 @@
+type sizing = {
+  wn : float;
+  wp : float;
+  l : float;
+  c_load : float;
+}
+
+let default_sizing = { wn = 2e-6; wp = 4e-6; l = 0.13e-6; c_load = 20e-15 }
+
+let inverter ?(sizing = default_sizing) b name ~input ~output ~vdd =
+  Builder.mosfet b (name ^ "_mn") ~d:output ~g:input ~s:"0"
+    ~model:Mosfet.nmos_013 ~w:sizing.wn ~l:sizing.l ();
+  Builder.mosfet b (name ^ "_mp") ~d:output ~g:input ~s:vdd ~b:vdd
+    ~model:Mosfet.pmos_013 ~w:sizing.wp ~l:sizing.l ();
+  if sizing.c_load > 0.0 then
+    Builder.capacitor b (name ^ "_cl") output "0" sizing.c_load
+
+let nand2 ?(sizing = default_sizing) b name ~a ~b:bb ~output ~vdd =
+  let x = name ^ "_x" in
+  (* series NMOS stack: out - x - gnd *)
+  Builder.mosfet b (name ^ "_mna") ~d:output ~g:a ~s:x ~model:Mosfet.nmos_013
+    ~w:sizing.wn ~l:sizing.l ();
+  Builder.mosfet b (name ^ "_mnb") ~d:x ~g:bb ~s:"0" ~model:Mosfet.nmos_013
+    ~w:sizing.wn ~l:sizing.l ();
+  (* parallel PMOS *)
+  Builder.mosfet b (name ^ "_mpa") ~d:output ~g:a ~s:vdd ~b:vdd
+    ~model:Mosfet.pmos_013 ~w:sizing.wp ~l:sizing.l ();
+  Builder.mosfet b (name ^ "_mpb") ~d:output ~g:bb ~s:vdd ~b:vdd
+    ~model:Mosfet.pmos_013 ~w:sizing.wp ~l:sizing.l ();
+  if sizing.c_load > 0.0 then
+    Builder.capacitor b (name ^ "_cl") output "0" sizing.c_load
+
+let nor2 ?(sizing = default_sizing) b name ~a ~b:bb ~output ~vdd =
+  let x = name ^ "_x" in
+  (* parallel NMOS *)
+  Builder.mosfet b (name ^ "_mna") ~d:output ~g:a ~s:"0" ~model:Mosfet.nmos_013
+    ~w:sizing.wn ~l:sizing.l ();
+  Builder.mosfet b (name ^ "_mnb") ~d:output ~g:bb ~s:"0" ~model:Mosfet.nmos_013
+    ~w:sizing.wn ~l:sizing.l ();
+  (* series PMOS stack: vdd - x - out *)
+  Builder.mosfet b (name ^ "_mpa") ~d:x ~g:a ~s:vdd ~b:vdd
+    ~model:Mosfet.pmos_013 ~w:sizing.wp ~l:sizing.l ();
+  Builder.mosfet b (name ^ "_mpb") ~d:output ~g:bb ~s:x ~b:vdd
+    ~model:Mosfet.pmos_013 ~w:sizing.wp ~l:sizing.l ();
+  if sizing.c_load > 0.0 then
+    Builder.capacitor b (name ^ "_cl") output "0" sizing.c_load
+
+let inverter_chain ?(sizing = default_sizing) b name ~input ~output ~vdd
+    ~stages =
+  if stages < 1 then invalid_arg "Gates.inverter_chain";
+  let rec chain i src =
+    if i = stages then ()
+    else begin
+      let dst =
+        if i = stages - 1 then output else Printf.sprintf "%s_n%d" name (i + 1)
+      in
+      inverter ~sizing b (Printf.sprintf "%s_i%d" name (i + 1)) ~input:src
+        ~output:dst ~vdd;
+      chain (i + 1) dst
+    end
+  in
+  chain 0 input

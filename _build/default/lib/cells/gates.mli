@@ -1,0 +1,36 @@
+(** Static CMOS gate generators on a {!Builder}.
+
+    Each gate instantiates matched-pair MOSFETs with the 0.13 µm models
+    and Pelgrom mismatch, plus an explicit load capacitor on the output
+    so switching speed is controlled by the caller. *)
+
+type sizing = {
+  wn : float; (** NMOS width, m *)
+  wp : float; (** PMOS width, m *)
+  l : float;  (** channel length, m *)
+  c_load : float; (** explicit output load, F *)
+}
+
+val default_sizing : sizing
+(** wn = 2 µm, wp = 4 µm, l = 0.13 µm, c_load = 20 fF. *)
+
+val inverter :
+  ?sizing:sizing -> Builder.t -> string -> input:string -> output:string ->
+  vdd:string -> unit
+(** [inverter b name ~input ~output ~vdd] adds [name_mn], [name_mp] and
+    the load cap [name_cl]. *)
+
+val nand2 :
+  ?sizing:sizing -> Builder.t -> string -> a:string -> b:string ->
+  output:string -> vdd:string -> unit
+(** Two series NMOS (internal node [name_x]) and two parallel PMOS. *)
+
+val nor2 :
+  ?sizing:sizing -> Builder.t -> string -> a:string -> b:string ->
+  output:string -> vdd:string -> unit
+
+val inverter_chain :
+  ?sizing:sizing -> Builder.t -> string -> input:string -> output:string ->
+  vdd:string -> stages:int -> unit
+(** [stages] inverters in series; intermediate nodes are
+    [name_n1 ... name_n(stages-1)]. *)

@@ -1,0 +1,82 @@
+type case = X_first | Y_first
+
+type t = {
+  circuit : Circuit.t;
+  period : float;
+  vdd : float;
+  t_x : float;
+  t_y : float;
+  case : case;
+}
+
+let out_a = "out_a"
+let out_b = "out_b"
+
+let build ?(period = 8e-9) ?(vdd = 1.2) case =
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" vdd;
+  let transition = 50e-12 in
+  (* the pulses return low half-way through the period so the circuit
+     relaxes to a clean periodic steady state *)
+  let edge t_rise =
+    Wave.Pulse
+      {
+        Wave.v1 = 0.0;
+        v2 = vdd;
+        delay = t_rise;
+        rise = transition;
+        fall = transition;
+        width = (period /. 2.0) -. transition;
+        period;
+      }
+  in
+  let t_x, t_y =
+    match case with
+    | X_first -> (0.2e-9, 1.0e-9)
+    | Y_first -> (1.0e-9, 0.2e-9)
+  in
+  Builder.vsource b "VX" "in_x" "0" (edge t_x);
+  Builder.vsource b "VY" "in_y" "0" (edge t_y);
+  (* shared chain from Y: gates a and b.  Small devices + heavy load so
+     the shared gates dominate the total delay variance (the paper's
+     Table I measures rho = 0.885 when the critical path runs through
+     them) *)
+  let shared =
+    { Gates.wn = 0.8e-6; wp = 1.6e-6; l = 0.13e-6; c_load = 40e-15 }
+  in
+  let disjoint =
+    { Gates.wn = 1.0e-6; wp = 2.0e-6; l = 0.13e-6; c_load = 40e-15 }
+  in
+  (* wide output NANDs: little mismatch of their own *)
+  let nand =
+    { Gates.wn = 8e-6; wp = 16e-6; l = 0.13e-6; c_load = 20e-15 }
+  in
+  Gates.inverter ~sizing:shared b "a" ~input:"in_y" ~output:"ny1" ~vdd:"vdd";
+  Gates.inverter ~sizing:shared b "b" ~input:"ny1" ~output:"ny2" ~vdd:"vdd";
+  (* disjoint chains from X *)
+  Gates.inverter ~sizing:disjoint b "c1" ~input:"in_x" ~output:"nc1" ~vdd:"vdd";
+  Gates.inverter ~sizing:disjoint b "c2" ~input:"nc1" ~output:"nc2" ~vdd:"vdd";
+  Gates.inverter ~sizing:disjoint b "d1" ~input:"in_x" ~output:"nd1" ~vdd:"vdd";
+  Gates.inverter ~sizing:disjoint b "d2" ~input:"nd1" ~output:"nd2" ~vdd:"vdd";
+  (* output NANDs *)
+  Gates.nand2 ~sizing:nand b "ga" ~a:"ny2" ~b:"nc2" ~output:out_a ~vdd:"vdd";
+  Gates.nand2 ~sizing:nand b "gb" ~a:"ny2" ~b:"nd2" ~output:out_b ~vdd:"vdd";
+  { circuit = Builder.finish b; period; vdd; t_x; t_y; case }
+
+let trigger_time t = Float.max t.t_x t.t_y
+
+let measure_delays ?(dt = 4e-12) t =
+  let t_ref = trigger_time t in
+  let w =
+    Tran.run t.circuit ~tstart:0.0 ~tstop:(t_ref +. (t.period /. 2.5)) ~dt ()
+  in
+  let threshold = t.vdd /. 2.0 in
+  let fall node =
+    match
+      Waveform.first_crossing_after w node ~threshold ~edge:Waveform.Falling
+        ~after:t_ref
+    with
+    | Some tc -> tc -. t_ref
+    | None -> failwith (Printf.sprintf "logic path: no falling edge on %s" node)
+  in
+  (fall out_a, fall out_b)

@@ -1,0 +1,42 @@
+(** The Fig. 7 logic-path benchmark.
+
+    Topology (chosen to reproduce the paper's Table I structure): input
+    Y drives a {e shared} two-inverter chain (gates "a", "b") feeding
+    one input of both output NANDs, while input X drives two {e
+    disjoint} two-inverter chains, one per NAND:
+
+    {v
+      Y ─ inv a ─ inv b ─┬─ NAND ga ── A
+      X ─ inv c1 ─ c2 ───┘     │
+      X ─ inv d1 ─ d2 ─────── NAND gb ── B
+    v}
+
+    A NAND output falls when its {e later} input rises, so when X rises
+    first the critical paths to both A and B run through the shared
+    gates a, b (correlated delays); when Y rises first they run through
+    the disjoint c/d chains (uncorrelated delays). *)
+
+type case = X_first | Y_first
+
+type t = {
+  circuit : Circuit.t;
+  period : float;
+  vdd : float;
+  t_x : float; (** X rising-edge time *)
+  t_y : float; (** Y rising-edge time *)
+  case : case;
+}
+
+val build : ?period:float -> ?vdd:float -> case -> t
+(** Full benchmark with periodic pulse stimulus (period default 8 ns). *)
+
+val out_a : string
+val out_b : string
+
+val trigger_time : t -> float
+(** Rising-edge time of the later (delay-defining) input. *)
+
+val measure_delays : ?dt:float -> t -> float * float
+(** Transient measurement of (delay to A, delay to B): from the later
+    input's rising edge to each output's falling half-VDD crossing.
+    This is the Monte-Carlo measurement kernel. *)

@@ -1,0 +1,57 @@
+type params = {
+  vdd : float;
+  vcm : float;
+  w_in : float;
+  w_load : float;
+  w_tail : float;
+  l : float;
+  i_tail_bias : float;
+}
+
+let default_params =
+  {
+    vdd = 1.2;
+    vcm = 0.7;
+    w_in = 4e-6;
+    w_load = 2e-6;
+    w_tail = 8e-6;
+    l = 0.26e-6;
+    i_tail_bias = 0.55;
+  }
+
+let output_node = "out"
+
+let build_unity_gain ?(params = default_params) () =
+  let p = params in
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  Builder.vdc b "VCM" "inp" "0" p.vcm;
+  Builder.vdc b "VB" "bias" "0" p.i_tail_bias;
+  let nmos = Mosfet.nmos_013 and pmos = Mosfet.pmos_013 in
+  (* tail *)
+  Builder.mosfet b "M5" ~d:"tail" ~g:"bias" ~s:"0" ~model:nmos ~w:p.w_tail
+    ~l:p.l ();
+  (* input pair: M1 gate = inp (+); M2 gate tied to the output node,
+     which is also M2's drain -- the unity-gain connection *)
+  Builder.mosfet b "M1" ~d:"d1" ~g:"inp" ~s:"tail" ~model:nmos ~w:p.w_in
+    ~l:p.l ();
+  Builder.mosfet b "M2" ~d:output_node ~g:output_node ~s:"tail" ~model:nmos
+    ~w:p.w_in ~l:p.l ();
+  (* PMOS mirror load: diode side on M1's drain, output side on out *)
+  Builder.mosfet b "M3" ~d:"d1" ~g:"d1" ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_load ~l:p.l ();
+  Builder.mosfet b "M4" ~d:output_node ~g:"d1" ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_load ~l:p.l ();
+  Builder.finish b
+
+let measure_offset circuit p =
+  let x = Dc.solve circuit in
+  Circuit.voltage circuit x output_node -. p.vcm
+
+let device_names = [ "M1"; "M2"; "M3"; "M4"; "M5" ]
+
+let width_of p = function
+  | "M1" | "M2" -> p.w_in
+  | "M3" | "M4" -> p.w_load
+  | "M5" -> p.w_tail
+  | d -> invalid_arg ("Ota.width_of: " ^ d)

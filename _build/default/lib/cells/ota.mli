@@ -1,0 +1,33 @@
+(** Five-transistor OTA — "the offset voltage of an operational
+    amplifier", the first DC match application the paper's introduction
+    cites.
+
+    NMOS differential pair with PMOS current-mirror load and an NMOS
+    tail current source.  The input-referred offset is measured with the
+    amplifier in unity-gain feedback (output tied to the inverting
+    input): V_OS = V_out − V_CM at the DC operating point. *)
+
+type params = {
+  vdd : float;
+  vcm : float;
+  w_in : float;   (** input pair M1/M2 *)
+  w_load : float; (** mirror load M3/M4 *)
+  w_tail : float;
+  l : float;
+  i_tail_bias : float; (** tail gate bias voltage *)
+}
+
+val default_params : params
+
+val output_node : string
+
+val build_unity_gain : ?params:params -> unit -> Circuit.t
+(** The OTA in unity-gain configuration driven by V_CM. *)
+
+val measure_offset : Circuit.t -> params -> float
+(** DC solve, V_out − V_CM (Monte-Carlo kernel). *)
+
+val device_names : string list
+(** M1..M5 for Fig.-10-style width ranking. *)
+
+val width_of : params -> string -> float

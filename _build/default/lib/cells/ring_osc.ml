@@ -1,0 +1,113 @@
+type params = {
+  stages : int;
+  vdd : float;
+  wn : float;
+  wp : float;
+  l : float;
+  c_stage : float;
+  mismatch_scale : float;
+}
+
+let default_params =
+  {
+    stages = 5;
+    vdd = 1.2;
+    wn = 2e-6;
+    wp = 4e-6;
+    l = 0.13e-6;
+    c_stage = 50e-15;
+    mismatch_scale = 1.0;
+  }
+
+let anchor = "s1"
+
+let scaled_model (m : Mosfet.model) scale =
+  { m with Mosfet.avt = m.Mosfet.avt *. scale; abeta = m.Mosfet.abeta *. scale }
+
+let build ?(params = default_params) () =
+  let p = params in
+  if p.stages mod 2 = 0 then invalid_arg "Ring_osc.build: stages must be odd";
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  let nmos = scaled_model Mosfet.nmos_013 p.mismatch_scale in
+  let pmos = scaled_model Mosfet.pmos_013 p.mismatch_scale in
+  for i = 1 to p.stages do
+    let input = Printf.sprintf "s%d" i in
+    let output = Printf.sprintf "s%d" (if i = p.stages then 1 else i + 1) in
+    let name = Printf.sprintf "st%d" i in
+    Builder.mosfet b (name ^ "_mn") ~d:output ~g:input ~s:"0" ~model:nmos
+      ~w:p.wn ~l:p.l ();
+    Builder.mosfet b (name ^ "_mp") ~d:output ~g:input ~s:"vdd" ~b:"vdd"
+      ~model:pmos ~w:p.wp ~l:p.l ();
+    Builder.capacitor b (name ^ "_cl") output "0" p.c_stage
+  done;
+  Builder.finish b
+
+let on_current p =
+  let m = Mosfet.nmos_013 in
+  let beta = m.Mosfet.kp *. p.wn /. p.l in
+  let vov = p.vdd -. m.Mosfet.vt0 in
+  beta /. (2.0 *. m.Mosfet.slope) *. vov *. vov
+
+let stage_cap p =
+  let m = Mosfet.nmos_013 in
+  p.c_stage
+  +. (m.Mosfet.cox *. (p.wn +. p.wp) *. p.l)
+  +. (m.Mosfet.cj *. (p.wn +. p.wp))
+
+(* the 0.35 prefactor calibrates the square-law slew estimate to the
+   measured EKV inverter delay (gradual turn-on, CLM, Miller loading) *)
+let f_guess p =
+  let t_d = stage_cap p *. p.vdd /. (2.0 *. on_current p) in
+  0.35 /. (2.0 *. float_of_int p.stages *. t_d)
+
+let solve_pss ?(params = default_params) ?(steps = 200) () =
+  let circuit = build ~params () in
+  Pss_osc.solve ~steps circuit ~anchor ~f_guess:(f_guess params)
+
+let measure_frequency_tran ?(params = default_params) ?(periods = 30.0) circuit
+    =
+  let t_guess = 1.0 /. f_guess params in
+  let dt = t_guess /. 200.0 in
+  let dc = Dc.solve circuit in
+  let x0 = Vec.copy dc in
+  let row = Circuit.node_row circuit anchor in
+  x0.(row) <- x0.(row) +. 0.05;
+  let w = Tran.run ~x0 circuit ~tstart:0.0 ~tstop:(periods *. t_guess) ~dt () in
+  let v = Waveform.signal w anchor in
+  let vmin = Array.fold_left Float.min v.(0) v in
+  let vmax = Array.fold_left Float.max v.(0) v in
+  let mid = 0.5 *. (vmin +. vmax) in
+  (* drop the first half (startup transient), estimate on the rest *)
+  let crossings =
+    Waveform.crossings w anchor ~threshold:mid ~edge:Waveform.Rising
+  in
+  let t_half = 0.5 *. periods *. t_guess in
+  let settled = Array.of_list (List.filter (fun t -> t > t_half)
+                                 (Array.to_list crossings)) in
+  let n = Array.length settled in
+  if n < 3 then failwith "ring oscillator did not oscillate"
+  else begin
+    (* average period over the settled window *)
+    let span = settled.(n - 1) -. settled.(0) in
+    float_of_int (n - 1) /. span
+  end
+
+let sigma_ids_rel p =
+  let m = Mosfet.nmos_013 in
+  let sigma_vt = Mosfet.sigma_vt m ~w:p.wn ~l:p.l *. p.mismatch_scale in
+  let sigma_beta = Mosfet.sigma_beta m ~w:p.wn ~l:p.l *. p.mismatch_scale in
+  (* gm/ID from the actual model at VGS = VDS = VDD (valid from weak to
+     strong inversion, unlike the square-law 2/vov) *)
+  let op =
+    Mosfet.eval m ~w:p.wn ~l:p.l ~dvt:0.0 ~dbeta:0.0 ~vd:p.vdd ~vg:p.vdd
+      ~vs:0.0
+  in
+  let gm_over_id = op.Mosfet.gg /. op.Mosfet.id in
+  sqrt (((gm_over_id *. sigma_vt) ** 2.0) +. (sigma_beta ** 2.0))
+
+(* near-threshold configuration: small overdrive makes the frequency a
+   visibly nonlinear function of the VT deviations — the regime of the
+   paper's Fig. 11-12 accuracy study *)
+let low_headroom_params =
+  { default_params with vdd = 0.5; wn = 1e-6; wp = 2e-6 }

@@ -1,0 +1,43 @@
+(** 5-stage CMOS ring oscillator (the paper's §IV-C / Fig. 11–12
+    benchmark). *)
+
+type params = {
+  stages : int;     (** odd *)
+  vdd : float;
+  wn : float;
+  wp : float;
+  l : float;
+  c_stage : float;  (** explicit load per stage *)
+  mismatch_scale : float;
+      (** scales every Pelgrom σ (1.0 = nominal technology); the Fig. 11
+          x-axis sweeps this *)
+}
+
+val default_params : params
+
+val build : ?params:params -> unit -> Circuit.t
+(** Stage outputs are ["s1" .. "sN"]. *)
+
+val anchor : string
+(** Node used for period estimation and the PSS phase condition. *)
+
+val f_guess : params -> float
+(** Coarse analytic frequency estimate that seeds the oscillator PSS. *)
+
+val solve_pss : ?params:params -> ?steps:int -> unit -> Pss_osc.t
+(** Build + find the limit cycle of the nominal oscillator. *)
+
+val measure_frequency_tran :
+  ?params:params -> ?periods:float -> Circuit.t -> float
+(** Monte-Carlo kernel: free-running transient, settled period estimate
+    from the anchor node's rising crossings. *)
+
+val low_headroom_params : params
+(** VDD = 0.5 V near-threshold variant: the frequency responds visibly
+    nonlinearly to VT mismatch — the regime the paper's Fig. 11-12
+    accuracy study probes. *)
+
+val sigma_ids_rel : params -> float
+(** Relative σ of the drain current of one inverter NMOS implied by the
+    Pelgrom parameters at this geometry (so the Fig. 11 x-axis,
+    3σ(ΔI_DS)/I_DS, can be reported). *)

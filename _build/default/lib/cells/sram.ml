@@ -1,0 +1,49 @@
+type params = {
+  vdd : float;
+  w_pd : float;
+  w_pu : float;
+  w_ax : float;
+  l : float;
+}
+
+let default_params =
+  { vdd = 1.2; w_pd = 0.6e-6; w_pu = 0.3e-6; w_ax = 0.4e-6; l = 0.13e-6 }
+
+let build_read ?(params = default_params) () =
+  let p = params in
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  Builder.vdc b "VWL" "wl" "0" p.vdd;
+  Builder.vdc b "VBL" "bl" "0" p.vdd;
+  Builder.vdc b "VBLB" "blb" "0" p.vdd;
+  let nmos = Mosfet.nmos_013 and pmos = Mosfet.pmos_013 in
+  (* cross-coupled inverters: (M1, M3) drive q from qb; (M2, M4) drive
+     qb from q *)
+  Builder.mosfet b "M1" ~d:"q" ~g:"qb" ~s:"0" ~model:nmos ~w:p.w_pd ~l:p.l ();
+  Builder.mosfet b "M3" ~d:"q" ~g:"qb" ~s:"vdd" ~b:"vdd" ~model:pmos ~w:p.w_pu
+    ~l:p.l ();
+  Builder.mosfet b "M2" ~d:"qb" ~g:"q" ~s:"0" ~model:nmos ~w:p.w_pd ~l:p.l ();
+  Builder.mosfet b "M4" ~d:"qb" ~g:"q" ~s:"vdd" ~b:"vdd" ~model:pmos ~w:p.w_pu
+    ~l:p.l ();
+  (* access transistors, wordline high *)
+  Builder.mosfet b "M5" ~d:"bl" ~g:"wl" ~s:"q" ~model:nmos ~w:p.w_ax ~l:p.l ();
+  Builder.mosfet b "M6" ~d:"blb" ~g:"wl" ~s:"qb" ~model:nmos ~w:p.w_ax ~l:p.l ();
+  Builder.finish b
+
+let read_state ?(params = default_params) circuit =
+  (* warm start in the stored-0 state: q low, qb high *)
+  let x0 = Vec.create (Circuit.size circuit) in
+  let set name v = x0.(Circuit.node_row circuit name) <- v in
+  set "vdd" params.vdd;
+  set "wl" params.vdd;
+  set "bl" params.vdd;
+  set "blb" params.vdd;
+  set "q" 0.1;
+  set "qb" params.vdd;
+  Dc.solve ~x0 circuit
+
+let measure_read_bump ?(params = default_params) circuit =
+  let x = read_state ~params circuit in
+  let v_read = Circuit.voltage circuit x "q" in
+  if v_read > params.vdd /. 2.0 then failwith "SRAM cell flipped during read";
+  v_read

@@ -1,0 +1,32 @@
+(** 6T SRAM cell read stability — "static noise margin of SRAM memory
+    cells" is the third DC match application the paper's introduction
+    cites.
+
+    During a read the accessed '0' node is pulled up through the access
+    transistor by the precharged bitline; the resulting read-disturb
+    voltage V_read (a DC solution of the bistable cell, selected by
+    warm-starting Newton in the stored state) measures read stability,
+    and its mismatch variation is a classic DC-match application.  The
+    cell flips — loses the read — when mismatch pushes V_read past the
+    opposite inverter's trip point. *)
+
+type params = {
+  vdd : float;
+  w_pd : float;  (** pull-down NMOS M1/M2 *)
+  w_pu : float;  (** pull-up PMOS M3/M4 *)
+  w_ax : float;  (** access NMOS M5/M6 *)
+  l : float;
+}
+
+val default_params : params
+
+val build_read : ?params:params -> unit -> Circuit.t
+(** Cell with both bitlines and the wordline tied to VDD (read
+    condition).  Internal nodes: ["q"] (reads the stored 0), ["qb"]. *)
+
+val read_state : ?params:params -> Circuit.t -> Vec.t
+(** The DC read state with 0 stored at [q] (warm-started Newton). *)
+
+val measure_read_bump : ?params:params -> Circuit.t -> float
+(** V_read at node [q] (Monte-Carlo kernel).  Raises if the cell flips
+    during the read (V_read above VDD/2). *)

@@ -1,0 +1,118 @@
+type params = {
+  vdd : float;
+  vcm : float;
+  w_in : float;
+  w_tail : float;
+  w_cross_n : float;
+  w_cross_p : float;
+  w_pre : float;
+  w_pre_int : float;
+  w_eq : float;
+  l : float;
+  c_out : float;
+  clk_period : float;
+  clk_transition : float;
+  gm_fb : float;
+  c_fb : float;
+}
+
+let default_params =
+  {
+    vdd = 1.2;
+    vcm = 0.7;
+    w_in = 8.32e-6;
+    w_tail = 16e-6;
+    w_cross_n = 4e-6;
+    w_cross_p = 4e-6;
+    w_pre = 2e-6;
+    w_pre_int = 1e-6;
+    w_eq = 4e-6;
+    l = 0.13e-6;
+    c_out = 500e-15;
+    clk_period = 4e-9;
+    clk_transition = 100e-12;
+    gm_fb = 0.8e-6;
+    c_fb = 1e-12;
+  }
+
+let vos_node = "vos"
+let out_p = "outp"
+let out_m = "outm"
+
+let comparator_device_names =
+  [ "M1"; "M2"; "M3"; "M4"; "M5"; "M6"; "M7"; "M8"; "M9"; "M10"; "M11"; "M12" ]
+
+let width_of p = function
+  | "M1" -> p.w_tail
+  | "M2" | "M3" -> p.w_in
+  | "M4" | "M5" -> p.w_cross_n
+  | "M6" | "M7" -> p.w_cross_p
+  | "M8" | "M9" -> p.w_pre
+  | "M10" | "M11" -> p.w_pre_int
+  | "M12" -> p.w_eq
+  | d -> invalid_arg ("Strongarm.width_of: unknown device " ^ d)
+
+let testbench ?(params = default_params) () =
+  let p = params in
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" p.vdd;
+  Builder.vsource b "VCLK" "clk" "0"
+    (Wave.square ~v1:0.0 ~v2:p.vdd ~period:p.clk_period
+       ~transition:p.clk_transition ());
+  Builder.vdc b "VCM" "cm" "0" p.vcm;
+  (* differential input driven around the common mode by the feedback
+     voltage: in_p = cm + vos/2, in_m = cm - vos/2 *)
+  Builder.vcvs b "EP" "inp" "cm" vos_node "0" 0.5;
+  Builder.vcvs b "EM" "inm" "cm" vos_node "0" (-0.5);
+  (* comparator core *)
+  let nmos = Mosfet.nmos_013 and pmos = Mosfet.pmos_013 in
+  Builder.mosfet b "M1" ~d:"tail" ~g:"clk" ~s:"0" ~model:nmos ~w:p.w_tail
+    ~l:p.l ();
+  Builder.mosfet b "M2" ~d:"dim" ~g:"inp" ~s:"tail" ~model:nmos ~w:p.w_in
+    ~l:p.l ();
+  Builder.mosfet b "M3" ~d:"dip" ~g:"inm" ~s:"tail" ~model:nmos ~w:p.w_in
+    ~l:p.l ();
+  Builder.mosfet b "M4" ~d:out_m ~g:out_p ~s:"dim" ~model:nmos ~w:p.w_cross_n
+    ~l:p.l ();
+  Builder.mosfet b "M5" ~d:out_p ~g:out_m ~s:"dip" ~model:nmos ~w:p.w_cross_n
+    ~l:p.l ();
+  Builder.mosfet b "M6" ~d:out_m ~g:out_p ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_cross_p ~l:p.l ();
+  Builder.mosfet b "M7" ~d:out_p ~g:out_m ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_cross_p ~l:p.l ();
+  Builder.mosfet b "M8" ~d:out_m ~g:"clk" ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_pre ~l:p.l ();
+  Builder.mosfet b "M9" ~d:out_p ~g:"clk" ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_pre ~l:p.l ();
+  Builder.mosfet b "M10" ~d:"dim" ~g:"clk" ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_pre_int ~l:p.l ();
+  Builder.mosfet b "M11" ~d:"dip" ~g:"clk" ~s:"vdd" ~b:"vdd" ~model:pmos
+    ~w:p.w_pre_int ~l:p.l ();
+  (* output equalizer: erases the previous decision during precharge so
+     the cycle-to-cycle map has no hysteresis (essential for the
+     metastable feedback loop of Fig. 6 to regulate) *)
+  Builder.mosfet b "M12" ~d:out_p ~g:"clk" ~s:out_m ~b:"vdd" ~model:pmos
+    ~w:p.w_eq ~l:p.l ();
+  Builder.capacitor b "CLP" out_p "0" p.c_out;
+  Builder.capacitor b "CLM" out_m "0" p.c_out;
+  (* ideal feedback integrator: C·dvos/dt = -gm·(outp - outm) *)
+  Builder.vccs b "GFB" vos_node "0" out_p out_m p.gm_fb;
+  Builder.capacitor b "CFB" vos_node "0" p.c_fb;
+  Builder.finish b
+
+let measure_offset_tran ?(params = default_params) ?(settle_cycles = 80)
+    ?(steps_per_cycle = 200) circuit =
+  let tck = params.clk_period in
+  let dt = tck /. float_of_int steps_per_cycle in
+  let w =
+    Tran.run circuit ~tstart:0.0 ~tstop:(float_of_int settle_cycles *. tck) ~dt
+      ()
+  in
+  (* the integrator hunts around the metastable point; average the
+     cycle-end samples of the last quarter of the run *)
+  let tail = Stdlib.max 4 (settle_cycles / 4) in
+  let sum = ref 0.0 in
+  for k = settle_cycles - tail + 1 to settle_cycles do
+    sum := !sum +. Waveform.value_at w vos_node (float_of_int k *. tck)
+  done;
+  !sum /. float_of_int tail

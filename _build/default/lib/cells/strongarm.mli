@@ -1,0 +1,61 @@
+(** StrongARM clocked comparator [Montanaro 96] and the paper's Fig. 6
+    input-offset testbench.
+
+    The comparator is the classic 12-transistor sense amplifier (tail M1,
+    input pair M2–M3, cross-coupled NMOS M4–M5 and PMOS M6–M7, precharge
+    M8–M9) plus two internal-node precharge devices M10–M11 that fully
+    reset the latch each cycle (so the cycle-to-cycle map is memoryless
+    except for the feedback integrator).
+
+    The testbench closes the paper's ideal feedback loop: an integrator
+    (VCCS into a capacitor) accumulates the output difference and drives
+    the differential input, so the periodic steady state sits exactly at
+    the metastable point and the [vos] node reads the input-referred
+    offset. *)
+
+type params = {
+  vdd : float;
+  vcm : float;          (** input common mode *)
+  w_in : float;         (** input pair M2/M3 width *)
+  w_tail : float;
+  w_cross_n : float;    (** latch NMOS M4/M5 *)
+  w_cross_p : float;    (** latch PMOS M6/M7 *)
+  w_pre : float;        (** output precharge M8/M9 *)
+  w_pre_int : float;    (** internal precharge M10/M11 *)
+  w_eq : float;         (** output equalizer M12 (erases decision memory
+                            during precharge) *)
+  l : float;
+  c_out : float;        (** explicit load on outp/outm (slows regeneration
+                            so the monodromy stays in floating-point range) *)
+  clk_period : float;
+  clk_transition : float;
+  gm_fb : float;        (** feedback integrator transconductance *)
+  c_fb : float;         (** feedback integrator capacitance *)
+}
+
+val default_params : params
+
+val vos_node : string
+(** Node whose PSS DC value / baseband pseudo-noise PSD is the
+    input-referred offset. *)
+
+val out_p : string
+val out_m : string
+
+val testbench : ?params:params -> unit -> Circuit.t
+(** The complete Fig. 6 configuration (comparator + clock + common mode
+    + feedback integrator). *)
+
+val comparator_device_names : string list
+(** ["M1"; ...; "M12"] — the devices whose widths Fig. 10 sweeps. *)
+
+val width_of : params -> string -> float
+(** Width of a named comparator device under the given parameters. *)
+
+val measure_offset_tran :
+  ?params:params -> ?settle_cycles:int -> ?steps_per_cycle:int ->
+  Circuit.t -> float
+(** Monte-Carlo measurement kernel: run the testbench transient until
+    the integrator settles and return the final [vos] — the
+    long-settling simulation the paper's Table II counts against
+    Monte-Carlo. *)

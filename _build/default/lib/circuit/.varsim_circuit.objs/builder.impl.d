@@ -1,0 +1,1 @@
+lib/circuit/builder.ml: Array Bjt Circuit Device Hashtbl List Printf Wave

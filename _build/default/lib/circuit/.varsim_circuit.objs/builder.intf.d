@@ -1,0 +1,1 @@
+lib/circuit/builder.mli: Bjt Circuit Mosfet Wave

@@ -1,0 +1,1 @@
+lib/circuit/circuit.ml: Array Bjt Device Format Hashtbl List Mosfet Printf

@@ -1,0 +1,1 @@
+lib/circuit/device.ml: Bjt Format Mosfet Wave

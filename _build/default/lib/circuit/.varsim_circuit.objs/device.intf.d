@@ -1,0 +1,1 @@
+lib/circuit/device.mli: Bjt Format Mosfet Wave

@@ -1,0 +1,1 @@
+lib/circuit/stamp.ml: Array Bjt Circuit Device Float List Mat Mosfet Vec Wave

@@ -1,0 +1,1 @@
+lib/circuit/stamp.mli: Circuit Mat Vec

@@ -1,0 +1,59 @@
+type polarity = Npn | Pnp
+
+type model = {
+  polarity : polarity;
+  is_sat : float;
+  beta_f : float;
+  phi_t : float;
+  a_is : float;
+}
+
+let npn_default =
+  {
+    polarity = Npn;
+    is_sat = 1e-16;
+    beta_f = 100.0;
+    phi_t = 0.02585;
+    a_is = 0.02 (* 2%% relative I_S mismatch at unit emitter area *);
+  }
+
+type operating_point = {
+  ic : float;
+  ib : float;
+  gm : float;
+  gpi : float;
+  dic_dis : float;
+  dib_dis : float;
+}
+
+(* exponential with linear continuation beyond u = 40 (same scheme as
+   the diode) *)
+let safe_exp u =
+  if u > 40.0 then begin
+    let e = exp 40.0 in
+    (e *. (1.0 +. (u -. 40.0)), e)
+  end
+  else begin
+    let e = exp u in
+    (e, e)
+  end
+
+let eval m ~area ~dis ~vb ~ve =
+  let sign = match m.polarity with Npn -> 1.0 | Pnp -> -1.0 in
+  let vbe = sign *. (vb -. ve) in
+  let is_eff = m.is_sat *. area *. (1.0 +. dis) in
+  let e, de = safe_exp (vbe /. m.phi_t) in
+  let ic_core = is_eff *. (e -. 1.0) in
+  let gm_core = is_eff *. de /. m.phi_t in
+  let ic = sign *. ic_core in
+  let ib = sign *. ic_core /. m.beta_f in
+  {
+    ic;
+    ib;
+    gm = gm_core (* d(ic)/d(vbe_signed) chain: sign²=1 *);
+    gpi = gm_core /. m.beta_f;
+    dic_dis = sign *. ic_core /. (1.0 +. dis);
+    dib_dis = sign *. ic_core /. (1.0 +. dis) /. m.beta_f;
+  }
+
+let sigma_is m ~area = m.a_is /. sqrt area

@@ -1,0 +1,38 @@
+(** Minimal Ebers–Moll bipolar transistor.
+
+    Needed for the bandgap-reference mismatch example (one of the DC
+    match applications the paper's introduction cites).  Forward-active
+    oriented: I_C = I_S·(e^{V_BE/φt} − 1), I_B = I_C/β, with a soft
+    exponent limit for Newton robustness.  Mismatch: the saturation
+    current deviation ΔI_S/I_S (equivalently a ΔV_BE = φt·Δln I_S). *)
+
+type polarity = Npn | Pnp
+
+type model = {
+  polarity : polarity;
+  is_sat : float;  (** saturation current, A *)
+  beta_f : float;  (** forward current gain *)
+  phi_t : float;
+  a_is : float;
+      (** Pelgrom-style matching coefficient for ΔI_S/I_S:
+          σ = a_is/√area with [area] the relative emitter area *)
+}
+
+val npn_default : model
+
+type operating_point = {
+  ic : float;  (** collector terminal current (into collector) *)
+  ib : float;  (** base terminal current (into base) *)
+  gm : float;  (** ∂ic/∂vbe *)
+  gpi : float; (** ∂ib/∂vbe *)
+  dic_dis : float; (** ∂ic/∂(ΔI_S/I_S) *)
+  dib_dis : float;
+}
+
+val eval : model -> area:float -> dis:float -> vb:float -> ve:float ->
+  operating_point
+(** [area] is the emitter-area multiplier (relative to unit);
+    [dis] the applied ΔI_S/I_S deviation. *)
+
+val sigma_is : model -> area:float -> float
+(** σ(ΔI_S/I_S) for a given relative emitter area. *)

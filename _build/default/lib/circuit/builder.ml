@@ -1,0 +1,118 @@
+type t = {
+  node_ids : (string, int) Hashtbl.t;
+  mutable node_names : string list; (* reversed *)
+  mutable next_node : int;
+  mutable devices : Device.t list; (* reversed *)
+  mutable next_branch : int;
+}
+
+let create () =
+  let node_ids = Hashtbl.create 64 in
+  Hashtbl.add node_ids "0" 0;
+  Hashtbl.add node_ids "gnd" 0;
+  { node_ids; node_names = []; next_node = 1; devices = []; next_branch = 0 }
+
+let node t name =
+  match Hashtbl.find_opt t.node_ids name with
+  | Some id -> id
+  | None ->
+    let id = t.next_node in
+    t.next_node <- id + 1;
+    Hashtbl.add t.node_ids name id;
+    t.node_names <- name :: t.node_names;
+    id
+
+let add t d = t.devices <- d :: t.devices
+
+let fresh_branch t =
+  let b = t.next_branch in
+  t.next_branch <- b + 1;
+  b
+
+let resistor ?(tol = 0.0) t name p n r =
+  if r = 0.0 then invalid_arg "Builder.resistor: zero resistance";
+  add t (Device.Resistor { name; p = node t p; n = node t n; r; r_tol = tol })
+
+let capacitor ?(tol = 0.0) t name p n c =
+  add t (Device.Capacitor { name; p = node t p; n = node t n; c; c_tol = tol })
+
+let inductor t name p n l =
+  add t
+    (Device.Inductor { name; p = node t p; n = node t n; l; branch = fresh_branch t })
+
+let vsource t name p n wave =
+  add t
+    (Device.Vsource
+       { name; p = node t p; n = node t n; wave; branch = fresh_branch t })
+
+let isource t name p n wave =
+  add t (Device.Isource { name; p = node t p; n = node t n; wave })
+
+let vdc t name p n v = vsource t name p n (Wave.Dc v)
+
+let vcvs t name p n cp cn gain =
+  add t
+    (Device.Vcvs
+       {
+         name; p = node t p; n = node t n; cp = node t cp; cn = node t cn;
+         gain; branch = fresh_branch t;
+       })
+
+let vccs t name p n cp cn gm =
+  add t
+    (Device.Vccs
+       { name; p = node t p; n = node t n; cp = node t cp; cn = node t cn; gm })
+
+(* branch index of a previously added device (the controlling V source) *)
+let branch_of t ctrl =
+  let rec find = function
+    | [] -> invalid_arg (Printf.sprintf "Builder: controlling device %s not found (add it first)" ctrl)
+    | d :: rest ->
+      if Device.name d = ctrl then
+        match Device.branch d with
+        | Some b -> b
+        | None -> invalid_arg (Printf.sprintf "Builder: %s carries no branch current" ctrl)
+      else find rest
+  in
+  find t.devices
+
+let cccs t name p n ~ctrl gain =
+  add t
+    (Device.Cccs
+       { name; p = node t p; n = node t n; ctrl_branch = branch_of t ctrl; gain })
+
+let ccvs t name p n ~ctrl r =
+  add t
+    (Device.Ccvs
+       {
+         name; p = node t p; n = node t n; ctrl_branch = branch_of t ctrl; r;
+         branch = fresh_branch t;
+       })
+
+let diode ?(is_sat = 1e-14) ?(nf = 1.0) t name p n =
+  add t (Device.Diode { name; p = node t p; n = node t n; is_sat; nf })
+
+let bjt ?(area = 1.0) ?(model = Bjt.npn_default) t name ~c ~b:base ~e () =
+  add t
+    (Device.Bjt
+       { name; c = node t c; b = node t base; e = node t e; model; area;
+         dis = 0.0 })
+
+let mosfet t name ~d ~g ~s ?b ~model ~w ~l () =
+  let bulk = match b with Some b -> node t b | None -> 0 in
+  add t
+    (Device.Mosfet
+       {
+         name;
+         d = node t d;
+         g = node t g;
+         s = node t s;
+         b = bulk;
+         inst = { model; w; l; dvt = 0.0; dbeta = 0.0 };
+       })
+
+let finish t =
+  Circuit.make
+    ~devices:(Array.of_list (List.rev t.devices))
+    ~node_names:(Array.of_list (List.rev t.node_names))
+    ~num_branches:t.next_branch

@@ -1,0 +1,56 @@
+(** Imperative construction DSL for circuits.
+
+    Nodes are referred to by name; ["0"] and ["gnd"] are ground.  Every
+    add function takes the device name first, then the terminal node
+    names, then parameters.
+
+    {[
+      let b = Builder.create () in
+      Builder.vsource b "VDD" "vdd" "0" (Wave.Dc 1.2);
+      Builder.resistor b "R1" "vdd" "out" 10e3;
+      Builder.capacitor b "C1" "out" "0" 1e-12;
+      let circuit = Builder.finish b
+    ]} *)
+
+type t
+
+val create : unit -> t
+
+val node : t -> string -> int
+(** Get-or-create a node id for a name. *)
+
+val resistor : ?tol:float -> t -> string -> string -> string -> float -> unit
+(** [resistor ?tol b name p n r]; [tol] is the relative mismatch σ. *)
+
+val capacitor : ?tol:float -> t -> string -> string -> string -> float -> unit
+val inductor : t -> string -> string -> string -> float -> unit
+val vsource : t -> string -> string -> string -> Wave.t -> unit
+val isource : t -> string -> string -> string -> Wave.t -> unit
+val vdc : t -> string -> string -> string -> float -> unit
+val vcvs : t -> string -> string -> string -> string -> string -> float -> unit
+(** [vcvs b name p n cp cn gain]. *)
+
+val vccs : t -> string -> string -> string -> string -> string -> float -> unit
+
+val cccs : t -> string -> string -> string -> ctrl:string -> float -> unit
+(** [cccs b name p n ~ctrl gain]: current source [gain]·i(ctrl), where
+    [ctrl] names an already-added branch device (e.g. a V source). *)
+
+val ccvs : t -> string -> string -> string -> ctrl:string -> float -> unit
+(** [ccvs b name p n ~ctrl r]: voltage source [r]·i(ctrl). *)
+
+val diode : ?is_sat:float -> ?nf:float -> t -> string -> string -> string -> unit
+
+val bjt :
+  ?area:float -> ?model:Bjt.model -> t -> string -> c:string -> b:string ->
+  e:string -> unit -> unit
+(** Bipolar transistor; [area] is the relative emitter area (mismatch
+    scales as 1/√area). *)
+
+val mosfet :
+  t -> string -> d:string -> g:string -> s:string -> ?b:string ->
+  model:Mosfet.model -> w:float -> l:float -> unit -> unit
+(** Bulk defaults to ground for NMOS-style use; pass [?b] explicitly for
+    PMOS tied to the supply. *)
+
+val finish : t -> Circuit.t

@@ -1,0 +1,124 @@
+type t = {
+  devices : Device.t array;
+  node_names : string array;
+  num_branches : int;
+  by_name : (string, int) Hashtbl.t; (* device name -> index *)
+  node_ids : (string, int) Hashtbl.t; (* node name -> id *)
+}
+
+let make ~devices ~node_names ~num_branches =
+  let by_name = Hashtbl.create 64 in
+  Array.iteri
+    (fun i d ->
+      let n = Device.name d in
+      if Hashtbl.mem by_name n then
+        invalid_arg (Printf.sprintf "Circuit.make: duplicate device %s" n);
+      Hashtbl.add by_name n i)
+    devices;
+  let node_ids = Hashtbl.create 64 in
+  Hashtbl.add node_ids "0" 0;
+  Hashtbl.add node_ids "gnd" 0;
+  Array.iteri (fun k name -> Hashtbl.replace node_ids name (k + 1)) node_names;
+  { devices; node_names; num_branches; by_name; node_ids }
+
+let devices t = t.devices
+let num_nodes t = Array.length t.node_names
+let num_branches t = t.num_branches
+let size t = num_nodes t + t.num_branches
+
+let node_name t id = if id = 0 then "0" else t.node_names.(id - 1)
+let node t name = Hashtbl.find t.node_ids name
+
+let node_row t name =
+  let id = node t name in
+  if id = 0 then invalid_arg "Circuit.node_row: ground has no row";
+  id - 1
+
+let voltage t x name =
+  let id = node t name in
+  if id = 0 then 0.0 else x.(id - 1)
+
+let device_index t name = Hashtbl.find t.by_name name
+
+let branch_row t name =
+  let d = t.devices.(device_index t name) in
+  match Device.branch d with
+  | Some b -> num_nodes t + b
+  | None -> invalid_arg (Printf.sprintf "Circuit.branch_row: %s has no branch" name)
+
+type mismatch_kind = Delta_vt | Delta_beta | Delta_r | Delta_c | Delta_is
+
+type mismatch_param = {
+  param_index : int;
+  device_index : int;
+  device_name : string;
+  kind : mismatch_kind;
+  sigma : float;
+}
+
+let mismatch_params t =
+  let acc = ref [] in
+  let count = ref 0 in
+  let push device_index device_name kind sigma =
+    if sigma > 0.0 then begin
+      acc := { param_index = !count; device_index; device_name; kind; sigma } :: !acc;
+      incr count
+    end
+  in
+  Array.iteri
+    (fun i d ->
+      match d with
+      | Device.Mosfet { name; inst; _ } ->
+        push i name Delta_vt (Mosfet.sigma_vt inst.model ~w:inst.w ~l:inst.l);
+        push i name Delta_beta (Mosfet.sigma_beta inst.model ~w:inst.w ~l:inst.l)
+      | Device.Resistor { name; r_tol; _ } -> push i name Delta_r r_tol
+      | Device.Capacitor { name; c_tol; _ } -> push i name Delta_c c_tol
+      | Device.Bjt { name; model; area; _ } ->
+        push i name Delta_is (Bjt.sigma_is model ~area)
+      | Device.Inductor _ | Device.Vsource _ | Device.Isource _
+      | Device.Vcvs _ | Device.Vccs _ | Device.Cccs _ | Device.Ccvs _
+      | Device.Diode _ -> ())
+    t.devices;
+  Array.of_list (List.rev !acc)
+
+let apply_deltas t deltas =
+  let params = mismatch_params t in
+  let devices = Array.copy t.devices in
+  Array.iter
+    (fun p ->
+      let delta = deltas.(p.param_index) in
+      if delta <> 0.0 then begin
+        let d = devices.(p.device_index) in
+        let d' =
+          match d, p.kind with
+          | Device.Mosfet m, Delta_vt ->
+            Device.Mosfet { m with inst = { m.inst with dvt = m.inst.dvt +. delta } }
+          | Device.Mosfet m, Delta_beta ->
+            Device.Mosfet
+              { m with inst = { m.inst with dbeta = m.inst.dbeta +. delta } }
+          | Device.Resistor r, Delta_r ->
+            Device.Resistor { r with r = r.r *. (1.0 +. delta) }
+          | Device.Capacitor c, Delta_c ->
+            Device.Capacitor { c with c = c.c *. (1.0 +. delta) }
+          | Device.Bjt q, Delta_is ->
+            Device.Bjt { q with dis = q.dis +. delta }
+          | _, (Delta_vt | Delta_beta | Delta_r | Delta_c | Delta_is) ->
+            invalid_arg "Circuit.apply_deltas: parameter/device mismatch"
+        in
+        devices.(p.device_index) <- d'
+      end)
+    params;
+  { t with devices; by_name = t.by_name }
+
+let kind_to_string = function
+  | Delta_vt -> "dVT"
+  | Delta_beta -> "dBeta"
+  | Delta_r -> "dR"
+  | Delta_c -> "dC"
+  | Delta_is -> "dIs"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>circuit: %d nodes, %d branches, %d devices@,"
+    (num_nodes t) t.num_branches (Array.length t.devices);
+  Array.iter (fun d -> Format.fprintf ppf "  %a@," Device.pp d) t.devices;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,62 @@
+(** An elaborated circuit: devices, node table, MNA dimensions, and the
+    list of mismatch parameters the devices expose.
+
+    The MNA unknown vector is laid out as
+    [| v(node 1); ...; v(node N); i(branch 0); ...; i(branch B-1) |]. *)
+
+type t
+
+val make : devices:Device.t array -> node_names:string array ->
+  num_branches:int -> t
+(** Used by {!Builder}; [node_names.(k)] names node [k+1]. *)
+
+val devices : t -> Device.t array
+val num_nodes : t -> int
+val num_branches : t -> int
+
+val size : t -> int
+(** Total number of MNA unknowns. *)
+
+val node_name : t -> int -> string
+(** Name of a node id (≥ 1); node 0 is ["0"]. *)
+
+val node : t -> string -> int
+(** Node id for a name.  Raises [Not_found]. *)
+
+val node_row : t -> string -> int
+(** Row of a named node's voltage in the unknown vector. *)
+
+val voltage : t -> Vec.t -> string -> float
+(** Read a named node's voltage out of a solution vector. *)
+
+val branch_row : t -> string -> int
+(** Row of the branch current of a named device (e.g. a V source). *)
+
+val device_index : t -> string -> int
+(** Index of a named device in [devices].  Raises [Not_found]. *)
+
+(** {2 Mismatch parameters} *)
+
+type mismatch_kind = Delta_vt | Delta_beta | Delta_r | Delta_c | Delta_is
+
+type mismatch_param = {
+  param_index : int;     (** position in the circuit's parameter vector *)
+  device_index : int;
+  device_name : string;
+  kind : mismatch_kind;
+  sigma : float;
+      (** std dev of the deviation: volts for [Delta_vt], relative
+          otherwise *)
+}
+
+val mismatch_params : t -> mismatch_param array
+(** Every random deviation the circuit's devices expose, in a stable
+    order (device order; for MOSFETs ΔVT before Δβ). *)
+
+val apply_deltas : t -> float array -> t
+(** [apply_deltas c deltas] returns a copy of the circuit with each
+    mismatch parameter shifted by the corresponding entry of [deltas]
+    (indexed by [param_index]).  Used by the Monte-Carlo driver. *)
+
+val kind_to_string : mismatch_kind -> string
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,95 @@
+type mosfet_instance = {
+  model : Mosfet.model;
+  w : float;
+  l : float;
+  dvt : float;
+  dbeta : float;
+}
+
+type t =
+  | Resistor of { name : string; p : int; n : int; r : float; r_tol : float }
+  | Capacitor of { name : string; p : int; n : int; c : float; c_tol : float }
+  | Inductor of { name : string; p : int; n : int; l : float; branch : int }
+  | Vsource of { name : string; p : int; n : int; wave : Wave.t; branch : int }
+  | Isource of { name : string; p : int; n : int; wave : Wave.t }
+  | Vcvs of {
+      name : string; p : int; n : int; cp : int; cn : int;
+      gain : float; branch : int;
+    }
+  | Vccs of {
+      name : string; p : int; n : int; cp : int; cn : int; gm : float;
+    }
+  | Cccs of {
+      name : string; p : int; n : int; ctrl_branch : int; gain : float;
+    }
+  | Ccvs of {
+      name : string; p : int; n : int; ctrl_branch : int; r : float;
+      branch : int;
+    }
+  | Diode of { name : string; p : int; n : int; is_sat : float; nf : float }
+  | Bjt of {
+      name : string; c : int; b : int; e : int; model : Bjt.model;
+      area : float; dis : float;
+    }
+  | Mosfet of {
+      name : string; d : int; g : int; s : int; b : int;
+      inst : mosfet_instance;
+    }
+
+let name = function
+  | Resistor { name; _ }
+  | Capacitor { name; _ }
+  | Inductor { name; _ }
+  | Vsource { name; _ }
+  | Isource { name; _ }
+  | Vcvs { name; _ }
+  | Vccs { name; _ }
+  | Cccs { name; _ }
+  | Ccvs { name; _ }
+  | Diode { name; _ }
+  | Bjt { name; _ }
+  | Mosfet { name; _ } -> name
+
+let branch = function
+  | Inductor { branch; _ } | Vsource { branch; _ } | Vcvs { branch; _ }
+  | Ccvs { branch; _ } ->
+    Some branch
+  | Resistor _ | Capacitor _ | Isource _ | Vccs _ | Cccs _ | Diode _
+  | Bjt _ | Mosfet _ -> None
+
+let nodes = function
+  | Resistor { p; n; _ }
+  | Capacitor { p; n; _ }
+  | Inductor { p; n; _ }
+  | Vsource { p; n; _ }
+  | Isource { p; n; _ }
+  | Diode { p; n; _ } -> [ p; n ]
+  | Vcvs { p; n; cp; cn; _ } | Vccs { p; n; cp; cn; _ } -> [ p; n; cp; cn ]
+  | Cccs { p; n; _ } | Ccvs { p; n; _ } -> [ p; n ]
+  | Bjt { c; b; e; _ } -> [ c; b; e ]
+  | Mosfet { d; g; s; b; _ } -> [ d; g; s; b ]
+
+let pp ppf d =
+  match d with
+  | Resistor { name; p; n; r; _ } -> Format.fprintf ppf "R %s (%d,%d) %g" name p n r
+  | Capacitor { name; p; n; c; _ } -> Format.fprintf ppf "C %s (%d,%d) %g" name p n c
+  | Inductor { name; p; n; l; _ } -> Format.fprintf ppf "L %s (%d,%d) %g" name p n l
+  | Vsource { name; p; n; wave; _ } ->
+    Format.fprintf ppf "V %s (%d,%d) %a" name p n Wave.pp wave
+  | Isource { name; p; n; wave } ->
+    Format.fprintf ppf "I %s (%d,%d) %a" name p n Wave.pp wave
+  | Vcvs { name; p; n; cp; cn; gain; _ } ->
+    Format.fprintf ppf "E %s (%d,%d)<-(%d,%d) %g" name p n cp cn gain
+  | Vccs { name; p; n; cp; cn; gm } ->
+    Format.fprintf ppf "G %s (%d,%d)<-(%d,%d) %g" name p n cp cn gm
+  | Cccs { name; p; n; gain; _ } ->
+    Format.fprintf ppf "F %s (%d,%d) gain=%g" name p n gain
+  | Ccvs { name; p; n; r; _ } ->
+    Format.fprintf ppf "H %s (%d,%d) r=%g" name p n r
+  | Diode { name; p; n; is_sat; _ } ->
+    Format.fprintf ppf "D %s (%d,%d) Is=%g" name p n is_sat
+  | Bjt { name; c; b; e; area; _ } ->
+    Format.fprintf ppf "Q %s (c=%d b=%d e=%d) area=%g" name c b e area
+  | Mosfet { name; d; g; s; b; inst } ->
+    Format.fprintf ppf "M %s (d=%d g=%d s=%d b=%d) W=%g L=%g" name d g s b
+      inst.w inst.l

@@ -1,0 +1,64 @@
+(** Circuit elements.
+
+    Node ids are integers with ground = 0; the MNA unknown for node [k]
+    (k ≥ 1) lives at row [k - 1].  Devices that carry a branch current
+    (voltage sources, inductors, controlled sources with a voltage
+    output) store the index of their branch unknown, assigned by
+    {!Builder} at construction time.
+
+    Sign conventions (SPICE-like):
+    - [Isource]: the current flows from [p] through the source to [n],
+      so an [Isource] from ground into a grounded resistor's node gives a
+      positive node voltage;
+    - [Vsource]: branch current flows from [p] through the source to
+      [n]. *)
+
+type mosfet_instance = {
+  model : Mosfet.model;
+  w : float; (** width, m *)
+  l : float; (** length, m *)
+  dvt : float;   (** applied ΔVT deviation, V *)
+  dbeta : float; (** applied Δβ/β deviation *)
+}
+
+type t =
+  | Resistor of { name : string; p : int; n : int; r : float; r_tol : float }
+      (** [r_tol] = relative σ of the resistance mismatch (0 = matched) *)
+  | Capacitor of { name : string; p : int; n : int; c : float; c_tol : float }
+  | Inductor of { name : string; p : int; n : int; l : float; branch : int }
+  | Vsource of { name : string; p : int; n : int; wave : Wave.t; branch : int }
+  | Isource of { name : string; p : int; n : int; wave : Wave.t }
+  | Vcvs of {
+      name : string; p : int; n : int; cp : int; cn : int;
+      gain : float; branch : int;
+    }
+  | Vccs of {
+      name : string; p : int; n : int; cp : int; cn : int; gm : float;
+    }
+  | Cccs of {
+      name : string; p : int; n : int; ctrl_branch : int; gain : float;
+    } (** current-controlled current source; the controlling current is
+          the branch current of another device (a V source) *)
+  | Ccvs of {
+      name : string; p : int; n : int; ctrl_branch : int; r : float;
+      branch : int;
+    } (** current-controlled voltage source (transresistance) *)
+  | Diode of { name : string; p : int; n : int; is_sat : float; nf : float }
+  | Bjt of {
+      name : string; c : int; b : int; e : int; model : Bjt.model;
+      area : float; dis : float;
+    } (** bipolar with relative emitter [area] and applied ΔI_S/I_S [dis] *)
+  | Mosfet of {
+      name : string; d : int; g : int; s : int; b : int;
+      inst : mosfet_instance;
+    }
+
+val name : t -> string
+
+val branch : t -> int option
+(** The branch-current index, for devices that have one. *)
+
+val nodes : t -> int list
+(** All terminal nodes referenced by the device. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,108 @@
+type polarity = Nmos | Pmos
+
+type model = {
+  polarity : polarity;
+  vt0 : float;
+  kp : float;
+  slope : float;
+  lambda : float;
+  phi_t : float;
+  cox : float;
+  cov : float;
+  cj : float;
+  avt : float;
+  abeta : float;
+  kf : float;
+}
+
+let nmos_013 =
+  {
+    polarity = Nmos;
+    vt0 = 0.35;
+    kp = 350e-6;
+    slope = 1.35;
+    lambda = 0.15;
+    phi_t = 0.02585;
+    cox = 1.2e-2;
+    cov = 3.0e-10;
+    cj = 1.0e-9;
+    avt = 6.5e-9 (* 6.5 mV·µm *);
+    abeta = 3.25e-8 (* 3.25 %·µm *);
+    kf = 2.0e-25 (* J: mid-range 0.13 µm flicker coefficient *);
+  }
+
+let pmos_013 =
+  {
+    nmos_013 with
+    polarity = Pmos;
+    vt0 = 0.38;
+    kp = 90e-6;
+  }
+
+type operating_point = {
+  id : float;
+  gd : float;
+  gg : float;
+  gs : float;
+  di_dvt : float;
+  di_dbeta : float;
+}
+
+(* softplus and its derivative, overflow-safe *)
+let softplus u = if u > 34.0 then u else log1p (exp u)
+let sigmoid u = if u > 34.0 then 1.0 else if u < -34.0 then 0.0 else 1.0 /. (1.0 +. exp (-.u))
+
+(* Core NMOS current for vds >= 0.
+   i  = Is·(F(uf) - F(ur))·(1 + λ·vds), F(u) = softplus(u)²,
+   uf = vp/(2φt), ur = (vp - vds)/(2φt), vp = (vgs - vt)/n. *)
+let core m beta vt vgs vds =
+  let n = m.slope and phi = m.phi_t in
+  let is0 = 2.0 *. n *. beta *. phi *. phi in
+  let vp = (vgs -. vt) /. n in
+  let uf = vp /. (2.0 *. phi) in
+  let ur = (vp -. vds) /. (2.0 *. phi) in
+  let sf = softplus uf and sr = softplus ur in
+  let ff = sf *. sf and fr = sr *. sr in
+  let dff = 2.0 *. sf *. sigmoid uf in
+  let dfr = 2.0 *. sr *. sigmoid ur in
+  let clm = 1.0 +. (m.lambda *. vds) in
+  let i = is0 *. (ff -. fr) *. clm in
+  (* gm = di/dvgs; gds = di/dvds (at fixed vgs) *)
+  let gm = is0 *. clm *. (dff -. dfr) /. (2.0 *. phi *. n) in
+  let gds =
+    (is0 *. clm *. dfr /. (2.0 *. phi)) +. (is0 *. m.lambda *. (ff -. fr))
+  in
+  (i, gm, gds)
+
+(* NMOS terminal current into the drain, with drain/source swap for
+   vds < 0.  Returns (i, gd, gg, gs, di_dvt). *)
+let nmos_eval m beta vt vd vg vs =
+  if vd >= vs then begin
+    let i, gm, gds = core m beta vt (vg -. vs) (vd -. vs) in
+    (i, gds, gm, -.(gm +. gds), -.gm)
+  end
+  else begin
+    (* swapped: source plays drain *)
+    let i', gm', gds' = core m beta vt (vg -. vd) (vs -. vd) in
+    (-.i', gm' +. gds', -.gm', -.gds', gm')
+  end
+
+let eval m ~w ~l ~dvt ~dbeta ~vd ~vg ~vs =
+  let beta = m.kp *. w /. l *. (1.0 +. dbeta) in
+  let vt = m.vt0 +. dvt in
+  let i, gd, gg, gs, di_dvt =
+    match m.polarity with
+    | Nmos -> nmos_eval m beta vt vd vg vs
+    | Pmos ->
+      (* mirror all node voltages; current sign flips, conductances keep
+         their sign, and the vt-derivative flips with the current *)
+      let i, gd, gg, gs, divt = nmos_eval m beta vt (-.vd) (-.vg) (-.vs) in
+      (-.i, gd, gg, gs, -.divt)
+  in
+  let di_dbeta = i /. (1.0 +. dbeta) in
+  { id = i; gd; gg; gs; di_dvt; di_dbeta }
+
+let sigma_vt m ~w ~l = m.avt /. sqrt (w *. l)
+let sigma_beta m ~w ~l = m.abeta /. sqrt (w *. l)
+let gate_cap m ~w ~l = m.cox *. w *. l
+let junction_cap m ~w = m.cj *. w

@@ -1,0 +1,61 @@
+(** Smooth analytic MOSFET model (EKV-style interpolation).
+
+    The drain current interpolates continuously from subthreshold to
+    strong inversion through the softplus charge function, is symmetric
+    under drain/source exchange, and includes first-order channel-length
+    modulation.  Capacitances are bias-independent (a documented
+    simplification: the mismatch analysis only needs correct small-signal
+    conductances around the periodic steady state).
+
+    Pelgrom mismatch (paper eq. (4)–(5)):
+    σ(ΔVT) = AVT/√(W·L) and σ(Δβ/β) = Aβ/√(W·L). *)
+
+type polarity = Nmos | Pmos
+
+type model = {
+  polarity : polarity;
+  vt0 : float;   (** threshold magnitude, V (NMOS-equivalent frame) *)
+  kp : float;    (** transconductance parameter μ·Cox, A/V² *)
+  slope : float; (** subthreshold slope factor n *)
+  lambda : float; (** channel-length modulation, 1/V *)
+  phi_t : float; (** thermal voltage kT/q *)
+  cox : float;   (** gate-oxide capacitance, F/m² *)
+  cov : float;   (** overlap capacitance per width, F/m *)
+  cj : float;    (** junction capacitance per width, F/m *)
+  avt : float;   (** Pelgrom AVT, V·m *)
+  abeta : float; (** Pelgrom Aβ (relative), m *)
+  kf : float;    (** flicker-noise coefficient: S_id = kf·gm²/(Cox·W·L·f) *)
+}
+
+val nmos_013 : model
+(** 0.13 µm-flavoured NMOS with the paper's AVT = 6.5 mV·µm and
+    Aβ = 3.25 %·µm. *)
+
+val pmos_013 : model
+
+type operating_point = {
+  id : float; (** drain-to-source terminal current (flows into drain) *)
+  gd : float; (** ∂id/∂vd *)
+  gg : float; (** ∂id/∂vg *)
+  gs : float; (** ∂id/∂vs *)
+  di_dvt : float;   (** ∂id/∂(ΔVT), ΔVT in the NMOS-equivalent frame *)
+  di_dbeta : float; (** ∂id/∂(Δβ/β) *)
+}
+
+val eval :
+  model -> w:float -> l:float -> dvt:float -> dbeta:float ->
+  vd:float -> vg:float -> vs:float -> operating_point
+(** Evaluate terminal current and all small-signal partials at a bias
+    point.  [dvt] (volts) and [dbeta] (relative) are the instance's
+    mismatch deviations. *)
+
+val sigma_vt : model -> w:float -> l:float -> float
+(** Pelgrom σ(ΔVT) for a given geometry (meters). *)
+
+val sigma_beta : model -> w:float -> l:float -> float
+(** Pelgrom σ(Δβ/β). *)
+
+val gate_cap : model -> w:float -> l:float -> float
+(** Total gate-channel capacitance Cox·W·L. *)
+
+val junction_cap : model -> w:float -> float

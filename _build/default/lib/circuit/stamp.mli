@@ -1,0 +1,41 @@
+(** MNA assembly: residual, Jacobian, constant C matrix, mismatch
+    injection vectors, and physical noise source enumeration.
+
+    The circuit equations are [C·ẋ + g(x, t) = 0], where [g] collects
+    resistive device currents (KCL rows) and source/branch constraint
+    equations.  The C matrix is bias-independent by construction (all
+    device capacitances are constant), so it is assembled once. *)
+
+val c_matrix : Circuit.t -> Mat.t
+
+val eval :
+  Circuit.t -> t:float -> ?gmin:float -> ?src_scale:float -> x:Vec.t ->
+  g:Vec.t -> jac:Mat.t option -> unit -> unit
+(** Evaluate the residual [g(x, t)] (overwriting [g]) and, when [jac] is
+    given, the Jacobian [∂g/∂x] (overwriting it).
+
+    [gmin] adds a conductance to ground on every node row (both in the
+    residual and the Jacobian), used for homotopy during DC solves.
+    [src_scale] scales every independent source (source stepping). *)
+
+val injection :
+  Circuit.t -> Circuit.mismatch_param -> x:Vec.t -> ?xdot:Vec.t -> unit ->
+  (int * float) list
+(** [injection c p ~x ()] is the sparse column [∂g/∂δ_p] evaluated at
+    the operating point [x] — the pseudo-noise injection vector of
+    mismatch parameter [p] (paper Fig. 3–4).  [Delta_c] parameters need
+    the state derivative [xdot] (their equivalent source is
+    ΔC·d(v_p−v_n)/dt, Fig. 3); without it they inject nothing. *)
+
+type noise_source = {
+  ns_name : string;
+  ns_rows : (int * float) list; (** sparse injection column *)
+  ns_psd : float -> float;      (** one-sided current PSD, A²/Hz, at f *)
+}
+
+val noise_sources : Circuit.t -> x:Vec.t -> ?temp:float -> unit ->
+  noise_source list
+(** Physical device noise evaluated at the bias point [x]: resistor
+    thermal 4kT/R and MOSFET channel thermal 4kTγ·gm (γ = 2/3).  Used by
+    the classical .NOISE analysis and available alongside pseudo-noise
+    in the LPTV analysis (paper §V footnote). *)

@@ -1,0 +1,120 @@
+type pulse = {
+  v1 : float;
+  v2 : float;
+  delay : float;
+  rise : float;
+  fall : float;
+  width : float;
+  period : float;
+}
+
+type sin_spec = {
+  offset : float;
+  ampl : float;
+  freq : float;
+  phase_deg : float;
+}
+
+type t =
+  | Dc of float
+  | Pulse of pulse
+  | Sin of sin_spec
+  | Pwl of (float * float) array
+  | Pwl_periodic of float * (float * float) array
+
+let eval_pwl pts t =
+  let n = Array.length pts in
+  if n = 0 then 0.0
+  else begin
+    let t0, v0 = pts.(0) in
+    let tn, vn = pts.(n - 1) in
+    if t <= t0 then v0
+    else if t >= tn then vn
+    else begin
+      (* binary search for the segment containing t *)
+      let rec find lo hi =
+        if hi - lo <= 1 then lo
+        else begin
+          let mid = (lo + hi) / 2 in
+          let tm, _ = pts.(mid) in
+          if t < tm then find lo mid else find mid hi
+        end
+      in
+      let i = find 0 (n - 1) in
+      let ta, va = pts.(i) and tb, vb = pts.(i + 1) in
+      if tb = ta then vb else va +. ((vb -. va) *. (t -. ta) /. (tb -. ta))
+    end
+  end
+
+let eval_pulse p t =
+  let t = t -. p.delay in
+  let t =
+    if p.period > 0.0 && t >= 0.0 then Float.rem t p.period
+    else t
+  in
+  if t < 0.0 then p.v1
+  else if t < p.rise then
+    if p.rise = 0.0 then p.v2 else p.v1 +. ((p.v2 -. p.v1) *. t /. p.rise)
+  else if t < p.rise +. p.width then p.v2
+  else if t < p.rise +. p.width +. p.fall then
+    if p.fall = 0.0 then p.v1
+    else p.v2 +. ((p.v1 -. p.v2) *. (t -. p.rise -. p.width) /. p.fall)
+  else p.v1
+
+let eval w t =
+  match w with
+  | Dc v -> v
+  | Pulse p -> eval_pulse p t
+  | Sin s ->
+    s.offset
+    +. (s.ampl
+       *. sin ((2.0 *. Float.pi *. s.freq *. t) +. (s.phase_deg *. Float.pi /. 180.0)))
+  | Pwl pts -> eval_pwl pts t
+  | Pwl_periodic (period, pts) ->
+    let t' = Float.rem t period in
+    let t' = if t' < 0.0 then t' +. period else t' in
+    eval_pwl pts t'
+
+let dc_value = function
+  | Dc v -> v
+  | Pulse p -> p.v1
+  | Sin s -> s.offset +. (s.ampl *. sin (s.phase_deg *. Float.pi /. 180.0))
+  | Pwl pts -> if Array.length pts = 0 then 0.0 else snd pts.(0)
+  | Pwl_periodic (_, pts) -> if Array.length pts = 0 then 0.0 else snd pts.(0)
+
+let divides small big =
+  if small <= 0.0 then false
+  else begin
+    let k = big /. small in
+    Float.abs (k -. Float.round k) < 1e-9 *. Float.max 1.0 k
+  end
+
+let is_periodic_with w period =
+  match w with
+  | Dc _ -> true
+  | Pulse p -> if p.period <= 0.0 then false else divides p.period period
+  | Sin s -> if s.freq <= 0.0 then false else divides (1.0 /. s.freq) period
+  | Pwl _ -> false
+  | Pwl_periodic (p, _) -> divides p period
+
+let square ?(delay = 0.0) ~v1 ~v2 ~period ~transition () =
+  Pulse
+    {
+      v1;
+      v2;
+      delay;
+      rise = transition;
+      fall = transition;
+      width = (period /. 2.0) -. transition;
+      period;
+    }
+
+let pp ppf = function
+  | Dc v -> Format.fprintf ppf "dc(%g)" v
+  | Pulse p ->
+    Format.fprintf ppf "pulse(%g %g delay=%g rise=%g fall=%g width=%g period=%g)"
+      p.v1 p.v2 p.delay p.rise p.fall p.width p.period
+  | Sin s -> Format.fprintf ppf "sin(off=%g amp=%g f=%g ph=%g)" s.offset s.ampl s.freq s.phase_deg
+  | Pwl pts -> Format.fprintf ppf "pwl(%d points)" (Array.length pts)
+  | Pwl_periodic (p, pts) ->
+    Format.fprintf ppf "pwl_periodic(T=%g, %d points)" p (Array.length pts)

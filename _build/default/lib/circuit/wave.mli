@@ -1,0 +1,47 @@
+(** Time-domain source waveforms (the SPICE source zoo).
+
+    All waveforms are total functions of time; [Pulse] and [Sin] repeat
+    with their period so that a circuit driven only by periodic (or DC)
+    sources has an exact periodic steady state. *)
+
+type pulse = {
+  v1 : float;  (** initial level *)
+  v2 : float;  (** pulsed level *)
+  delay : float;
+  rise : float;
+  fall : float;
+  width : float;  (** time spent at [v2] *)
+  period : float; (** 0 means single-shot *)
+}
+
+type sin_spec = {
+  offset : float;
+  ampl : float;
+  freq : float;
+  phase_deg : float;
+}
+
+type t =
+  | Dc of float
+  | Pulse of pulse
+  | Sin of sin_spec
+  | Pwl of (float * float) array
+      (** piecewise linear; clamps outside the given points *)
+  | Pwl_periodic of float * (float * float) array
+      (** [Pwl_periodic (period, pts)] repeats the PWL shape *)
+
+val eval : t -> float -> float
+(** Value of the waveform at a given time. *)
+
+val dc_value : t -> float
+(** Value at t = 0⁻ (used as the DC operating-point drive). *)
+
+val is_periodic_with : t -> float -> bool
+(** [is_periodic_with w period]: does [w] repeat with [period] (DC
+    sources repeat with any period; pulse/sin must divide it)? *)
+
+val square : ?delay:float -> v1:float -> v2:float -> period:float ->
+  transition:float -> unit -> t
+(** 50 %-duty pulse helper. *)
+
+val pp : Format.formatter -> t -> unit

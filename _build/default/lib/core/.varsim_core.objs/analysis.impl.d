@@ -1,0 +1,1 @@
+lib/core/analysis.ml: Array Circuit Cx Float Lptv Period_sens Pnoise Printf Pss Pss_osc Report Stats Stdlib Unix Variation Waveform

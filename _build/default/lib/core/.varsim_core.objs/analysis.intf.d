@@ -1,0 +1,1 @@
+lib/core/analysis.mli: Circuit Lptv Pnoise Pss Pss_osc Report Waveform

@@ -1,0 +1,1 @@
+lib/core/correlated.ml: Array Cholesky Circuit Float Mat Rng Vec

@@ -1,0 +1,1 @@
+lib/core/correlated.mli: Circuit Mat Rng

@@ -1,0 +1,1 @@
+lib/core/correlation.mli: Report

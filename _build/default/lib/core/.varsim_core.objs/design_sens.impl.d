@@ -1,0 +1,1 @@
+lib/core/design_sens.ml: Array Circuit Float Format Hashtbl Option Report

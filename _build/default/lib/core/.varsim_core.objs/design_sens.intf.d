@@ -1,0 +1,1 @@
+lib/core/design_sens.mli: Format Report

@@ -1,0 +1,1 @@
+lib/core/optimize.ml: Array Circuit Hashtbl List Option Report

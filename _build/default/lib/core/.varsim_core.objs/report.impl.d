@@ -1,0 +1,1 @@
+lib/core/report.ml: Array Circuit Float Format Special Stdlib

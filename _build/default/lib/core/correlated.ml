@@ -1,0 +1,49 @@
+type t = {
+  cov : Mat.t;
+  factor : Mat.t; (* lower-triangular A with A·Aᵀ = cov *)
+}
+
+let of_covariance cov =
+  { cov; factor = Cholesky.factorize_semidefinite cov }
+
+let of_sigmas_correlation ~sigmas ~rho =
+  let n = Array.length sigmas in
+  if Mat.rows rho <> n || Mat.cols rho <> n then
+    invalid_arg "Correlated.of_sigmas_correlation";
+  let cov =
+    Mat.init n n (fun i j -> sigmas.(i) *. sigmas.(j) *. Mat.get rho i j)
+  in
+  of_covariance cov
+
+let spatial_covariance ~sigmas ~positions ~corr_length =
+  let n = Array.length sigmas in
+  if Array.length positions <> n then invalid_arg "Correlated.spatial_covariance";
+  let rho =
+    Mat.init n n (fun i j ->
+        let xi, yi = positions.(i) and xj, yj = positions.(j) in
+        let d = sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)) in
+        exp (-.d /. corr_length))
+  in
+  of_sigmas_correlation ~sigmas ~rho
+
+let dimension t = Mat.rows t.cov
+
+let transform t x = Mat.mul_vec t.factor x
+
+let draw t rng = transform t (Rng.gaussian_vector rng (dimension t))
+
+let mismatch_transform params ~rho =
+  let sigmas = Array.map (fun (p : Circuit.mismatch_param) -> p.Circuit.sigma) params in
+  let t = of_sigmas_correlation ~sigmas ~rho in
+  fun deltas ->
+    (* deltas are sigma-scaled i.i.d.: renormalize, then correlate *)
+    let z =
+      Array.mapi
+        (fun i d -> if sigmas.(i) = 0.0 then 0.0 else d /. sigmas.(i))
+        deltas
+    in
+    transform t z
+
+let correlated_sigma t ~weights =
+  let cw = Mat.mul_vec t.cov weights in
+  sqrt (Float.max 0.0 (Vec.dot weights cw))

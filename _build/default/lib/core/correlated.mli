@@ -1,0 +1,43 @@
+(** Correlated mismatch construction (paper §III-C, eq. (6)).
+
+    A set of correlated deviations Y = A·X is built from independent
+    unit-variance sources X by choosing A with A·Aᵀ = C, the target
+    covariance.  Used both to drive correlated Monte-Carlo sampling and
+    to fold correlated pseudo-noise into the linear analysis (the
+    weighted-contribution vectors transform by the same A). *)
+
+type t
+
+val of_covariance : Mat.t -> t
+(** Factor a covariance matrix (Cholesky; semi-definite matrices —
+    perfectly correlated sources — are accepted). *)
+
+val of_sigmas_correlation : sigmas:float array -> rho:Mat.t -> t
+(** Covariance from per-source σ and a correlation-coefficient
+    matrix. *)
+
+val spatial_covariance :
+  sigmas:float array -> positions:(float * float) array ->
+  corr_length:float -> t
+(** Exponential spatial correlation across a die:
+    ρ_ij = exp(−d_ij/λ) — the "spatially correlated within a die"
+    scenario of §III-C. *)
+
+val dimension : t -> int
+
+val draw : t -> Rng.t -> float array
+(** One correlated Gaussian sample. *)
+
+val transform : t -> float array -> float array
+(** Apply A to an independent-source vector. *)
+
+val mismatch_transform :
+  Circuit.mismatch_param array -> rho:Mat.t -> float array -> float array
+(** A ready-made [transform] for {!Monte_carlo.run}: takes the engine's
+    independent σ-scaled deviation vector and returns a vector with the
+    same per-parameter σ but correlation matrix [rho]. *)
+
+val correlated_sigma : t -> weights:float array -> float
+(** σ of Σ_i w_i·Y_i when the Y are correlated: √(wᵀCw).  With [weights]
+    the sensitivity vector of a performance, this is the correlated
+    generalization of the paper's eq. (1). *)

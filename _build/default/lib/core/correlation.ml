@@ -1,0 +1,42 @@
+let check_aligned (a : Report.t) (b : Report.t) =
+  if Array.length a.Report.items <> Array.length b.Report.items then
+    invalid_arg "Correlation: reports have different parameter lists"
+
+let covariance a b =
+  check_aligned a b;
+  let s = ref 0.0 in
+  Array.iteri
+    (fun i (ia : Report.item) ->
+      s := !s +. (ia.Report.weighted *. b.Report.items.(i).Report.weighted))
+    a.Report.items;
+  !s
+
+let coefficient a b =
+  let sa = a.Report.sigma and sb = b.Report.sigma in
+  if sa = 0.0 || sb = 0.0 then 0.0 else covariance a b /. (sa *. sb)
+
+let difference_sigma a b =
+  let v =
+    (a.Report.sigma *. a.Report.sigma)
+    +. (b.Report.sigma *. b.Report.sigma)
+    -. (2.0 *. covariance a b)
+  in
+  sqrt (Float.max 0.0 v)
+
+let difference_report ~metric a b =
+  check_aligned a b;
+  let items =
+    Array.mapi
+      (fun i (ia : Report.item) ->
+        let ib = b.Report.items.(i) in
+        {
+          Report.param = ia.Report.param;
+          sensitivity = ia.Report.sensitivity -. ib.Report.sensitivity;
+          weighted = ia.Report.weighted -. ib.Report.weighted;
+        })
+      a.Report.items
+  in
+  Report.make ~metric
+    ~nominal:(a.Report.nominal -. b.Report.nominal)
+    ~items
+    ~runtime:(a.Report.runtime +. b.Report.runtime)

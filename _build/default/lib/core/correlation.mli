@@ -1,0 +1,21 @@
+(** Correlations among multiple performance variations from their
+    contribution lists (paper §V-D, eq. (10)–(13)).
+
+    Because every analysis shares the same independent pseudo-noise
+    sources, the covariance of two performances is the inner product of
+    their weighted-contribution vectors — no additional simulation. *)
+
+val covariance : Report.t -> Report.t -> float
+(** eq. (12): σ_AB = Σ_i (S_A,i·σ_i)(S_B,i·σ_i).  The two reports must
+    come from the same circuit (same parameter list). *)
+
+val coefficient : Report.t -> Report.t -> float
+(** ρ = σ_AB/(σ_A·σ_B). *)
+
+val difference_sigma : Report.t -> Report.t -> float
+(** eq. (13): σ(A−B) = √(σ_A² + σ_B² − 2σ_AB) — e.g. DAC DNL from two
+    adjacent code-voltage analyses. *)
+
+val difference_report : metric:string -> Report.t -> Report.t -> Report.t
+(** Full contribution list of the difference performance A−B (item-wise
+    subtraction of sensitivities), e.g. to chain further correlations. *)

@@ -1,0 +1,61 @@
+type entry = {
+  device : string;
+  width : float;
+  dvar_dwidth : float;
+  dsigma_relative : float;
+  variance_share : float;
+}
+
+let width_sensitivities (r : Report.t) ~width_of =
+  let by_device = Hashtbl.create 16 in
+  Array.iter
+    (fun (it : Report.item) ->
+      match it.Report.param.Circuit.kind with
+      | Circuit.Delta_vt | Circuit.Delta_beta | Circuit.Delta_is ->
+        let name = it.Report.param.Circuit.device_name in
+        let prev = Option.value ~default:0.0 (Hashtbl.find_opt by_device name) in
+        Hashtbl.replace by_device name
+          (prev +. (it.Report.weighted *. it.Report.weighted))
+      | Circuit.Delta_r | Circuit.Delta_c -> ())
+    r.Report.items;
+  let total_var = r.Report.sigma *. r.Report.sigma in
+  let entries =
+    Hashtbl.fold
+      (fun device var acc ->
+        match width_of device with
+        | None -> acc
+        | Some width ->
+          let dvar_dwidth = -.var /. width in
+          (* dσ/σ per dW/W = (W/σ)·(dσ/dW) = (W/(2σ²))·(dσ²/dW) *)
+          let dsigma_relative =
+            if total_var = 0.0 then 0.0
+            else width *. dvar_dwidth /. (2.0 *. total_var)
+          in
+          {
+            device;
+            width;
+            dvar_dwidth;
+            dsigma_relative;
+            variance_share = (if total_var = 0.0 then 0.0 else var /. total_var);
+          }
+          :: acc)
+      by_device []
+  in
+  let arr = Array.of_list entries in
+  Array.sort
+    (fun a b ->
+      compare (Float.abs b.dsigma_relative) (Float.abs a.dsigma_relative))
+    arr;
+  arr
+
+let pp_entries ppf entries =
+  Format.fprintf ppf "@[<v>";
+  Array.iter
+    (fun e ->
+      Format.fprintf ppf
+        "%-6s W=%5.2fum  dvar/dW=%+.3e  (dsigma/sigma)/(dW/W)=%+.4f  \
+         share=%5.1f%%@,"
+        e.device (e.width *. 1e6) e.dvar_dwidth e.dsigma_relative
+        (100.0 *. e.variance_share))
+    entries;
+  Format.fprintf ppf "@]"

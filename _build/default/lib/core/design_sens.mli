@@ -1,0 +1,26 @@
+(** Mismatch sensitivity of a performance variance to design parameters
+    (paper §VII, eq. (14)–(16)).
+
+    Both Pelgrom variances scale as 1/(W·L), so the contribution of a
+    transistor's ΔVT and Δβ to σ_P² scales as 1/W; the chain rule gives
+    ∂σ_P²/∂W = −(σ²_{P,VT} + σ²_{P,β})/W with no further simulation.
+    BJT ΔI_S/I_S contributions scale the same way with emitter area and
+    are treated identically ([width_of] then returns the area). *)
+
+type entry = {
+  device : string;
+  width : float;
+  dvar_dwidth : float;
+      (** ∂σ_P²/∂W (negative: upsizing reduces variance) *)
+  dsigma_relative : float;
+      (** ∂σ_P/σ_P per relative width change dW/W — the unitless ranking
+          plotted in Fig. 10 *)
+  variance_share : float; (** fraction of σ_P² from this device *)
+}
+
+val width_sensitivities :
+  Report.t -> width_of:(string -> float option) -> entry array
+(** Group the report's items by device, keep devices with a known width,
+    and apply eq. (16).  Sorted by |dsigma_relative| descending. *)
+
+val pp_entries : Format.formatter -> entry array -> unit

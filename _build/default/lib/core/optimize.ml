@@ -1,0 +1,113 @@
+type allocation = {
+  device : string;
+  width_old : float;
+  width_new : float;
+}
+
+type result = {
+  allocations : allocation array;
+  sigma_old : float;
+  sigma_predicted : float;
+}
+
+(* per-device variance contribution (VT + beta items) *)
+let device_variances (r : Report.t) ~width_of =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun (it : Report.item) ->
+      match it.Report.param.Circuit.kind with
+      | Circuit.Delta_vt | Circuit.Delta_beta | Circuit.Delta_is ->
+        let name = it.Report.param.Circuit.device_name in
+        if width_of name <> None then begin
+          let prev = Option.value ~default:0.0 (Hashtbl.find_opt tbl name) in
+          Hashtbl.replace tbl name (prev +. (it.Report.weighted *. it.Report.weighted))
+        end
+      | Circuit.Delta_r | Circuit.Delta_c -> ())
+    r.Report.items;
+  tbl
+
+let predicted_sigma (r : Report.t) ~width_of ~width_new =
+  let var =
+    Array.fold_left
+      (fun acc (it : Report.item) ->
+        let share = it.Report.weighted *. it.Report.weighted in
+        match it.Report.param.Circuit.kind with
+        | Circuit.Delta_vt | Circuit.Delta_beta | Circuit.Delta_is -> begin
+          let name = it.Report.param.Circuit.device_name in
+          match width_of name with
+          | Some w_old -> acc +. (share *. w_old /. width_new name)
+          | None -> acc +. share
+          end
+        | Circuit.Delta_r | Circuit.Delta_c -> acc +. share)
+      0.0 r.Report.items
+  in
+  sqrt var
+
+(* water-filling with a floor: devices clamped at the floor are removed
+   and the remaining budget redistributed until the solution is
+   feasible *)
+let width_allocation (r : Report.t) ~width_of ?(min_width = 0.5e-6) ?budget () =
+  let variances = device_variances r ~width_of in
+  let devices =
+    Hashtbl.fold
+      (fun name var acc ->
+        match width_of name with
+        | Some w -> (name, w, var *. w) :: acc
+        | None -> acc)
+      variances []
+  in
+  let devices = List.sort (fun (a, _, _) (b, _, _) -> compare a b) devices in
+  let total = List.fold_left (fun acc (_, w, _) -> acc +. w) 0.0 devices in
+  let budget = match budget with Some b -> b | None -> total in
+  if budget < min_width *. float_of_int (List.length devices) then
+    invalid_arg "Optimize.width_allocation: budget below the width floor";
+  (* iterate: allocate W_d = free_budget*sqrt(a_d)/sum(sqrt a), clamp *)
+  let rec solve unclamped clamped =
+    let sum_sqrt =
+      List.fold_left (fun acc (_, _, a) -> acc +. sqrt a) 0.0 unclamped
+    in
+    let free =
+      budget -. (min_width *. float_of_int (List.length clamped))
+    in
+    let proposal =
+      List.map
+        (fun (name, w_old, a) ->
+          let w_new =
+            if sum_sqrt = 0.0 then free /. float_of_int (List.length unclamped)
+            else free *. sqrt a /. sum_sqrt
+          in
+          (name, w_old, a, w_new))
+        unclamped
+    in
+    let newly_clamped, ok =
+      List.partition (fun (_, _, _, w_new) -> w_new < min_width) proposal
+    in
+    if newly_clamped = [] then
+      ok
+      @ List.map (fun (name, w_old, a) -> (name, w_old, a, min_width)) clamped
+    else
+      solve
+        (List.filter_map
+           (fun (name, w_old, a, _) ->
+             if List.exists (fun (n, _, _, _) -> n = name) newly_clamped then None
+             else Some (name, w_old, a))
+           proposal)
+        (List.map (fun (name, w_old, a, _) -> (name, w_old, a)) newly_clamped
+        @ clamped)
+  in
+  let solution = solve devices [] in
+  let allocations =
+    Array.of_list
+      (List.map
+         (fun (device, width_old, _a, width_new) ->
+           { device; width_old; width_new })
+         solution)
+  in
+  Array.sort (fun a b -> compare a.device b.device) allocations;
+  let new_width name =
+    match Array.find_opt (fun a -> a.device = name) allocations with
+    | Some a -> a.width_new
+    | None -> (match width_of name with Some w -> w | None -> 1.0)
+  in
+  let sigma_predicted = predicted_sigma r ~width_of ~width_new:new_width in
+  { allocations; sigma_old = r.Report.sigma; sigma_predicted }

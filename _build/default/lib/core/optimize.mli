@@ -1,0 +1,38 @@
+(** Width allocation for minimum performance variance — the yield
+    optimization the paper's §VII motivates.
+
+    Each device's contribution to σ_P² scales as 1/W (Pelgrom), so for
+    a fixed total width budget B the optimum of
+
+    {v   min Σ_d a_d/W_d   s.t.  Σ_d W_d = B,  W_d ≥ w_min   v}
+
+    (with [a_d] = variance contribution × nominal width) is the
+    closed-form water-filling [W_d ∝ √a_d], clamped at [w_min].  The
+    prediction is first-order: it assumes the per-volt sensitivities do
+    not move with the widths (the same assumption as eq. (14)–(16));
+    re-running the analysis at the proposed sizing closes the loop. *)
+
+type allocation = {
+  device : string;
+  width_old : float;
+  width_new : float;
+}
+
+type result = {
+  allocations : allocation array;
+  sigma_old : float;
+  sigma_predicted : float;
+      (** first-order prediction of σ_P at the new widths *)
+}
+
+val width_allocation :
+  Report.t -> width_of:(string -> float option) -> ?min_width:float ->
+  ?budget:float -> unit -> result
+(** [width_allocation report ~width_of ()] redistributes the total
+    width of all devices with known widths.  [budget] defaults to the
+    current total; [min_width] (default 0.5 µm) floors each device. *)
+
+val predicted_sigma : Report.t -> width_of:(string -> float option) ->
+  width_new:(string -> float) -> float
+(** First-order σ_P when each device's width changes (contributions
+    scale by W_old/W_new; non-MOS contributions unchanged). *)

@@ -1,0 +1,13 @@
+let sigma_vt ~avt ~w ~l = avt /. sqrt (w *. l)
+let sigma_beta_rel ~abeta ~w ~l = abeta /. sqrt (w *. l)
+
+let area_for_sigma_vt ~avt ~sigma =
+  if sigma <= 0.0 then invalid_arg "Pelgrom.area_for_sigma_vt";
+  let root = avt /. sigma in
+  root *. root
+
+let sigma_ids_rel ~sigma_vt ~sigma_beta ~gm_over_id =
+  sqrt (((gm_over_id *. sigma_vt) ** 2.0) +. (sigma_beta ** 2.0))
+
+let mv_um x = x *. 1e-3 *. 1e-6
+let pct_um x = x *. 1e-2 *. 1e-6

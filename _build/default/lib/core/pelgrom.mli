@@ -1,0 +1,22 @@
+(** Pelgrom area-scaling law for device mismatch (paper eq. (4)–(5)).
+
+    σ(ΔVT) = AVT/√(WL),  σ(Δβ/β) = Aβ/√(WL). *)
+
+val sigma_vt : avt:float -> w:float -> l:float -> float
+
+val sigma_beta_rel : abeta:float -> w:float -> l:float -> float
+
+val area_for_sigma_vt : avt:float -> sigma:float -> float
+(** Gate area needed to reach a target σ(ΔVT) — the sizing direction of
+    the paper's §VII yield optimization. *)
+
+val sigma_ids_rel :
+  sigma_vt:float -> sigma_beta:float -> gm_over_id:float -> float
+(** Relative drain-current mismatch: √((gm/ID·σVT)² + σβ²) — how the
+    paper reports "3σ variation of IDS". *)
+
+val mv_um : float -> float
+(** Convert an AVT given in mV·µm to SI (V·m). *)
+
+val pct_um : float -> float
+(** Convert an Aβ given in %·µm to SI (relative·m). *)

@@ -1,0 +1,60 @@
+type item = {
+  param : Circuit.mismatch_param;
+  sensitivity : float;
+  weighted : float;
+}
+
+type t = {
+  metric : string;
+  nominal : float;
+  sigma : float;
+  items : item array;
+  runtime : float;
+}
+
+let make ~metric ~nominal ~items ~runtime =
+  let var =
+    Array.fold_left (fun acc it -> acc +. (it.weighted *. it.weighted)) 0.0 items
+  in
+  { metric; nominal; sigma = sqrt var; items; runtime }
+
+let weighted_vector t = Array.map (fun it -> it.weighted) t.items
+
+let variance_share t it =
+  if t.sigma = 0.0 then 0.0 else it.weighted *. it.weighted /. (t.sigma *. t.sigma)
+
+let top_items ?(count = 10) t =
+  let sorted = Array.copy t.items in
+  Array.sort
+    (fun a b -> compare (Float.abs b.weighted) (Float.abs a.weighted))
+    sorted;
+  Array.sub sorted 0 (Stdlib.min count (Array.length sorted))
+
+let quantile t p = t.nominal +. (t.sigma *. Special.normal_quantile p)
+
+let yield_within t ~lo ~hi =
+  if hi < lo then invalid_arg "Report.yield_within";
+  if t.sigma = 0.0 then (if t.nominal >= lo && t.nominal <= hi then 1.0 else 0.0)
+  else
+    Special.normal_cdf ~mu:t.nominal ~sigma:t.sigma hi
+    -. Special.normal_cdf ~mu:t.nominal ~sigma:t.sigma lo
+
+let linear_prediction t ~deltas =
+  Array.fold_left
+    (fun acc it ->
+      acc +. (it.sensitivity *. deltas.(it.param.Circuit.param_index)))
+    t.nominal t.items
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s: nominal = %.6g, sigma = %.6g  (%.3fs)@,"
+    t.metric t.nominal t.sigma t.runtime;
+  Array.iter
+    (fun it ->
+      let share = variance_share t it in
+      if share > 0.005 then
+        Format.fprintf ppf "  %-14s %-6s S=%+.4g  share=%5.1f%%@,"
+          it.param.Circuit.device_name
+          (Circuit.kind_to_string it.param.Circuit.kind)
+          it.sensitivity (100.0 *. share))
+    (top_items ~count:16 t);
+  Format.fprintf ppf "@]"

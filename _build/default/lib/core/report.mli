@@ -1,0 +1,46 @@
+(** The common result shape of every pseudo-noise mismatch analysis: a
+    σ plus the per-parameter contribution breakdown (the paper's
+    "contribution list", which powers correlation and sensitivity
+    extraction at zero extra cost). *)
+
+type item = {
+  param : Circuit.mismatch_param;
+  sensitivity : float;
+      (** signed ∂(performance)/∂δ at the operating point *)
+  weighted : float; (** S_i·σ_i — the item of eq. (10)/(11) *)
+}
+
+type t = {
+  metric : string;  (** e.g. "offset [V]", "delay(out_a) [s]" *)
+  nominal : float;  (** nominal (mismatch-free) performance value *)
+  sigma : float;
+  items : item array; (** in {!Circuit.mismatch_params} order *)
+  runtime : float;  (** wall-clock seconds spent in the analysis *)
+}
+
+val make :
+  metric:string -> nominal:float -> items:item array -> runtime:float -> t
+(** σ is computed as the root-sum-square of the weighted items. *)
+
+val weighted_vector : t -> float array
+(** The (S_i·σ_i) vector, aligned with the circuit's parameter order. *)
+
+val variance_share : t -> item -> float
+(** Fraction of σ² contributed by one item. *)
+
+val top_items : ?count:int -> t -> item array
+(** Largest contributors by |weighted|. *)
+
+val quantile : t -> float -> float
+(** Gaussian quantile of the performance distribution implied by the
+    linear model: [quantile t 0.9987] is the +3σ corner. *)
+
+val yield_within : t -> lo:float -> hi:float -> float
+(** Probability that the performance lands inside [lo, hi] under the
+    linear Gaussian model — the quantity §VII optimizes. *)
+
+val linear_prediction : t -> deltas:float array -> float
+(** First-order performance shift for a concrete mismatch sample —
+    what Fig. 9 / Fig. 12 compare against Monte Carlo. *)
+
+val pp : Format.formatter -> t -> unit

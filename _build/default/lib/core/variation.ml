@@ -1,0 +1,19 @@
+let dc_sigma ~baseband_psd = sqrt (Float.max 0.0 baseband_psd)
+
+(* A time shift τ changes the fundamental Fourier coefficient c₁ by
+   -jω₀τ·c₁ with |c₁| = A_c/2, so |Δc₁| = π·f₀·A_c·τ; the phase shift
+   is ω₀τ = 2|Δc₁|/A_c. *)
+let phase_sigma ~passband_psd ~amplitude =
+  if amplitude <= 0.0 then invalid_arg "Variation.phase_sigma";
+  2.0 *. sqrt (Float.max 0.0 passband_psd) /. amplitude
+
+let delay_sigma ~passband_psd ~amplitude ~f0 =
+  phase_sigma ~passband_psd ~amplitude /. (2.0 *. Float.pi *. f0)
+
+let frequency_sigma ~passband_psd ~amplitude ~f_offset =
+  if amplitude <= 0.0 then invalid_arg "Variation.frequency_sigma";
+  2.0 *. f_offset *. sqrt (Float.max 0.0 passband_psd) /. amplitude
+
+let delay_sigma_from_crossing ~sigma_v ~slope =
+  if slope = 0.0 then invalid_arg "Variation.delay_sigma_from_crossing";
+  Float.abs (sigma_v /. slope)

@@ -1,0 +1,29 @@
+(** Interpreting simulated cyclostationary noise PSD as performance
+    variation (paper §V).
+
+    The pseudo-noise sources carry PSD = σ² at the 1 Hz reading
+    frequency, so the output "PSD" numbers below are directly variances
+    of the corresponding output quantity. *)
+
+val dc_sigma : baseband_psd:float -> float
+(** §V-A: σ of a DC-like quantity = √(baseband PSD at 1 Hz), e.g. the
+    28.7 mV from 8.24e-4 V²/Hz in the paper's example. *)
+
+val phase_sigma : passband_psd:float -> amplitude:float -> float
+(** §V-B eq. (7): σ_φ from the N = 1 sideband PSD [P₁] and the
+    fundamental amplitude [A_c]: σ_φ² = P₁·(2/A_c)²·(1/2)·2 — written
+    out, σ_φ = 2√P₁/A_c for a pure time-shift perturbation. *)
+
+val delay_sigma :
+  passband_psd:float -> amplitude:float -> f0:float -> float
+(** §V-B eq. (8): σ_D = σ_φ/(2π f₀) = √P₁/(π·f₀·A_c). *)
+
+val frequency_sigma :
+  passband_psd:float -> amplitude:float -> f_offset:float -> float
+(** §V-C eq. (9): σ_f = 2·f·√P₁/A_c at offset [f] (1 Hz). *)
+
+val delay_sigma_from_crossing :
+  sigma_v:float -> slope:float -> float
+(** Exact linear reading: a voltage σ at the threshold-crossing instant
+    divided by the waveform slope is the timing σ (the "statistical
+    waveform" route of Fig. 8). *)

@@ -1,0 +1,1 @@
+lib/engine/ac.ml: Array Circuit Clu Cmat Cvec Cx Dc Device Float List Mat Stamp Vec

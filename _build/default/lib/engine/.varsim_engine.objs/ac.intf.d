@@ -1,0 +1,1 @@
+lib/engine/ac.mli: Circuit Cvec Cx Vec

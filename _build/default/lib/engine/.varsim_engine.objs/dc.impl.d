@@ -1,0 +1,1 @@
+lib/engine/dc.ml: Circuit Float Newton Printf Stamp Vec

@@ -1,0 +1,1 @@
+lib/engine/lptv.ml: Array Circuit Clu Cmat Cvec Cx Float List Mat Pss Stamp Vec

@@ -1,0 +1,1 @@
+lib/engine/lptv.mli: Cvec Cx Pss

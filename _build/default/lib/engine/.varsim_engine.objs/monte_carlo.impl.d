@@ -1,0 +1,1 @@
+lib/engine/monte_carlo.ml: Array Circuit Domain List Rng Stats Unix

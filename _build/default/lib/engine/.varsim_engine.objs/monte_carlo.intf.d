@@ -1,0 +1,1 @@
+lib/engine/monte_carlo.mli: Circuit Rng Stats

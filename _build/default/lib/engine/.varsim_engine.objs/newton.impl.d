@@ -1,0 +1,1 @@
+lib/engine/newton.ml: Float Lu Mat Vec

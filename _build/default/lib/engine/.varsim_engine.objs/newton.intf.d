@@ -1,0 +1,1 @@
+lib/engine/newton.mli: Lu Mat Vec

@@ -1,0 +1,1 @@
+lib/engine/noise_lti.ml: Ac Array Cx List Stamp

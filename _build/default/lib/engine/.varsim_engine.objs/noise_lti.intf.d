@@ -1,0 +1,1 @@
+lib/engine/noise_lti.mli: Circuit Cx Vec

@@ -1,0 +1,1 @@
+lib/engine/period_sens.ml: Array Circuit List Lu Mat Pss Pss_osc Stamp Vec

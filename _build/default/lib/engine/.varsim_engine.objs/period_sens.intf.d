@@ -1,0 +1,1 @@
+lib/engine/period_sens.mli: Circuit Pss_osc

@@ -1,0 +1,1 @@
+lib/engine/pnoise.ml: Array Circuit Cx Format List Lptv Printf Pss Stamp

@@ -1,0 +1,1 @@
+lib/engine/pnoise.mli: Cx Format Lptv

@@ -1,0 +1,1 @@
+lib/engine/pss.ml: Array Circuit Cx Dc Eig Fft Lu Mat Newton Printf Stamp Tran Vec Waveform

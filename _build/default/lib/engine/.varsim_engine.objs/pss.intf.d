@@ -1,0 +1,1 @@
+lib/engine/pss.mli: Circuit Cx Lu Mat Tran Vec Waveform

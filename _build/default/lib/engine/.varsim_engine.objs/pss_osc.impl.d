@@ -1,0 +1,1 @@
+lib/engine/pss_osc.ml: Array Circuit Dc Float Lu Mat Pss Stamp Tran Vec Waveform

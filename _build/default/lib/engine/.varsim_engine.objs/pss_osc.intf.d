@@ -1,0 +1,1 @@
+lib/engine/pss_osc.mli: Circuit Pss

@@ -1,0 +1,1 @@
+lib/engine/sens.ml: Array Circuit Dc Format List Lu Mat Stamp Vec

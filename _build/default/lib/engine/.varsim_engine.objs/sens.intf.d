@@ -1,0 +1,1 @@
+lib/engine/sens.mli: Circuit Format Vec

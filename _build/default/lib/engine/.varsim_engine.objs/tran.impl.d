@@ -1,0 +1,1 @@
+lib/engine/tran.ml: Array Dc Float List Mat Newton Stamp Vec Waveform

@@ -1,0 +1,1 @@
+lib/engine/tran.mli: Circuit Mat Newton Vec Waveform

@@ -1,0 +1,1 @@
+lib/engine/tran_noise.ml: Array Dc Float List Newton Rng Stamp Stats Tran Vec Waveform

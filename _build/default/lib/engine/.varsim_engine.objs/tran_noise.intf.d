@@ -1,0 +1,1 @@
+lib/engine/tran_noise.mli: Circuit Tran Vec Waveform

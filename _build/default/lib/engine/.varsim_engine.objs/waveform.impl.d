@@ -1,0 +1,1 @@
+lib/engine/waveform.ml: Array Buffer Circuit Float List Printf Stdlib Vec

@@ -1,0 +1,1 @@
+lib/engine/waveform.mli: Circuit Vec

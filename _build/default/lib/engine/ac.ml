@@ -1,0 +1,67 @@
+type input =
+  | Vsource of string
+  | Isource of string
+  | Injection of (int * float) list
+
+type t = {
+  circuit : Circuit.t;
+  x_op : Vec.t;
+  g_mat : Mat.t;
+  c_mat : Mat.t;
+}
+
+let prepare ?x_op circuit =
+  let x_op = match x_op with Some x -> x | None -> Dc.solve circuit in
+  let n = Circuit.size circuit in
+  let g = Vec.create n in
+  let g_mat = Mat.create n n in
+  Stamp.eval circuit ~t:0.0 ~x:x_op ~g ~jac:(Some g_mat) ();
+  { circuit; x_op; g_mat; c_mat = Stamp.c_matrix circuit }
+
+let operating_point t = t.x_op
+
+let system_matrix t ~freq =
+  let omega = 2.0 *. Float.pi *. freq in
+  let n = Circuit.size t.circuit in
+  Cmat.init n n (fun i j ->
+      Cx.mk (Mat.get t.g_mat i j) (omega *. Mat.get t.c_mat i j))
+
+let rhs_of_input t input =
+  let n = Circuit.size t.circuit in
+  let rhs = Cvec.create n in
+  (match input with
+   | Vsource name ->
+     let br = Circuit.branch_row t.circuit name in
+     rhs.(br) <- Cx.one
+   | Isource name -> begin
+     match (Circuit.devices t.circuit).(Circuit.device_index t.circuit name) with
+     | Device.Isource { p; n = nn; _ } ->
+       if p > 0 then rhs.(p - 1) <- Cx.re (-1.0);
+       if nn > 0 then rhs.(nn - 1) <- Cx.one
+     | _ -> invalid_arg "Ac: not a current source"
+     end
+   | Injection rows ->
+     List.iter (fun (row, v) -> rhs.(row) <- Cx.( +: ) rhs.(row) (Cx.re v)) rows);
+  rhs
+
+let solve t ~freq ~input =
+  let m = system_matrix t ~freq in
+  Clu.solve_dense m (rhs_of_input t input)
+
+let transfer t ~freq ~input ~output =
+  let y = solve t ~freq ~input in
+  let row = Circuit.node_row t.circuit output in
+  y.(row)
+
+let output_impedance t ~freq ~node =
+  let row = Circuit.node_row t.circuit node in
+  let y = solve t ~freq ~input:(Injection [ (row, 1.0) ]) in
+  y.(row)
+
+let adjoint t ~freq ~output =
+  let m = system_matrix t ~freq in
+  let lu = Clu.factorize m in
+  let n = Circuit.size t.circuit in
+  let e = Cvec.create n in
+  e.(Circuit.node_row t.circuit output) <- Cx.one;
+  Clu.solve_transpose lu e

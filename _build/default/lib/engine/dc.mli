@@ -1,0 +1,23 @@
+(** DC operating-point analysis.
+
+    Plain Newton first, then gmin stepping, then source stepping — the
+    standard SPICE homotopy ladder. *)
+
+type options = {
+  abstol : float;   (** residual tolerance (A / V) *)
+  xtol : float;     (** solution-update tolerance (V / A) *)
+  max_iter : int;
+  gmin_final : float; (** residual gmin kept in the converged solve *)
+}
+
+val default_options : options
+
+exception No_convergence of string
+
+val solve : ?options:options -> ?x0:Vec.t -> Circuit.t -> Vec.t
+(** Operating point at t = 0 with all sources at their DC value.
+    Raises {!No_convergence} when every homotopy fails. *)
+
+val solve_at : ?options:options -> ?x0:Vec.t -> t:float -> Circuit.t -> Vec.t
+(** Operating point with sources evaluated at time [t] (used to
+    initialize transient runs that start mid-waveform). *)

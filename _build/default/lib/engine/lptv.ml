@@ -1,0 +1,164 @@
+type t = {
+  pss : Pss.t;
+  f_offset : float;
+  omega : float;
+  n : int;
+  m : int; (* grid steps per period *)
+  h : float;
+  c_over_h : Mat.t;
+  clus : Clu.t array; (* clus.(k-1) factorizes M_k, k = 1..m *)
+  wrap_lu : Clu.t;    (* factorization of I - Φ(ω) *)
+}
+
+(* complex mat-vec with a real matrix *)
+let real_mat_apply mat n (v : Cvec.t) : Cvec.t =
+  let re = Mat.mul_vec mat (Cvec.real v) in
+  let im = Mat.mul_vec mat (Cvec.imag v) in
+  Array.init n (fun i -> Cx.mk re.(i) im.(i))
+
+let real_mat_tapply mat n (v : Cvec.t) : Cvec.t =
+  let re = Mat.tmul_vec mat (Cvec.real v) in
+  let im = Mat.tmul_vec mat (Cvec.imag v) in
+  Array.init n (fun i -> Cx.mk re.(i) im.(i))
+
+(* A_{k-1} p = M_k⁻¹ (C/h) p   (maps p_{k-1} to the homogeneous part of p_k) *)
+let a_apply_raw ~clus ~c_over_h ~n ~k p =
+  Clu.solve clus.(k - 1) (real_mat_apply c_over_h n p)
+
+let a_apply t ~k p = a_apply_raw ~clus:t.clus ~c_over_h:t.c_over_h ~n:t.n ~k p
+
+(* A_{k-1}ᵀ w = (C/h)ᵀ M_k⁻ᵀ w *)
+let a_transpose_apply t ~k w =
+  real_mat_tapply t.c_over_h t.n (Clu.solve_transpose t.clus.(k - 1) w)
+
+let build (pss : Pss.t) ~f_offset =
+  let circuit = pss.Pss.circuit in
+  let n = Circuit.size circuit in
+  let m = pss.Pss.steps in
+  let h = pss.Pss.period /. float_of_int m in
+  let omega = 2.0 *. Float.pi *. f_offset in
+  let c_over_h = Mat.scale (1.0 /. h) pss.Pss.c_mat in
+  (* factorize M_k = C(1/h + jω) + G(t_k) for k = 1..m *)
+  let g_buf = Vec.create n in
+  let jac = Mat.create n n in
+  let clus =
+    Array.init m (fun i ->
+        let k = i + 1 in
+        Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
+          ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some jac) ();
+        let mk =
+          Cmat.init n n (fun r c ->
+              Cx.mk
+                (Mat.get jac r c +. Mat.get c_over_h r c)
+                (omega *. Mat.get pss.Pss.c_mat r c))
+        in
+        Clu.factorize mk)
+  in
+  (* Φ(ω) column by column, then factorize I - Φ *)
+  let phi = Cmat.create n n in
+  for j = 0 to n - 1 do
+    let v = ref (Cvec.create n) in
+    !v.(j) <- Cx.one;
+    for k = 1 to m do
+      v := a_apply_raw ~clus ~c_over_h ~n ~k !v
+    done;
+    for i = 0 to n - 1 do
+      Cmat.set phi i j !v.(i)
+    done
+  done;
+  let wrap = Cmat.sub (Cmat.identity n) phi in
+  { pss; f_offset; omega; n; m; h; c_over_h; clus;
+    wrap_lu = Clu.factorize wrap }
+
+let pss t = t.pss
+let steps t = t.m
+let f_offset t = t.f_offset
+
+type injection = int -> (int * float) list
+
+let constant_injection rows = fun _k -> rows
+
+let rhs_of t ~k (inj : injection) =
+  let b = Cvec.create t.n in
+  List.iter (fun (row, v) -> b.(row) <- Cx.( +: ) b.(row) (Cx.re v)) (inj k);
+  b
+
+let solve_source t inj =
+  (* particular forcing accumulated over one period from p_0 = 0:
+     q_k = A_{k-1} q_{k-1} + M_k⁻¹ b_k; then (I - Φ)·p_0 = q_m *)
+  let q = ref (Cvec.create t.n) in
+  for k = 1 to t.m do
+    let forced = Clu.solve t.clus.(k - 1) (rhs_of t ~k inj) in
+    q := Cvec.add (a_apply t ~k !q) forced
+  done;
+  let p0 = Clu.solve t.wrap_lu !q in
+  let p = Array.make (t.m + 1) (Cvec.create t.n) in
+  p.(0) <- p0;
+  for k = 1 to t.m do
+    let forced = Clu.solve t.clus.(k - 1) (rhs_of t ~k inj) in
+    p.(k) <- Cvec.add (a_apply t ~k p.(k - 1)) forced
+  done;
+  p
+
+let harmonic_of_response t p ~row ~harmonic =
+  let s = ref Cx.zero in
+  for k = 1 to t.m do
+    let ang = -2.0 *. Float.pi *. float_of_int (harmonic * k) /. float_of_int t.m in
+    s := Cx.( +: ) !s (Cx.( *: ) p.(k).(row) (Cx.exp_i ang))
+  done;
+  Cx.scale (1.0 /. float_of_int t.m) !s
+
+type functional = Cvec.t array
+
+(* Backward pass: given c_k (k = 1..m) output weights, find λ_k with
+     λ_k = c_k + A_kᵀ λ_{k+1}   (k = 1..m-1, A_k uses clus.(k))
+     λ_m = c_m + A_0ᵀ λ_1       (cyclic, A_0 uses clus.(0))
+   then λ̃_k = M_k⁻ᵀ λ_k is ∂y/∂b_k. *)
+let adjoint_general t (c : int -> Cvec.t) : functional =
+  (* first pass with λ_m = 0 to get d_1 *)
+  let backward lam_m =
+    let lam = Array.make (t.m + 1) (Cvec.create t.n) in
+    lam.(t.m) <- lam_m;
+    for k = t.m - 1 downto 1 do
+      (* A_k maps p_k -> p_{k+1}, built from clus.(k) (i.e. M_{k+1}) *)
+      lam.(k) <- Cvec.add (c k) (a_transpose_apply t ~k:(k + 1) lam.(k + 1))
+    done;
+    lam
+  in
+  let d = backward (Cvec.create t.n) in
+  (* (I - Φᵀ) λ_m = c_m + A_0ᵀ d_1 *)
+  let rhs = Cvec.add (c t.m) (a_transpose_apply t ~k:1 d.(1)) in
+  let lam_m = Clu.solve_transpose t.wrap_lu rhs in
+  let lam = backward lam_m in
+  Array.init t.m (fun i ->
+      let k = i + 1 in
+      Clu.solve_transpose t.clus.(k - 1) lam.(k))
+
+let adjoint_harmonic t ~row ~harmonic =
+  let c k =
+    let v = Cvec.create t.n in
+    let ang = -2.0 *. Float.pi *. float_of_int (harmonic * k) /. float_of_int t.m in
+    v.(row) <- Cx.scale (1.0 /. float_of_int t.m) (Cx.exp_i ang);
+    v
+  in
+  adjoint_general t c
+
+let adjoint_sample t ~row ~k:ksample =
+  if ksample < 1 || ksample > t.m then invalid_arg "Lptv.adjoint_sample";
+  let c k =
+    let v = Cvec.create t.n in
+    if k = ksample then v.(row) <- Cx.one;
+    v
+  in
+  adjoint_general t c
+
+let apply (lam : functional) (inj : injection) =
+  let s = ref Cx.zero in
+  Array.iteri
+    (fun i lam_k ->
+      let k = i + 1 in
+      List.iter
+        (fun (row, v) -> s := Cx.( +: ) !s (Cx.scale v lam_k.(row)))
+        (inj k))
+    lam;
+  !s

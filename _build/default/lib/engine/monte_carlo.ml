@@ -1,0 +1,61 @@
+type result = {
+  values : float array array;
+  summaries : Stats.summary array;
+  failed : int;
+  seconds : float;
+}
+
+let draw_deltas rng params =
+  Array.map
+    (fun (p : Circuit.mismatch_param) -> Rng.gaussian_sigma rng p.Circuit.sigma)
+    params
+
+(* per-sample generator: decorrelate the (seed, index) pair through the
+   generator's own mixing *)
+let sample_rng ~seed ~index = Rng.create ((seed * 1_000_003) + index + 1)
+
+let deltas_for_sample ~seed ~index params =
+  draw_deltas (sample_rng ~seed ~index) params
+
+let run_sample ~seed ~transform ~params ~circuit ~measure index =
+  let deltas = deltas_for_sample ~seed ~index params in
+  let deltas = match transform with Some f -> f deltas | None -> deltas in
+  let perturbed = Circuit.apply_deltas circuit deltas in
+  match measure perturbed with row -> Some row | exception _ -> None
+
+let run ?(seed = 42) ?(domains = 1) ?transform ~n ~circuit ~measure () =
+  let t_start = Unix.gettimeofday () in
+  let params = Circuit.mismatch_params circuit in
+  let results = Array.make n None in
+  if domains <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- run_sample ~seed ~transform ~params ~circuit ~measure i
+    done
+  else begin
+    (* static block partition across domains *)
+    let workers =
+      List.init domains (fun d ->
+          Domain.spawn (fun () ->
+              let i = ref d in
+              while !i < n do
+                results.(!i) <-
+                  run_sample ~seed ~transform ~params ~circuit ~measure !i;
+                i := !i + domains
+              done))
+    in
+    List.iter Domain.join workers
+  end;
+  let collected = Array.to_list results |> List.filter_map (fun x -> x) in
+  let values = Array.of_list collected in
+  let failed = n - Array.length values in
+  let n_outputs = if Array.length values = 0 then 0 else Array.length values.(0) in
+  let summaries =
+    Array.init n_outputs (fun j ->
+        Stats.summarize (Array.map (fun row -> row.(j)) values))
+  in
+  { values; summaries; failed; seconds = Unix.gettimeofday () -. t_start }
+
+let run_scalar ?seed ?domains ?transform ~n ~circuit ~measure () =
+  run ?seed ?domains ?transform ~n ~circuit ~measure:(fun c -> [| measure c |]) ()
+
+let samples_of r j = Array.map (fun row -> row.(j)) r.values

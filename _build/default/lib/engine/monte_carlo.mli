@@ -1,0 +1,47 @@
+(** Monte-Carlo mismatch analysis — the baseline the paper benchmarks
+    against.
+
+    Every sample draws an independent Gaussian deviation for each
+    mismatch parameter, applies it to a copy of the circuit, and runs
+    the caller's full nonlinear measurement.
+
+    Determinism: each sample's generator is derived from (seed, sample
+    index), so results are bit-identical regardless of [domains] —
+    Monte Carlo parallelizes embarrassingly across OCaml 5 domains. *)
+
+type result = {
+  values : float array array; (** values.(sample).(output) *)
+  summaries : Stats.summary array; (** one per output *)
+  failed : int;  (** samples whose measurement did not converge *)
+  seconds : float;
+}
+
+val run :
+  ?seed:int -> ?domains:int -> ?transform:(float array -> float array) ->
+  n:int -> circuit:Circuit.t -> measure:(Circuit.t -> float array) -> unit ->
+  result
+(** [measure] may raise; such samples are dropped (counted in
+    [failed]).  [domains] > 1 runs samples in parallel (the measurement
+    function must not mutate shared state).  [transform] maps the raw
+    i.i.d. standard-normal-scaled deviation vector before application —
+    pass {!Correlated.transform} composed appropriately to sample
+    correlated mismatch (paper §III-C). *)
+
+val run_scalar :
+  ?seed:int -> ?domains:int -> ?transform:(float array -> float array) ->
+  n:int -> circuit:Circuit.t -> measure:(Circuit.t -> float) -> unit ->
+  result
+(** Single-output convenience wrapper. *)
+
+val samples_of : result -> int -> float array
+(** Column extraction: all sample values of one output. *)
+
+val draw_deltas : Rng.t -> Circuit.mismatch_param array -> float array
+(** One Gaussian deviation vector (exposed for reuse in experiments
+    that must evaluate linear and nonlinear models on identical
+    samples). *)
+
+val deltas_for_sample :
+  seed:int -> index:int -> Circuit.mismatch_param array -> float array
+(** The deviation vector of sample [index] under [seed] — the exact
+    samples {!run} uses, for common-random-number comparisons. *)

@@ -1,0 +1,29 @@
+(** Damped Newton–Raphson on dense systems.
+
+    Shared by the DC solver and the per-step transient solves. *)
+
+type result = {
+  x : Vec.t;
+  iterations : int;
+  converged : bool;
+  residual_norm : float;
+  last_lu : Lu.t option;
+      (** factorization of the Jacobian at the solution, reusable by
+          variational/monodromy propagation *)
+}
+
+exception No_convergence of string
+
+val solve :
+  eval:(x:Vec.t -> g:Vec.t -> jac:Mat.t -> unit) ->
+  x0:Vec.t ->
+  ?max_iter:int ->
+  ?abstol:float ->
+  ?xtol:float ->
+  ?max_step:float ->
+  unit ->
+  result
+(** [eval] fills the residual and Jacobian at [x].  [max_step] clamps
+    the infinity-norm of each Newton update (voltage limiting); default
+    1.0.  Returns with [converged = false] rather than raising so
+    callers can retry with homotopy. *)

@@ -1,0 +1,34 @@
+(** Adjoint period/frequency sensitivity of an oscillator's limit cycle
+    to every mismatch parameter.
+
+    Differentiating the augmented shooting system of {!Pss_osc} w.r.t. a
+    parameter δ that forces the circuit equations ([∂g/∂δ = b(t)] along
+    the cycle) gives
+
+    {v dT/dδ = Σ_k (M_k⁻ᵀ w_k)ᵀ b_k,   w_k = A_kᵀ w_{k+1},  w_M = y v}
+
+    where [y] is the first n entries of the solution of [Jᵀz = e_{n+1}]
+    with [J] the converged shooting Jacobian.  One backward pass serves
+    every parameter — the well-conditioned equivalent of reading the
+    oscillator's passband pseudo-noise PSD at 1 Hz (paper eq. (9)); it
+    is Demir's perturbation-projection-vector method in shooting form. *)
+
+type contribution = {
+  param : Circuit.mismatch_param;
+  df_ddelta : float;   (** frequency sensitivity, Hz per unit δ *)
+  variance_share : float; (** (df/dδ·σ)² *)
+}
+
+type report = {
+  frequency : float;
+  sigma_f : float;       (** std dev of the oscillation frequency, Hz *)
+  sigma_t : float;       (** std dev of the period, s *)
+  contributions : contribution array; (** in {!Circuit.mismatch_params} order *)
+}
+
+val analyze : Pss_osc.t -> report
+
+val frequency_shift : Pss_osc.t -> deltas:float array -> float
+(** First-order Δf for a concrete mismatch sample (deltas indexed like
+    {!Circuit.mismatch_params}) — the linear model the paper tests
+    against Monte Carlo in Fig. 11–12. *)

@@ -1,0 +1,134 @@
+type t = {
+  circuit : Circuit.t;
+  period : float;
+  steps : int;
+  times : float array;
+  states : Vec.t array;
+  c_mat : Mat.t;
+  step_lus : Lu.t array;
+  monodromy : Mat.t;
+  iterations : int;
+  residual : float;
+}
+
+exception No_convergence of string
+
+(* Integrate one period with BE from x0; record states and per-step LU
+   factorizations; optionally accumulate the monodromy matrix. *)
+let sweep ~circuit ~c_mat ~tran_options ~t0 ~period ~steps ~x0 ~want_monodromy =
+  let n = Vec.dim x0 in
+  let h = period /. float_of_int steps in
+  let times = Array.init (steps + 1) (fun k -> t0 +. (h *. float_of_int k)) in
+  let states = Array.make (steps + 1) x0 in
+  let lus = Array.make steps None in
+  let mono = if want_monodromy then Some (Mat.identity n) else None in
+  for k = 0 to steps - 1 do
+    let r =
+      Tran.step ~options:tran_options ~circuit ~c_mat ~x_prev:states.(k)
+        ~t_prev:times.(k) ~t_next:times.(k + 1) ()
+    in
+    if not r.Newton.converged then
+      raise
+        (No_convergence
+           (Printf.sprintf "PSS sweep: step at t=%.4g did not converge"
+              times.(k + 1)));
+    states.(k + 1) <- r.Newton.x;
+    let lu =
+      match r.Newton.last_lu with
+      | Some lu -> lu
+      | None -> raise (No_convergence "PSS sweep: no step factorization")
+    in
+    lus.(k) <- Some lu;
+    match mono with
+    | None -> ()
+    | Some m ->
+      (* X <- (C/h + G)⁻¹ (C/h) X, column by column *)
+      for j = 0 to n - 1 do
+        let col = Mat.col m j in
+        let rhs = Vec.scale (1.0 /. h) (Mat.mul_vec c_mat col) in
+        Lu.solve_inplace lu rhs;
+        for i = 0 to n - 1 do
+          Mat.set m i j rhs.(i)
+        done
+      done
+  done;
+  let lus =
+    Array.map (function Some lu -> lu | None -> assert false) lus
+  in
+  (times, states, lus, mono)
+
+let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?x0
+    ?(warmup_periods = 2) circuit ~period =
+  let c_mat = Stamp.c_matrix circuit in
+  let tran_options = Tran.default_options in
+  let x_init =
+    match x0 with
+    | Some x -> Vec.copy x
+    | None ->
+      let dc = Dc.solve circuit in
+      if warmup_periods <= 0 then dc
+      else begin
+        let w =
+          Tran.run ~x0:dc ~record:false circuit ~tstart:0.0
+            ~tstop:(period *. float_of_int warmup_periods)
+            ~dt:(period /. float_of_int steps)
+            ()
+        in
+        w.Waveform.states.(Array.length w.Waveform.states - 1)
+      end
+  in
+  let n = Vec.dim x_init in
+  let x0 = ref x_init in
+  let rec iterate iter =
+    let times, states, lus, mono =
+      sweep ~circuit ~c_mat ~tran_options ~t0:0.0 ~period ~steps ~x0:!x0
+        ~want_monodromy:true
+    in
+    let mono = match mono with Some m -> m | None -> assert false in
+    let r = Vec.sub states.(steps) !x0 in
+    let rnorm = Vec.norm_inf r in
+    if rnorm < tol then
+      {
+        circuit; period; steps; times; states; c_mat; step_lus = lus;
+        monodromy = mono; iterations = iter; residual = rnorm;
+      }
+    else if iter >= max_iter then
+      raise
+        (No_convergence
+           (Printf.sprintf "PSS shooting stalled: residual %.3g after %d iters"
+              rnorm iter))
+    else begin
+      (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
+      let j = Mat.sub mono (Mat.identity n) in
+      let delta =
+        match Lu.factorize j with
+        | lu -> Lu.solve lu (Vec.scale (-1.0) r)
+        | exception Lu.Singular _ ->
+          raise (No_convergence "PSS shooting: singular (monodromy has \
+                                 an eigenvalue at 1; use Pss_osc?)")
+      in
+      x0 := Vec.add !x0 delta;
+      iterate (iter + 1)
+    end
+  in
+  iterate 0
+
+let state_at t ~k = t.states.(k)
+
+let xdot t ~k =
+  if k < 1 || k > t.steps then invalid_arg "Pss.xdot";
+  let h = t.period /. float_of_int t.steps in
+  Vec.scale (1.0 /. h) (Vec.sub t.states.(k) t.states.(k - 1))
+
+let node_samples t node =
+  let id = Circuit.node t.circuit node in
+  Array.init t.steps (fun i ->
+      if id = 0 then 0.0 else t.states.(i + 1).(id - 1))
+
+let fundamental t node = Fft.fourier_coefficient (node_samples t node) 1
+let amplitude t node = 2.0 *. Cx.abs (fundamental t node)
+
+let floquet_multipliers t = Eig.eigenvalues_sorted t.monodromy
+
+let to_waveform t =
+  { Waveform.circuit = t.circuit; times = t.times; states = t.states }

@@ -1,0 +1,65 @@
+(** Periodic steady-state analysis of driven circuits by shooting
+    Newton.
+
+    Finds [x₀] with [x(T; x₀) = x₀] where the state transition is the
+    backward-Euler integration of the circuit over one period on a
+    uniform [steps]-point grid.  The shooting Jacobian is the monodromy
+    matrix [Φ], accumulated from the per-step variational maps
+    [A_k = (C/h + G_{k+1})⁻¹·(C/h)] — the same factorizations later
+    reused by the LPTV noise analysis. *)
+
+type t = {
+  circuit : Circuit.t;
+  period : float;
+  steps : int;
+  times : float array;  (** length steps+1 *)
+  states : Vec.t array; (** length steps+1; [states.(steps) ≈ states.(0)] *)
+  c_mat : Mat.t;
+  step_lus : Lu.t array; (** length steps; LU of C/h + G at step k+1 *)
+  monodromy : Mat.t;
+  iterations : int;
+  residual : float;
+}
+
+exception No_convergence of string
+
+val sweep :
+  circuit:Circuit.t -> c_mat:Mat.t -> tran_options:Tran.options ->
+  t0:float -> period:float -> steps:int -> x0:Vec.t ->
+  want_monodromy:bool ->
+  float array * Vec.t array * Lu.t array * Mat.t option
+(** One backward-Euler pass over a period: grid times, states, per-step
+    LU factorizations and (optionally) the monodromy matrix.  Exposed
+    for the oscillator shooting solver. *)
+
+val solve :
+  ?steps:int -> ?max_iter:int -> ?tol:float -> ?x0:Vec.t ->
+  ?warmup_periods:int -> Circuit.t -> period:float -> t
+(** [solve c ~period] computes the PSS.  The initial guess is the DC
+    point integrated for [warmup_periods] (default 2) periods.
+    [steps] defaults to 200. *)
+
+val state_at : t -> k:int -> Vec.t
+(** Grid state, [k] ∈ [0, steps]. *)
+
+val xdot : t -> k:int -> Vec.t
+(** Backward-difference state derivative at grid point [k] ≥ 1. *)
+
+val node_samples : t -> string -> Vec.t
+(** The steps-long sample vector (k = 1..steps) of a node voltage —
+    what the harmonic extraction works on. *)
+
+val fundamental : t -> string -> Cx.t
+(** Complex Fourier-series coefficient c₁ of a node waveform. *)
+
+val amplitude : t -> string -> float
+(** Amplitude of the fundamental: 2·|c₁| (the paper's A_c). *)
+
+val floquet_multipliers : t -> Cx.t array
+(** Eigenvalues of the monodromy matrix, sorted by decreasing
+    magnitude: the periodic orbit's stability multipliers.  All inside
+    the unit circle for a damped driven circuit; an oscillator carries
+    one multiplier ≈ 1 (the neutral phase mode — see Pss_osc and the
+    eq. (9) ablation). *)
+
+val to_waveform : t -> Waveform.t

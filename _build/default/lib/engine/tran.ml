@@ -1,0 +1,109 @@
+type scheme = Backward_euler | Trapezoidal
+
+type options = {
+  scheme : scheme;
+  abstol : float;
+  xtol : float;
+  max_newton : int;
+  gmin : float;
+  max_halvings : int;
+}
+
+let default_options =
+  {
+    scheme = Backward_euler;
+    abstol = 1e-9;
+    xtol = 1e-9;
+    max_newton = 40;
+    gmin = 1e-12;
+    max_halvings = 10;
+  }
+
+exception Step_failed of float
+
+(* residual of one implicit step:
+   BE:   C(x - x_prev)/h + g(x, t_next) = 0
+   trap: C(x - x_prev)/h + (g(x, t_next) + g_prev)/2 = 0 *)
+let step ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next ?(forcing = []) () =
+  let h = t_next -. t_prev in
+  let n = Vec.dim x_prev in
+  let g_prev =
+    match options.scheme with
+    | Backward_euler -> None
+    | Trapezoidal ->
+      let g = Vec.create n in
+      Stamp.eval circuit ~t:t_prev ~gmin:options.gmin ~x:x_prev ~g ~jac:None ();
+      Some g
+  in
+  let eval ~x ~g ~jac =
+    Stamp.eval circuit ~t:t_next ~gmin:options.gmin ~x ~g ~jac:(Some jac) ();
+    (match g_prev, options.scheme with
+     | Some gp, Trapezoidal ->
+       for i = 0 to n - 1 do
+         g.(i) <- 0.5 *. (g.(i) +. gp.(i))
+       done;
+       (* halve the resistive Jacobian too *)
+       for i = 0 to n - 1 do
+         for j = 0 to n - 1 do
+           Mat.set jac i j (0.5 *. Mat.get jac i j)
+         done
+       done
+     | _, Backward_euler | None, Trapezoidal -> ());
+    List.iter (fun (row, value) -> g.(row) <- g.(row) +. value) forcing;
+    (* add C·(x - x_prev)/h and C/h *)
+    let dx = Vec.sub x x_prev in
+    let cdx = Mat.mul_vec c_mat dx in
+    for i = 0 to n - 1 do
+      g.(i) <- g.(i) +. (cdx.(i) /. h);
+      for j = 0 to n - 1 do
+        Mat.add_to jac i j (Mat.get c_mat i j /. h)
+      done
+    done
+  in
+  Newton.solve ~eval ~x0:x_prev ~max_iter:options.max_newton
+    ~abstol:options.abstol ~xtol:options.xtol ~max_step:1.0 ()
+
+(* advance from (t_prev, x_prev) to t_next, halving on Newton failure *)
+let rec advance ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next ~depth =
+  let r = step ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next () in
+  if r.Newton.converged then r.Newton.x
+  else if depth >= options.max_halvings then raise (Step_failed t_next)
+  else begin
+    let t_mid = 0.5 *. (t_prev +. t_next) in
+    let x_mid =
+      advance ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next:t_mid
+        ~depth:(depth + 1)
+    in
+    advance ~options ~circuit ~c_mat ~x_prev:x_mid ~t_prev:t_mid ~t_next
+      ~depth:(depth + 1)
+  end
+
+let run ?(options = default_options) ?x0 ?(record = true) circuit ~tstart
+    ~tstop ~dt () =
+  if dt <= 0.0 || tstop <= tstart then invalid_arg "Tran.run: bad time grid";
+  let c_mat = Stamp.c_matrix circuit in
+  let x0 =
+    match x0 with Some x -> Vec.copy x | None -> Dc.solve_at ~t:tstart circuit
+  in
+  let steps = int_of_float (Float.ceil ((tstop -. tstart) /. dt -. 1e-9)) in
+  let times = ref [ tstart ] in
+  let states = ref [ Vec.copy x0 ] in
+  let x = ref x0 in
+  let t = ref tstart in
+  for k = 1 to steps do
+    let t_next = Float.min (tstart +. (float_of_int k *. dt)) tstop in
+    let x_next =
+      advance ~options ~circuit ~c_mat ~x_prev:!x ~t_prev:!t ~t_next ~depth:0
+    in
+    x := x_next;
+    t := t_next;
+    if record || k = steps then begin
+      times := t_next :: !times;
+      states := Vec.copy x_next :: !states
+    end
+  done;
+  {
+    Waveform.circuit;
+    times = Array.of_list (List.rev !times);
+    states = Array.of_list (List.rev !states);
+  }

@@ -1,0 +1,134 @@
+type t = {
+  circuit : Circuit.t;
+  times : float array;
+  states : Vec.t array;
+}
+
+let length w = Array.length w.times
+
+let signal w node =
+  let id = Circuit.node w.circuit node in
+  if id = 0 then Array.map (fun _ -> 0.0) w.times
+  else Array.map (fun x -> x.(id - 1)) w.states
+
+let branch_current w device =
+  let row = Circuit.branch_row w.circuit device in
+  Array.map (fun x -> x.(row)) w.states
+
+(* index of the last sample with time <= t *)
+let locate w t =
+  let n = Array.length w.times in
+  if n = 0 then invalid_arg "Waveform: empty";
+  if t <= w.times.(0) then 0
+  else if t >= w.times.(n - 1) then n - 1
+  else begin
+    let rec find lo hi =
+      if hi - lo <= 1 then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if w.times.(mid) <= t then find mid hi else find lo mid
+      end
+    in
+    find 0 (n - 1)
+  end
+
+let value_at w node t =
+  let id = Circuit.node w.circuit node in
+  if id = 0 then 0.0
+  else begin
+    let row = id - 1 in
+    let i = locate w t in
+    let n = Array.length w.times in
+    if i >= n - 1 then w.states.(n - 1).(row)
+    else begin
+      let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+      let v0 = w.states.(i).(row) and v1 = w.states.(i + 1).(row) in
+      if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (t -. t0) /. (t1 -. t0))
+    end
+  end
+
+let final w node =
+  let id = Circuit.node w.circuit node in
+  if id = 0 then 0.0 else w.states.(Array.length w.states - 1).(id - 1)
+
+type edge = Rising | Falling
+
+let crossings w node ~threshold ~edge =
+  let v = signal w node in
+  let acc = ref [] in
+  for i = 0 to Array.length v - 2 do
+    let a = v.(i) -. threshold and b = v.(i + 1) -. threshold in
+    let qualifies =
+      match edge with
+      | Rising -> a < 0.0 && b >= 0.0
+      | Falling -> a > 0.0 && b <= 0.0
+    in
+    if qualifies then begin
+      let t0 = w.times.(i) and t1 = w.times.(i + 1) in
+      let frac = if b = a then 0.0 else -.a /. (b -. a) in
+      acc := (t0 +. (frac *. (t1 -. t0))) :: !acc
+    end
+  done;
+  Array.of_list (List.rev !acc)
+
+let first_crossing_after w node ~threshold ~edge ~after =
+  let cs = crossings w node ~threshold ~edge in
+  Array.fold_left
+    (fun found t ->
+      match found with Some _ -> found | None -> if t >= after then Some t else None)
+    None cs
+
+let delay w ~from_signal ~from_edge ~from_threshold ~to_signal ~to_edge
+    ~to_threshold ?(after = 0.0) () =
+  match
+    first_crossing_after w from_signal ~threshold:from_threshold ~edge:from_edge
+      ~after
+  with
+  | None -> None
+  | Some t_from -> begin
+    match
+      first_crossing_after w to_signal ~threshold:to_threshold ~edge:to_edge
+        ~after:t_from
+    with
+    | None -> None
+    | Some t_to -> Some (t_to -. t_from)
+  end
+
+let period_estimate w node ~threshold =
+  let cs = crossings w node ~threshold ~edge:Rising in
+  let n = Array.length cs in
+  if n < 3 then None
+  else begin
+    let gaps = Array.init (n - 1) (fun i -> cs.(i + 1) -. cs.(i)) in
+    Array.sort compare gaps;
+    Some gaps.(Array.length gaps / 2)
+  end
+
+let slope_at w node t =
+  let i = locate w t in
+  let n = Array.length w.times in
+  let i0 = Stdlib.max 0 (Stdlib.min i (n - 2)) in
+  let t0 = w.times.(i0) and t1 = w.times.(i0 + 1) in
+  let id = Circuit.node w.circuit node in
+  if id = 0 || t1 = t0 then 0.0
+  else (w.states.(i0 + 1).(id - 1) -. w.states.(i0).(id - 1)) /. (t1 -. t0)
+
+let amplitude w node =
+  let v = signal w node in
+  let lo = Array.fold_left Float.min v.(0) v in
+  let hi = Array.fold_left Float.max v.(0) v in
+  (hi -. lo) /. 2.0
+
+let to_csv w ~nodes =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time";
+  List.iter (fun n -> Buffer.add_string buf ("," ^ n)) nodes;
+  Buffer.add_char buf '\n';
+  let sigs = List.map (fun n -> signal w n) nodes in
+  Array.iteri
+    (fun i t ->
+      Buffer.add_string buf (Printf.sprintf "%.9e" t);
+      List.iter (fun s -> Buffer.add_string buf (Printf.sprintf ",%.9e" s.(i))) sigs;
+      Buffer.add_char buf '\n')
+    w.times;
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+(** Simulation results as sampled state trajectories, plus the
+    measurement toolkit (threshold crossings, delays, periods). *)
+
+type t = {
+  circuit : Circuit.t;
+  times : float array;
+  states : Vec.t array;
+}
+
+val length : t -> int
+val signal : t -> string -> float array
+(** Sampled voltage of a named node. *)
+
+val branch_current : t -> string -> float array
+(** Sampled branch current of a named device. *)
+
+val value_at : t -> string -> float -> float
+(** Linearly interpolated node voltage at a time. *)
+
+val final : t -> string -> float
+
+type edge = Rising | Falling
+
+val crossings : t -> string -> threshold:float -> edge:edge -> float array
+(** All interpolated crossing times of the node through [threshold]. *)
+
+val first_crossing_after :
+  t -> string -> threshold:float -> edge:edge -> after:float -> float option
+
+val delay :
+  t -> from_signal:string -> from_edge:edge -> from_threshold:float ->
+  to_signal:string -> to_edge:edge -> to_threshold:float ->
+  ?after:float -> unit -> float option
+(** Delay from the first qualifying edge of [from_signal] (at or after
+    [after]) to the next qualifying edge of [to_signal]. *)
+
+val period_estimate : t -> string -> threshold:float -> float option
+(** Median spacing of rising crossings (robust oscillator period
+    estimate from a settled transient). *)
+
+val slope_at : t -> string -> float -> float
+(** Finite-difference dv/dt of a node at a time. *)
+
+val amplitude : t -> string -> float
+(** (max - min)/2 over the recorded span. *)
+
+val to_csv : t -> nodes:string list -> string
+(** CSV dump ("time,node1,node2,...") for external plotting. *)

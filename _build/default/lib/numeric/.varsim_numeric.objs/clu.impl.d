@@ -1,0 +1,1 @@
+lib/numeric/clu.ml: Array Cmat Cx Float

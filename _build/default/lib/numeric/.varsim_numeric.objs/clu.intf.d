@@ -1,0 +1,1 @@
+lib/numeric/clu.mli: Cmat Cvec Cx

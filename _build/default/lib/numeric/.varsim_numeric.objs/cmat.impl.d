@@ -1,0 +1,1 @@
+lib/numeric/cmat.ml: Array Cx Float Format Mat

@@ -1,0 +1,1 @@
+lib/numeric/cmat.mli: Cvec Cx Format Mat

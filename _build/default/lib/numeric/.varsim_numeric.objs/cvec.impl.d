@@ -1,0 +1,1 @@
+lib/numeric/cvec.ml: Array Cx Float Format

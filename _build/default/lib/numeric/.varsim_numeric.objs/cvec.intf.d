@@ -1,0 +1,1 @@
+lib/numeric/cvec.mli: Cx Format Vec

@@ -1,0 +1,1 @@
+lib/numeric/eig.ml: Array Cx Float Mat Stdlib Vec

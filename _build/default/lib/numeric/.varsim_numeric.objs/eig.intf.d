@@ -1,0 +1,1 @@
+lib/numeric/eig.mli: Cx Mat

@@ -1,0 +1,1 @@
+lib/numeric/fft.ml: Array Cvec Cx Float

@@ -1,0 +1,54 @@
+exception Not_positive_definite of int
+
+let factorize_gen ~tol m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Cholesky.factorize: matrix not square";
+  let l = Mat.create n n in
+  for j = 0 to n - 1 do
+    let s = ref (Mat.get m j j) in
+    for k = 0 to j - 1 do
+      s := !s -. (Mat.get l j k *. Mat.get l j k)
+    done;
+    if !s < -.tol then raise (Not_positive_definite j);
+    let d = if !s <= tol then 0.0 else sqrt !s in
+    Mat.set l j j d;
+    for i = j + 1 to n - 1 do
+      if d = 0.0 then Mat.set l i j 0.0
+      else begin
+        let s = ref (Mat.get m i j) in
+        for k = 0 to j - 1 do
+          s := !s -. (Mat.get l i k *. Mat.get l j k)
+        done;
+        Mat.set l i j (!s /. d)
+      end
+    done
+  done;
+  l
+
+let factorize m = factorize_gen ~tol:0.0 m
+
+let factorize_semidefinite ?tol m =
+  let tol =
+    match tol with Some t -> t | None -> 1e-12 *. Float.max 1.0 (Mat.max_abs m)
+  in
+  factorize_gen ~tol m
+
+let solve l b =
+  let n = Mat.rows l in
+  if Array.length b <> n then invalid_arg "Cholesky.solve: dimension mismatch";
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get l i j *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get l j i *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get l i i
+  done;
+  y

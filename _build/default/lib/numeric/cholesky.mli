@@ -1,0 +1,19 @@
+(** Cholesky factorization of symmetric positive (semi-)definite matrices.
+
+    Used to construct correlated mismatch sources: given a target
+    covariance matrix [C], the factor [A] with [C = A Aᵀ] turns a vector
+    of independent unit-variance sources into correlated ones (paper
+    eq. (6)). *)
+
+exception Not_positive_definite of int
+
+val factorize : Mat.t -> Mat.t
+(** Lower-triangular [L] with [L Lᵀ = C].  Raises
+    {!Not_positive_definite} on a negative diagonal pivot. *)
+
+val factorize_semidefinite : ?tol:float -> Mat.t -> Mat.t
+(** Like {!factorize} but tolerates zero (within [tol]) pivots, producing
+    a rank-deficient factor — needed for perfectly-correlated sources. *)
+
+val solve : Mat.t -> Vec.t -> Vec.t
+(** [solve l b] solves [L Lᵀ x = b] given the factor [l]. *)

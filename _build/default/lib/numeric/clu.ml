@@ -1,0 +1,111 @@
+type t = {
+  n : int;
+  lu : Cmat.t;
+  perm : int array;
+  sign : float;
+}
+
+exception Singular of int
+
+let factorize ?pivot_tol m =
+  let n = Cmat.rows m in
+  if Cmat.cols m <> n then invalid_arg "Clu.factorize: matrix not square";
+  let scale = Cmat.max_abs m in
+  let tol =
+    match pivot_tol with
+    | Some t -> t
+    | None -> 1e-13 *. Float.max scale 1e-300
+  in
+  let lu = Cmat.copy m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Cx.abs (Cmat.get lu i k) > Cx.abs (Cmat.get lu !piv k) then piv := i
+    done;
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let t = Cmat.get lu k j in
+        Cmat.set lu k j (Cmat.get lu !piv j);
+        Cmat.set lu !piv j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Cmat.get lu k k in
+    if Cx.abs pivot < tol then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = Cx.( /: ) (Cmat.get lu i k) pivot in
+      Cmat.set lu i k f;
+      if f <> Cx.zero then
+        for j = k + 1 to n - 1 do
+          Cmat.set lu i j
+            (Cx.( -: ) (Cmat.get lu i j) (Cx.( *: ) f (Cmat.get lu k j)))
+        done
+    done
+  done;
+  { n; lu; perm; sign = !sign }
+
+let dim t = t.n
+
+let solve_inplace t b =
+  if Array.length b <> t.n then invalid_arg "Clu.solve: dimension mismatch";
+  let n = t.n in
+  let x = Array.init n (fun i -> b.(t.perm.(i))) in
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu i j) x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu i j) x.(j))
+    done;
+    x.(i) <- Cx.( /: ) !s (Cmat.get t.lu i i)
+  done;
+  Array.blit x 0 b 0 n
+
+let solve t b =
+  let x = Array.copy b in
+  solve_inplace t x;
+  x
+
+let solve_transpose t b =
+  if Array.length b <> t.n then
+    invalid_arg "Clu.solve_transpose: dimension mismatch";
+  let n = t.n in
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu j i) y.(j))
+    done;
+    y.(i) <- Cx.( /: ) !s (Cmat.get t.lu i i)
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu j i) y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  let x = Array.make n Cx.zero in
+  for i = 0 to n - 1 do
+    x.(t.perm.(i)) <- y.(i)
+  done;
+  x
+
+let det t =
+  let d = ref (Cx.re t.sign) in
+  for i = 0 to t.n - 1 do
+    d := Cx.( *: ) !d (Cmat.get t.lu i i)
+  done;
+  !d
+
+let solve_dense m b = solve (factorize m) b

@@ -1,0 +1,17 @@
+(** LU factorization with partial pivoting for dense complex matrices. *)
+
+type t
+
+exception Singular of int
+
+val factorize : ?pivot_tol:float -> Cmat.t -> t
+val solve : t -> Cvec.t -> Cvec.t
+val solve_inplace : t -> Cvec.t -> unit
+
+val solve_transpose : t -> Cvec.t -> Cvec.t
+(** [solve_transpose lu b] returns [x] with [Aᵀ x = b] (plain transpose,
+    no conjugation — what the adjoint LPTV solver needs). *)
+
+val det : t -> Cx.t
+val dim : t -> int
+val solve_dense : Cmat.t -> Cvec.t -> Cvec.t

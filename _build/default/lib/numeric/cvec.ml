@@ -1,0 +1,59 @@
+type t = Cx.t array
+
+let create n = Array.make n Cx.zero
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_real v = Array.map Cx.re v
+let real v = Array.map (fun (z : Cx.t) -> z.re) v
+let imag v = Array.map (fun (z : Cx.t) -> z.im) v
+
+let check_dim x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Cvec: dimension mismatch"
+
+let add x y =
+  check_dim x y;
+  Array.map2 Cx.( +: ) x y
+
+let sub x y =
+  check_dim x y;
+  Array.map2 Cx.( -: ) x y
+
+let scale a x = Array.map (fun z -> Cx.( *: ) a z) x
+
+let axpy a x y =
+  check_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- Cx.( +: ) y.(i) (Cx.( *: ) a x.(i))
+  done
+
+let dot x y =
+  check_dim x y;
+  let s = ref Cx.zero in
+  for i = 0 to Array.length x - 1 do
+    s := Cx.( +: ) !s (Cx.( *: ) (Cx.conj x.(i)) y.(i))
+  done;
+  !s
+
+let dot_unconj x y =
+  check_dim x y;
+  let s = ref Cx.zero in
+  for i = 0 to Array.length x - 1 do
+    s := Cx.( +: ) !s (Cx.( *: ) x.(i) y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (Array.fold_left (fun acc z -> acc +. Cx.abs2 z) 0.0 x)
+let norm_inf x = Array.fold_left (fun acc z -> Float.max acc (Cx.abs z)) 0.0 x
+
+let blit src dst =
+  check_dim src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let pp ppf x =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Cx.pp)
+    (Array.to_list x)

@@ -1,0 +1,28 @@
+(** Dense complex vectors. *)
+
+type t = Cx.t array
+
+val create : int -> t
+val init : int -> (int -> Cx.t) -> t
+val dim : t -> int
+val copy : t -> t
+val of_real : Vec.t -> t
+val real : t -> Vec.t
+val imag : t -> Vec.t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Cx.t -> t -> t
+val axpy : Cx.t -> t -> t -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val dot : t -> t -> Cx.t
+(** Hermitian inner product: conj(x)·y. *)
+
+val dot_unconj : t -> t -> Cx.t
+(** Bilinear product xᵀ·y (no conjugation). *)
+
+val norm2 : t -> float
+val norm_inf : t -> float
+val blit : t -> t -> unit
+val fill : t -> Cx.t -> unit
+val pp : Format.formatter -> t -> unit

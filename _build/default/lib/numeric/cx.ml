@@ -1,0 +1,25 @@
+type t = Complex.t = { re : float; im : float }
+
+let zero = Complex.zero
+let one = Complex.one
+let i = Complex.i
+let re x = { re = x; im = 0.0 }
+let mk re im = { re; im }
+let ( +: ) = Complex.add
+let ( -: ) = Complex.sub
+let ( *: ) = Complex.mul
+let ( /: ) = Complex.div
+let neg = Complex.neg
+let conj = Complex.conj
+let scale s z = { re = s *. z.re; im = s *. z.im }
+let abs = Complex.norm
+let abs2 = Complex.norm2
+let arg = Complex.arg
+let exp_i theta = { re = cos theta; im = sin theta }
+let is_finite z = Float.is_finite z.re && Float.is_finite z.im
+
+let close ?(tol = 1e-9) a b =
+  let d = Complex.norm (Complex.sub a b) in
+  d <= tol *. Float.max 1.0 (Float.max (Complex.norm a) (Complex.norm b))
+
+let pp ppf z = Format.fprintf ppf "(%.6g%+.6gi)" z.re z.im

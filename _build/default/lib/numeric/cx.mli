@@ -1,0 +1,29 @@
+(** Complex scalar helpers on top of [Stdlib.Complex]. *)
+
+type t = Complex.t = { re : float; im : float }
+
+val zero : t
+val one : t
+val i : t
+val re : float -> t
+(** Real number embedded as a complex. *)
+
+val mk : float -> float -> t
+val ( +: ) : t -> t -> t
+val ( -: ) : t -> t -> t
+val ( *: ) : t -> t -> t
+val ( /: ) : t -> t -> t
+val neg : t -> t
+val conj : t -> t
+val scale : float -> t -> t
+val abs : t -> float
+val abs2 : t -> float
+(** Squared magnitude. *)
+
+val arg : t -> float
+val exp_i : float -> t
+(** [exp_i theta] is e^{i·theta}. *)
+
+val is_finite : t -> bool
+val close : ?tol:float -> t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,248 @@
+exception No_convergence of int
+
+let sign a b = if b >= 0.0 then Float.abs a else -.Float.abs a
+
+(* Householder similarity reduction to upper Hessenberg form *)
+let hessenberg m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Eig.hessenberg: not square";
+  let a = Mat.copy m in
+  for k = 0 to n - 3 do
+    (* Householder vector annihilating a(k+2..n-1, k) *)
+    let alpha = ref 0.0 in
+    for i = k + 1 to n - 1 do
+      alpha := !alpha +. (Mat.get a i k *. Mat.get a i k)
+    done;
+    let alpha = sqrt !alpha in
+    if alpha > 1e-300 then begin
+      let alpha = -.sign alpha (Mat.get a (k + 1) k) in
+      let v = Vec.create n in
+      v.(k + 1) <- Mat.get a (k + 1) k -. alpha;
+      for i = k + 2 to n - 1 do
+        v.(i) <- Mat.get a i k
+      done;
+      let vnorm2 = Vec.dot v v in
+      if vnorm2 > 1e-300 then begin
+        let beta = 2.0 /. vnorm2 in
+        (* A <- (I - beta v vᵀ) A *)
+        for j = 0 to n - 1 do
+          let s = ref 0.0 in
+          for i = k + 1 to n - 1 do
+            s := !s +. (v.(i) *. Mat.get a i j)
+          done;
+          let s = beta *. !s in
+          for i = k + 1 to n - 1 do
+            Mat.add_to a i j (-.s *. v.(i))
+          done
+        done;
+        (* A <- A (I - beta v vᵀ) *)
+        for i = 0 to n - 1 do
+          let s = ref 0.0 in
+          for j = k + 1 to n - 1 do
+            s := !s +. (Mat.get a i j *. v.(j))
+          done;
+          let s = beta *. !s in
+          for j = k + 1 to n - 1 do
+            Mat.add_to a i j (-.s *. v.(j))
+          done
+        done
+      end
+    end;
+    (* clean below the subdiagonal *)
+    for i = k + 2 to n - 1 do
+      Mat.set a i k 0.0
+    done
+  done;
+  a
+
+(* Francis implicit double-shift QR on a Hessenberg matrix (eigenvalues
+   only).  A faithful port of the classic EISPACK/NR "hqr" routine. *)
+let hqr a n (eig : Cx.t array) =
+  let get i j = Mat.get a i j and set i j v = Mat.set a i j v in
+  let anorm = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = Stdlib.max (i - 1) 0 to n - 1 do
+      anorm := !anorm +. Float.abs (get i j)
+    done
+  done;
+  let eps = 1e-14 in
+  let nn = ref (n - 1) in
+  let t = ref 0.0 in
+  while !nn >= 0 do
+    let its = ref 0 in
+    let finished_block = ref false in
+    while not !finished_block do
+      (* find small subdiagonal element *)
+      let l = ref !nn in
+      (try
+         while !l >= 1 do
+           let s =
+             Float.abs (get (!l - 1) (!l - 1)) +. Float.abs (get !l !l)
+           in
+           let s = if s = 0.0 then !anorm else s in
+           if Float.abs (get !l (!l - 1)) <= eps *. s then begin
+             set !l (!l - 1) 0.0;
+             raise Exit
+           end;
+           decr l
+         done
+       with Exit -> ());
+      let l = !l in
+      let x = get !nn !nn in
+      if l = !nn then begin
+        (* one real root *)
+        eig.(!nn) <- Cx.re (x +. !t);
+        decr nn;
+        finished_block := true
+      end
+      else begin
+        let y = get (!nn - 1) (!nn - 1) in
+        let w = get !nn (!nn - 1) *. get (!nn - 1) !nn in
+        if l = !nn - 1 then begin
+          (* two roots *)
+          let p = 0.5 *. (y -. x) in
+          let q = (p *. p) +. w in
+          let z = sqrt (Float.abs q) in
+          let x = x +. !t in
+          if q >= 0.0 then begin
+            let z = p +. sign z p in
+            let r1 = x +. z in
+            let r2 = if z <> 0.0 then x -. (w /. z) else r1 in
+            eig.(!nn - 1) <- Cx.re r1;
+            eig.(!nn) <- Cx.re r2
+          end
+          else begin
+            eig.(!nn - 1) <- Cx.mk (x +. p) z;
+            eig.(!nn) <- Cx.mk (x +. p) (-.z)
+          end;
+          nn := !nn - 2;
+          finished_block := true
+        end
+        else begin
+          if !its = 30 then raise (No_convergence !nn);
+          let x = ref x and y = ref y and w = ref w in
+          if !its = 10 || !its = 20 then begin
+            (* exceptional shift *)
+            t := !t +. !x;
+            for i = 0 to !nn do
+              set i i (get i i -. !x)
+            done;
+            let s =
+              Float.abs (get !nn (!nn - 1))
+              +. Float.abs (get (!nn - 1) (!nn - 2))
+            in
+            x := 0.75 *. s;
+            y := !x;
+            w := -0.4375 *. s *. s
+          end;
+          incr its;
+          (* look for two consecutive small subdiagonal elements *)
+          let m = ref (!nn - 2) in
+          let p = ref 0.0 and q = ref 0.0 and r = ref 0.0 in
+          (try
+             while !m >= l do
+               let z = get !m !m in
+               let rr = !x -. z in
+               let ss = !y -. z in
+               p := (((rr *. ss) -. !w) /. get (!m + 1) !m) +. get !m (!m + 1);
+               q := get (!m + 1) (!m + 1) -. z -. rr -. ss;
+               r := get (!m + 2) (!m + 1);
+               let s = Float.abs !p +. Float.abs !q +. Float.abs !r in
+               p := !p /. s;
+               q := !q /. s;
+               r := !r /. s;
+               if !m = l then raise Exit;
+               let u =
+                 Float.abs (get !m (!m - 1))
+                 *. (Float.abs !q +. Float.abs !r)
+               in
+               let v =
+                 Float.abs !p
+                 *. (Float.abs (get (!m - 1) (!m - 1))
+                    +. Float.abs z
+                    +. Float.abs (get (!m + 1) (!m + 1)))
+               in
+               if u <= eps *. v then raise Exit;
+               decr m
+             done
+           with Exit -> ());
+          let m = !m in
+          for i = m + 2 to !nn do
+            set i (i - 2) 0.0
+          done;
+          for i = m + 3 to !nn do
+            set i (i - 3) 0.0
+          done;
+          (* double QR step *)
+          for k = m to !nn - 1 do
+            if k <> m then begin
+              p := get k (k - 1);
+              q := get (k + 1) (k - 1);
+              r := if k <> !nn - 1 then get (k + 2) (k - 1) else 0.0;
+              x := Float.abs !p +. Float.abs !q +. Float.abs !r;
+              if !x <> 0.0 then begin
+                p := !p /. !x;
+                q := !q /. !x;
+                r := !r /. !x
+              end
+            end;
+            let s = sign (sqrt ((!p *. !p) +. (!q *. !q) +. (!r *. !r))) !p in
+            if s <> 0.0 then begin
+              if k = m then begin
+                if l <> m then set k (k - 1) (-.get k (k - 1))
+              end
+              else set k (k - 1) (-.s *. !x);
+              p := !p +. s;
+              x := !p /. s;
+              y := !q /. s;
+              let z = !r /. s in
+              q := !q /. !p;
+              r := !r /. !p;
+              (* row modification *)
+              for j = k to !nn do
+                let pp = ref (get k j +. (!q *. get (k + 1) j)) in
+                if k <> !nn - 1 then begin
+                  pp := !pp +. (!r *. get (k + 2) j);
+                  set (k + 2) j (get (k + 2) j -. (!pp *. z))
+                end;
+                set (k + 1) j (get (k + 1) j -. (!pp *. !y));
+                set k j (get k j -. (!pp *. !x))
+              done;
+              (* column modification *)
+              let mmin = Stdlib.min !nn (k + 3) in
+              for i = l to mmin do
+                let pp =
+                  ref ((!x *. get i k) +. (!y *. get i (k + 1)))
+                in
+                if k <> !nn - 1 then begin
+                  pp := !pp +. (z *. get i (k + 2));
+                  set i (k + 2) (get i (k + 2) -. (!pp *. !r))
+                end;
+                set i (k + 1) (get i (k + 1) -. (!pp *. !q));
+                set i k (get i k -. !pp)
+              done
+            end
+          done
+        end
+      end
+    done
+  done
+
+let eigenvalues m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Eig.eigenvalues: not square";
+  if n = 0 then [||]
+  else begin
+    let h = hessenberg m in
+    let eig = Array.make n Cx.zero in
+    hqr h n eig;
+    eig
+  end
+
+let eigenvalues_sorted m =
+  let e = eigenvalues m in
+  Array.sort (fun a b -> compare (Cx.abs b) (Cx.abs a)) e;
+  e
+
+let spectral_radius m =
+  Array.fold_left (fun acc z -> Float.max acc (Cx.abs z)) 0.0 (eigenvalues m)

@@ -1,0 +1,21 @@
+(** Eigenvalues of dense real matrices.
+
+    Householder reduction to upper Hessenberg form followed by the
+    Francis implicit double-shift QR iteration (eigenvalues only).
+    Used to report Floquet multipliers of a periodic steady state's
+    monodromy matrix — the stability picture behind shooting
+    convergence and the oscillator's neutral phase mode. *)
+
+exception No_convergence of int
+(** Raised (with the stuck block index) if a QR sweep limit is hit. *)
+
+val eigenvalues : Mat.t -> Cx.t array
+(** All eigenvalues of a square real matrix, unordered. *)
+
+val eigenvalues_sorted : Mat.t -> Cx.t array
+(** Sorted by decreasing magnitude. *)
+
+val spectral_radius : Mat.t -> float
+
+val hessenberg : Mat.t -> Mat.t
+(** The upper Hessenberg form H = QᵀAQ (exposed for testing). *)

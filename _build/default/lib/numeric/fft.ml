@@ -1,0 +1,92 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+(* in-place iterative radix-2 Cooley-Tukey, decimation in time *)
+let fft_pow2 ~inverse (a : Cx.t array) =
+  let n = Array.length a in
+  (* bit reversal permutation *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let t = a.(i) in
+      a.(i) <- a.(!j);
+      a.(!j) <- t
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  let sign = if inverse then 1.0 else -1.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let ang = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wlen = Cx.exp_i ang in
+    let i = ref 0 in
+    while !i < n do
+      let w = ref Cx.one in
+      for k = 0 to (!len / 2) - 1 do
+        let u = a.(!i + k) in
+        let v = Cx.( *: ) a.(!i + k + (!len / 2)) !w in
+        a.(!i + k) <- Cx.( +: ) u v;
+        a.(!i + k + (!len / 2)) <- Cx.( -: ) u v;
+        w := Cx.( *: ) !w wlen
+      done;
+      i := !i + !len
+    done;
+    len := !len lsl 1
+  done
+
+let dft_direct ~inverse x =
+  let n = Array.length x in
+  let sign = if inverse then 1.0 else -1.0 in
+  Array.init n (fun k ->
+      let s = ref Cx.zero in
+      for j = 0 to n - 1 do
+        let ang = sign *. 2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
+        s := Cx.( +: ) !s (Cx.( *: ) x.(j) (Cx.exp_i ang))
+      done;
+      !s)
+
+let dft x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else if is_pow2 n then begin
+    let a = Array.copy x in
+    fft_pow2 ~inverse:false a;
+    a
+  end
+  else dft_direct ~inverse:false x
+
+let idft x =
+  let n = Array.length x in
+  if n = 0 then [||]
+  else begin
+    let y =
+      if is_pow2 n then begin
+        let a = Array.copy x in
+        fft_pow2 ~inverse:true a;
+        a
+      end
+      else dft_direct ~inverse:true x
+    in
+    let inv_n = 1.0 /. float_of_int n in
+    Array.map (Cx.scale inv_n) y
+  end
+
+let dft_real v = dft (Cvec.of_real v)
+
+let fourier_coefficient samples k =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Fft.fourier_coefficient: empty";
+  let s = ref Cx.zero in
+  for j = 0 to n - 1 do
+    let ang = -2.0 *. Float.pi *. float_of_int (k * j) /. float_of_int n in
+    s := Cx.( +: ) !s (Cx.scale samples.(j) (Cx.exp_i ang))
+  done;
+  Cx.scale (1.0 /. float_of_int n) !s
+
+let harmonic_amplitude samples k =
+  let c = fourier_coefficient samples k in
+  if k = 0 then Cx.abs c else 2.0 *. Cx.abs c

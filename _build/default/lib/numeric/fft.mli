@@ -1,0 +1,23 @@
+(** Discrete Fourier transforms.
+
+    Radix-2 Cooley–Tukey for power-of-two lengths and a direct O(n²)
+    fallback otherwise (periodic steady-state grids are small, so the
+    fallback is acceptable and keeps the code dependency-free).
+
+    Convention: [dft x].(k) = Σ_n x.(n)·e^{-2πi k n / N} (no 1/N). *)
+
+val dft : Cvec.t -> Cvec.t
+val idft : Cvec.t -> Cvec.t
+(** Inverse with the 1/N factor, so [idft (dft x) = x]. *)
+
+val dft_real : Vec.t -> Cvec.t
+
+val fourier_coefficient : Vec.t -> int -> Cx.t
+(** [fourier_coefficient samples k] is the complex Fourier-series
+    coefficient c_k = (1/N)·Σ_n x_n e^{-2πi k n/N} of a uniformly
+    sampled period, so a cosine of amplitude A at harmonic k gives
+    |c_k| = A/2. *)
+
+val harmonic_amplitude : Vec.t -> int -> float
+(** Amplitude of harmonic [k] in the sampled periodic waveform
+    (2·|c_k| for k ≥ 1, |c_0| for k = 0). *)

@@ -1,0 +1,144 @@
+type t = {
+  n : int;
+  lu : Mat.t; (* packed L (unit diagonal) and U *)
+  perm : int array; (* row permutation: row i of PA is row perm.(i) of A *)
+  sign : float;
+}
+
+exception Singular of int
+
+let factorize ?pivot_tol m =
+  let n = Mat.rows m in
+  if Mat.cols m <> n then invalid_arg "Lu.factorize: matrix not square";
+  let scale = Mat.max_abs m in
+  let tol =
+    match pivot_tol with
+    | Some t -> t
+    | None -> 1e-13 *. Float.max scale 1e-300
+  in
+  let lu = Mat.copy m in
+  let perm = Array.init n (fun i -> i) in
+  let sign = ref 1.0 in
+  for k = 0 to n - 1 do
+    (* partial pivoting: find the largest entry in column k at/below row k *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs (Mat.get lu i k) > Float.abs (Mat.get lu !piv k) then
+        piv := i
+    done;
+    if !piv <> k then begin
+      for j = 0 to n - 1 do
+        let t = Mat.get lu k j in
+        Mat.set lu k j (Mat.get lu !piv j);
+        Mat.set lu !piv j t
+      done;
+      let t = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- t;
+      sign := -. !sign
+    end;
+    let pivot = Mat.get lu k k in
+    if Float.abs pivot < tol then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = Mat.get lu i k /. pivot in
+      Mat.set lu i k f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          Mat.set lu i j (Mat.get lu i j -. (f *. Mat.get lu k j))
+        done
+    done
+  done;
+  { n; lu; perm; sign = !sign }
+
+let dim t = t.n
+
+let solve_inplace t b =
+  if Array.length b <> t.n then invalid_arg "Lu.solve: dimension mismatch";
+  let n = t.n in
+  let x = Array.init n (fun i -> b.(t.perm.(i))) in
+  (* forward substitution with unit-diagonal L *)
+  for i = 1 to n - 1 do
+    let s = ref x.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get t.lu i j *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution with U *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get t.lu i j *. x.(j))
+    done;
+    x.(i) <- !s /. Mat.get t.lu i i
+  done;
+  Array.blit x 0 b 0 n
+
+let solve t b =
+  let x = Array.copy b in
+  solve_inplace t x;
+  x
+
+(* Aᵀx = b  ⇔  Uᵀ Lᵀ Px = b: solve Uᵀy = b (forward), Lᵀz = y (backward),
+   then undo the permutation. *)
+let solve_transpose t b =
+  if Array.length b <> t.n then
+    invalid_arg "Lu.solve_transpose: dimension mismatch";
+  let n = t.n in
+  let y = Array.copy b in
+  for i = 0 to n - 1 do
+    let s = ref y.(i) in
+    for j = 0 to i - 1 do
+      s := !s -. (Mat.get t.lu j i *. y.(j))
+    done;
+    y.(i) <- !s /. Mat.get t.lu i i
+  done;
+  for i = n - 1 downto 0 do
+    let s = ref y.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (Mat.get t.lu j i *. y.(j))
+    done;
+    y.(i) <- !s
+  done;
+  let x = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    x.(t.perm.(i)) <- y.(i)
+  done;
+  x
+
+let solve_mat t b =
+  if Mat.rows b <> t.n then invalid_arg "Lu.solve_mat: dimension mismatch";
+  let x = Mat.create t.n (Mat.cols b) in
+  for j = 0 to Mat.cols b - 1 do
+    let column = Mat.col b j in
+    solve_inplace t column;
+    for i = 0 to t.n - 1 do
+      Mat.set x i j column.(i)
+    done
+  done;
+  x
+
+let det t =
+  let d = ref t.sign in
+  for i = 0 to t.n - 1 do
+    d := !d *. Mat.get t.lu i i
+  done;
+  !d
+
+let solve_dense m b = solve (factorize m) b
+
+let inverse m =
+  let t = factorize m in
+  solve_mat t (Mat.identity t.n)
+
+let rcond_estimate m t =
+  let n = t.n in
+  if n = 0 then 1.0
+  else begin
+    (* estimate |A⁻¹|∞ by solving against a ±1 vector chosen to grow *)
+    let b = Array.make n 1.0 in
+    let x = solve t b in
+    let ainv = Vec.norm_inf x in
+    let a = Mat.norm_inf m in
+    if ainv = 0.0 || a = 0.0 then 0.0 else 1.0 /. (a *. ainv)
+  end

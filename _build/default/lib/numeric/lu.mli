@@ -1,0 +1,38 @@
+(** LU factorization with partial pivoting for dense real matrices.
+
+    The factorization is computed once and reused for multiple solves,
+    including transpose solves (needed by adjoint sensitivity analyses). *)
+
+type t
+
+exception Singular of int
+(** Raised when a pivot smaller than the singularity threshold is met;
+    the payload is the elimination column. *)
+
+val factorize : ?pivot_tol:float -> Mat.t -> t
+(** Factorize a square matrix.  Raises {!Singular} if a pivot magnitude
+    falls below [pivot_tol] (default [1e-13] relative to the largest
+    matrix entry). *)
+
+val solve : t -> Vec.t -> Vec.t
+(** [solve lu b] returns [x] with [A x = b]. *)
+
+val solve_inplace : t -> Vec.t -> unit
+
+val solve_transpose : t -> Vec.t -> Vec.t
+(** [solve_transpose lu b] returns [x] with [Aᵀ x = b]. *)
+
+val solve_mat : t -> Mat.t -> Mat.t
+(** Column-wise solve: [solve_mat lu b] returns [X] with [A X = B]. *)
+
+val det : t -> float
+
+val dim : t -> int
+
+val solve_dense : Mat.t -> Vec.t -> Vec.t
+(** One-shot convenience: factorize and solve. *)
+
+val inverse : Mat.t -> Mat.t
+
+val rcond_estimate : Mat.t -> t -> float
+(** Cheap reciprocal-condition estimate |A|∞·|A⁻¹e|∞ based. *)

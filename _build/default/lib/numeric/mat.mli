@@ -1,0 +1,63 @@
+(** Dense row-major matrices of floats.
+
+    Sized for circuit-simulation workloads (tens to a few hundred
+    unknowns), so the implementation favours clarity over blocking. *)
+
+type t
+
+val create : int -> int -> t
+(** [create r c] is the zero matrix with [r] rows and [c] columns. *)
+
+val identity : int -> t
+
+val init : int -> int -> (int -> int -> float) -> t
+
+val of_arrays : float array array -> t
+(** Rows must all have the same length. *)
+
+val rows : t -> int
+
+val cols : t -> int
+
+val get : t -> int -> int -> float
+
+val set : t -> int -> int -> float -> unit
+
+val add_to : t -> int -> int -> float -> unit
+(** [add_to m i j v] performs [m.(i).(j) <- m.(i).(j) + v]. *)
+
+val copy : t -> t
+
+val fill : t -> float -> unit
+
+val blit : t -> t -> unit
+
+val transpose : t -> t
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+
+val scale : float -> t -> t
+
+val mul : t -> t -> t
+(** Matrix-matrix product. *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+(** Matrix-vector product. *)
+
+val tmul_vec : t -> Vec.t -> Vec.t
+(** [tmul_vec m x] is [transpose m * x] without forming the transpose. *)
+
+val row : t -> int -> Vec.t
+
+val col : t -> int -> Vec.t
+
+val norm_inf : t -> float
+(** Maximum absolute row sum. *)
+
+val frobenius : t -> float
+
+val max_abs : t -> float
+
+val pp : Format.formatter -> t -> unit

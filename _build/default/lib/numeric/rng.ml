@@ -1,0 +1,74 @@
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+  mutable spare : float option; (* cached second Box-Muller variate *)
+}
+
+(* SplitMix64: expands a single seed into well-mixed 64-bit words. *)
+let splitmix64 state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64 state in
+  let s1 = splitmix64 state in
+  let s2 = splitmix64 state in
+  let s3 = splitmix64 state in
+  { s0; s1; s2; s3; spare = None }
+
+let rotl x k =
+  Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tt = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tt;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create seed
+
+(* 53 uniformly distributed mantissa bits in [0,1) *)
+let uniform t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. (1.0 /. 9007199254740992.0)
+
+let uniform_range t lo hi = lo +. ((hi -. lo) *. uniform t)
+
+let gaussian t =
+  match t.spare with
+  | Some v ->
+    t.spare <- None;
+    v
+  | None ->
+    (* Box-Muller; reject u1 = 0 to keep log finite *)
+    let rec nonzero () =
+      let u = uniform t in
+      if u > 0.0 then u else nonzero ()
+    in
+    let u1 = nonzero () and u2 = uniform t in
+    let r = sqrt (-2.0 *. log u1) in
+    let theta = 2.0 *. Float.pi *. u2 in
+    t.spare <- Some (r *. sin theta);
+    r *. cos theta
+
+let gaussian_sigma t sigma = sigma *. gaussian t
+let gaussian_vector t n = Array.init n (fun _ -> gaussian t)
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (bits64 t) Int64.max_int) (Int64.of_int n))

@@ -1,0 +1,31 @@
+(** Deterministic, seedable pseudo-random number generation.
+
+    xoshiro256** core with SplitMix64 seeding; Gaussian variates by
+    Box–Muller.  Every Monte-Carlo experiment in the repository is
+    reproducible from its integer seed. *)
+
+type t
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed. *)
+
+val split : t -> t
+(** A statistically independent child generator (for per-sample use). *)
+
+val uniform : t -> float
+(** Uniform on [0, 1). *)
+
+val uniform_range : t -> float -> float -> float
+
+val gaussian : t -> float
+(** Standard normal variate. *)
+
+val gaussian_sigma : t -> float -> float
+(** [gaussian_sigma t sigma] is a zero-mean normal with given std dev. *)
+
+val gaussian_vector : t -> int -> Vec.t
+
+val int : t -> int -> int
+(** [int t n] is uniform on [0, n). *)
+
+val bits64 : t -> int64

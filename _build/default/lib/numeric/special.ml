@@ -1,0 +1,150 @@
+(* Lanczos approximation, g = 7, n = 9 coefficients *)
+let lanczos =
+  [|
+    0.99999999999980993; 676.5203681218851; -1259.1392167224028;
+    771.32342877765313; -176.61502916214059; 12.507343278686905;
+    -0.13857109526572012; 9.9843695780195716e-6; 1.5056327351493116e-7;
+  |]
+
+let rec log_gamma x =
+  if x < 0.5 then
+    (* reflection formula *)
+    log (Float.pi /. sin (Float.pi *. x)) -. log_gamma (1.0 -. x)
+  else begin
+    let x = x -. 1.0 in
+    let a = ref lanczos.(0) in
+    let t = x +. 7.5 in
+    for i = 1 to 8 do
+      a := !a +. (lanczos.(i) /. (x +. float_of_int i))
+    done;
+    (0.5 *. log (2.0 *. Float.pi))
+    +. ((x +. 0.5) *. log t)
+    -. t
+    +. log !a
+  end
+
+(* series expansion of P(a,x), valid for x < a+1 *)
+let gamma_p_series a x =
+  let rec loop n term sum =
+    if Float.abs term < Float.abs sum *. 1e-16 || n > 500 then sum
+    else begin
+      let term = term *. x /. (a +. float_of_int n) in
+      loop (n + 1) term (sum +. term)
+    end
+  in
+  let t0 = 1.0 /. a in
+  let sum = loop 1 t0 t0 in
+  sum *. exp ((a *. log x) -. x -. log_gamma a)
+
+(* continued fraction for Q(a,x), valid for x >= a+1 (Lentz) *)
+let gamma_q_cf a x =
+  let tiny = 1e-300 in
+  let b = ref (x +. 1.0 -. a) in
+  let c = ref (1.0 /. tiny) in
+  let d = ref (1.0 /. !b) in
+  let h = ref !d in
+  (try
+     for i = 1 to 500 do
+       let an = -.float_of_int i *. (float_of_int i -. a) in
+       b := !b +. 2.0;
+       d := (an *. !d) +. !b;
+       if Float.abs !d < tiny then d := tiny;
+       c := !b +. (an /. !c);
+       if Float.abs !c < tiny then c := tiny;
+       d := 1.0 /. !d;
+       let delta = !d *. !c in
+       h := !h *. delta;
+       if Float.abs (delta -. 1.0) < 1e-16 then raise Exit
+     done
+   with Exit -> ());
+  !h *. exp ((a *. log x) -. x -. log_gamma a)
+
+let gamma_p a x =
+  if a <= 0.0 || x < 0.0 then invalid_arg "Special.gamma_p";
+  if x = 0.0 then 0.0
+  else if x < a +. 1.0 then gamma_p_series a x
+  else 1.0 -. gamma_q_cf a x
+
+let erf x =
+  if x < 0.0 then -.gamma_p 0.5 (x *. x)
+  else gamma_p 0.5 (x *. x)
+
+let erfc x = 1.0 -. erf x
+
+let normal_cdf ?(mu = 0.0) ?(sigma = 1.0) x =
+  0.5 *. erfc (-.(x -. mu) /. (sigma *. sqrt 2.0))
+
+let normal_pdf ?(mu = 0.0) ?(sigma = 1.0) x =
+  let z = (x -. mu) /. sigma in
+  exp (-0.5 *. z *. z) /. (sigma *. sqrt (2.0 *. Float.pi))
+
+(* Acklam's rational approximation for the probit function *)
+let normal_quantile p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Special.normal_quantile";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  and b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  and c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  and d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let plow = 0.02425 in
+  let x =
+    if p < plow then begin
+      let q = sqrt (-2.0 *. log p) in
+      (((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+      /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+    end
+    else if p <= 1.0 -. plow then begin
+      let q = p -. 0.5 in
+      let r = q *. q in
+      (((((a.(0) *. r +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4)) *. r +. a.(5))
+      *. q
+      /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4)) *. r +. 1.0)
+    end
+    else begin
+      let q = sqrt (-2.0 *. log (1.0 -. p)) in
+      -.(((((c.(0) *. q +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4)) *. q +. c.(5))
+      /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.0)
+    end
+  in
+  (* one Halley polish step *)
+  let e = normal_cdf x -. p in
+  let u = e *. sqrt (2.0 *. Float.pi) *. exp (x *. x /. 2.0) in
+  x -. (u /. (1.0 +. (x *. u /. 2.0)))
+
+let chi2_cdf k x = gamma_p (float_of_int k /. 2.0) (x /. 2.0)
+
+let chi2_quantile k p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Special.chi2_quantile";
+  let kf = float_of_int k in
+  (* Wilson-Hilferty starting point *)
+  let z = normal_quantile p in
+  let t = 1.0 -. (2.0 /. (9.0 *. kf)) +. (z *. sqrt (2.0 /. (9.0 *. kf))) in
+  let x0 = Float.max (kf *. t *. t *. t) 1e-8 in
+  (* Newton on the CDF *)
+  let rec newton x iter =
+    if iter = 0 then x
+    else begin
+      let f = chi2_cdf k x -. p in
+      let pdf =
+        exp
+          (((kf /. 2.0) -. 1.0) *. log x
+          -. (x /. 2.0)
+          -. log_gamma (kf /. 2.0)
+          -. (kf /. 2.0 *. log 2.0))
+      in
+      if pdf <= 0.0 then x
+      else begin
+        let x' = Float.max (x -. (f /. pdf)) (x /. 10.0) in
+        if Float.abs (x' -. x) < 1e-10 *. x then x' else newton x' (iter - 1)
+      end
+    end
+  in
+  newton x0 50

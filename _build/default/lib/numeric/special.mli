@@ -1,0 +1,25 @@
+(** Special functions needed by the statistics layer. *)
+
+val erf : float -> float
+(** Error function (Abramowitz–Stegun 7.1.26-style rational approximation
+    refined with one Newton step; absolute error < 1e-12). *)
+
+val erfc : float -> float
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** Φ((x-mu)/sigma). *)
+
+val normal_pdf : ?mu:float -> ?sigma:float -> float -> float
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF (Acklam's algorithm + Newton polish). *)
+
+val chi2_quantile : int -> float -> float
+(** [chi2_quantile k p]: quantile of the chi-square distribution with
+    [k] degrees of freedom (Wilson–Hilferty + Newton on the CDF via
+    regularized gamma). *)
+
+val log_gamma : float -> float
+
+val gamma_p : float -> float -> float
+(** Regularized lower incomplete gamma P(a, x). *)

@@ -1,0 +1,174 @@
+type summary = {
+  n : int;
+  mean : float;
+  variance : float;
+  std_dev : float;
+  skewness : float;
+  kurtosis_excess : float;
+  min : float;
+  max : float;
+}
+
+let require_nonempty xs =
+  if Array.length xs = 0 then invalid_arg "Stats: empty sample"
+
+let mean xs =
+  require_nonempty xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let central_moment k xs =
+  require_nonempty xs;
+  let m = mean xs in
+  let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** float_of_int k)) 0.0 xs in
+  s /. float_of_int (Array.length xs)
+
+let variance xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    s /. float_of_int (n - 1)
+  end
+
+let std_dev xs = sqrt (variance xs)
+
+let skewness xs =
+  let mu3 = central_moment 3 xs in
+  let sigma = sqrt (central_moment 2 xs) in
+  if sigma = 0.0 then 0.0 else mu3 /. (sigma ** 3.0)
+
+let normalized_skewness xs =
+  let mu3 = central_moment 3 xs in
+  let m = mean xs in
+  if m = 0.0 then 0.0
+  else begin
+    let root = Float.abs mu3 ** (1.0 /. 3.0) in
+    let signed = if mu3 < 0.0 then -.root else root in
+    signed /. m
+  end
+
+let summarize xs =
+  require_nonempty xs;
+  let n = Array.length xs in
+  let sigma2 = central_moment 2 xs in
+  let kurt =
+    if sigma2 = 0.0 then 0.0
+    else (central_moment 4 xs /. (sigma2 *. sigma2)) -. 3.0
+  in
+  {
+    n;
+    mean = mean xs;
+    variance = variance xs;
+    std_dev = std_dev xs;
+    skewness = skewness xs;
+    kurtosis_excess = kurt;
+    min = Array.fold_left Float.min xs.(0) xs;
+    max = Array.fold_left Float.max xs.(0) xs;
+  }
+
+let covariance xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys then invalid_arg "Stats.covariance";
+  if n < 2 then 0.0
+  else begin
+    let mx = mean xs and my = mean ys in
+    let s = ref 0.0 in
+    for i = 0 to n - 1 do
+      s := !s +. ((xs.(i) -. mx) *. (ys.(i) -. my))
+    done;
+    !s /. float_of_int (n - 1)
+  end
+
+let correlation xs ys =
+  let c = covariance xs ys in
+  let sx = std_dev xs and sy = std_dev ys in
+  if sx = 0.0 || sy = 0.0 then 0.0 else c /. (sx *. sy)
+
+let percentile xs p =
+  require_nonempty xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile";
+  let sorted = Array.copy xs in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let sigma_confidence_interval n sigma_hat =
+  if n < 2 then invalid_arg "Stats.sigma_confidence_interval";
+  let k = n - 1 in
+  let lo_chi = Special.chi2_quantile k 0.975 in
+  let hi_chi = Special.chi2_quantile k 0.025 in
+  let kf = float_of_int k in
+  (sigma_hat *. sqrt (kf /. lo_chi), sigma_hat *. sqrt (kf /. hi_chi))
+
+let sigma_relative_ci_halfwidth n =
+  let lo, hi = sigma_confidence_interval n 1.0 in
+  (hi -. lo) /. 2.0
+
+type histogram = {
+  lo : float;
+  hi : float;
+  bin_width : float;
+  counts : int array;
+  total : int;
+}
+
+let histogram ?(bins = 40) ?range xs =
+  require_nonempty xs;
+  if bins <= 0 then invalid_arg "Stats.histogram";
+  let lo, hi =
+    match range with
+    | Some (lo, hi) -> (lo, hi)
+    | None ->
+      let lo = Array.fold_left Float.min xs.(0) xs in
+      let hi = Array.fold_left Float.max xs.(0) xs in
+      if lo = hi then (lo -. 0.5, hi +. 0.5) else (lo, hi)
+  in
+  let w = (hi -. lo) /. float_of_int bins in
+  let counts = Array.make bins 0 in
+  Array.iter
+    (fun x ->
+      if x >= lo && x <= hi then begin
+        let b = Stdlib.min (bins - 1) (int_of_float ((x -. lo) /. w)) in
+        counts.(b) <- counts.(b) + 1
+      end)
+    xs;
+  { lo; hi; bin_width = w; counts; total = Array.length xs }
+
+let histogram_density h i =
+  float_of_int h.counts.(i) /. (float_of_int h.total *. h.bin_width)
+
+let histogram_center h i = h.lo +. ((float_of_int i +. 0.5) *. h.bin_width)
+
+let pp_histogram ?(width = 50) ?overlay_pdf ppf h =
+  let maxd =
+    let best = ref 0.0 in
+    for i = 0 to Array.length h.counts - 1 do
+      best := Float.max !best (histogram_density h i)
+    done;
+    (match overlay_pdf with
+     | Some f ->
+       for i = 0 to Array.length h.counts - 1 do
+         best := Float.max !best (f (histogram_center h i))
+       done
+     | None -> ());
+    Float.max !best 1e-300
+  in
+  for i = 0 to Array.length h.counts - 1 do
+    let d = histogram_density h i in
+    let n = int_of_float (d /. maxd *. float_of_int width) in
+    let bar = String.make n '#' in
+    let marker =
+      match overlay_pdf with
+      | None -> ""
+      | Some f ->
+        let pos = int_of_float (f (histogram_center h i) /. maxd *. float_of_int width) in
+        if pos > n then String.make (pos - n) ' ' ^ "*"
+        else "" (* marker inside the bar: overprint *)
+    in
+    Format.fprintf ppf "%12.5g | %s%s@." (histogram_center h i) bar marker
+  done

@@ -1,0 +1,76 @@
+type t = float array
+
+let create n = Array.make n 0.0
+let make = Array.make
+let init = Array.init
+let dim = Array.length
+let copy = Array.copy
+let of_list = Array.of_list
+
+let basis n i =
+  let v = create n in
+  v.(i) <- 1.0;
+  v
+
+let check_dim x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Vec: dimension mismatch"
+
+let add x y =
+  check_dim x y;
+  Array.init (Array.length x) (fun i -> x.(i) +. y.(i))
+
+let sub x y =
+  check_dim x y;
+  Array.init (Array.length x) (fun i -> x.(i) -. y.(i))
+
+let scale a x = Array.map (fun xi -> a *. xi) x
+
+let axpy a x y =
+  check_dim x y;
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- y.(i) +. (a *. x.(i))
+  done
+
+let dot x y =
+  check_dim x y;
+  let s = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    s := !s +. (x.(i) *. y.(i))
+  done;
+  !s
+
+let norm2 x = sqrt (dot x x)
+
+let norm_inf x = Array.fold_left (fun m xi -> Float.max m (Float.abs xi)) 0.0 x
+
+let dist_inf x y =
+  check_dim x y;
+  let m = ref 0.0 in
+  for i = 0 to Array.length x - 1 do
+    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  done;
+  !m
+
+let map = Array.map
+let map2 = Array.map2
+let fill x v = Array.fill x 0 (Array.length x) v
+
+let blit src dst =
+  check_dim src dst;
+  Array.blit src 0 dst 0 (Array.length src)
+
+let max_abs_index x =
+  if Array.length x = 0 then invalid_arg "Vec.max_abs_index: empty";
+  let best = ref 0 in
+  for i = 1 to Array.length x - 1 do
+    if Float.abs x.(i) > Float.abs x.(!best) then best := i
+  done;
+  !best
+
+let pp ppf x =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ")
+       (fun ppf v -> Format.fprintf ppf "%.6g" v))
+    (Array.to_list x)

@@ -1,0 +1,1 @@
+lib/spice/spice_elab.ml: Array Builder Circuit Hashtbl List Mosfet Printf Spice_ast Spice_parser Wave

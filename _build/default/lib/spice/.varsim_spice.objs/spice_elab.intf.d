@@ -1,0 +1,1 @@
+lib/spice/spice_elab.mli: Circuit Spice_ast

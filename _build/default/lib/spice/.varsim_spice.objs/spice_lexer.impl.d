@@ -1,0 +1,1 @@
+lib/spice/spice_lexer.ml: Buffer List Printf String

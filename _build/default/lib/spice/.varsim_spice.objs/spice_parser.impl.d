@@ -1,0 +1,1 @@
+lib/spice/spice_parser.ml: List Printf Spice_ast Spice_lexer String Wave

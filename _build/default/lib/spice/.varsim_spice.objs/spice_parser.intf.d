@@ -1,0 +1,1 @@
+lib/spice/spice_parser.mli: Spice_ast Spice_lexer

@@ -1,0 +1,1 @@
+lib/spice/spice_run.ml: Ac Analysis Array Circuit Cx Dc Float Format List Monte_carlo Noise_lti Pss Pss_osc Report Sens Spice_ast Spice_elab Stats Tran Waveform

@@ -1,0 +1,1 @@
+lib/spice/spice_run.mli: Format Spice_ast Spice_elab

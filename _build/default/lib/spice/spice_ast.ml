@@ -1,0 +1,54 @@
+(* Parsed deck statements.  All names and node labels are lowercase. *)
+
+type source_spec =
+  | Src_dc of float
+  | Src_pulse of Wave.pulse
+  | Src_sin of Wave.sin_spec
+  | Src_pwl of (float * float) list
+
+type element =
+  | E_resistor of { name : string; p : string; n : string; r : float; tol : float }
+  | E_capacitor of { name : string; p : string; n : string; c : float; tol : float }
+  | E_inductor of { name : string; p : string; n : string; l : float }
+  | E_vsource of { name : string; p : string; n : string; spec : source_spec }
+  | E_isource of { name : string; p : string; n : string; spec : source_spec }
+  | E_vcvs of { name : string; p : string; n : string; cp : string; cn : string; gain : float }
+  | E_vccs of { name : string; p : string; n : string; cp : string; cn : string; gm : float }
+  | E_cccs of { name : string; p : string; n : string; ctrl : string; gain : float }
+  | E_ccvs of { name : string; p : string; n : string; ctrl : string; r : float }
+  | E_diode of { name : string; p : string; n : string; is_sat : float; nf : float }
+  | E_mosfet of {
+      name : string; d : string; g : string; s : string; b : string;
+      model : string; w : float; l : float;
+    }
+  | E_bjt of { name : string; c : string; b : string; e : string; area : float }
+  | E_instance of { name : string; nodes : string list; subckt : string }
+      (* X card: subcircuit instance *)
+
+type analysis =
+  | A_op
+  | A_dc_match of { output : string }
+  | A_tran of { dt : float; tstop : float; nodes : string list }
+  | A_ac of { freqs : float list; input : string; output : string }
+  | A_noise of { output : string; freqs : float list }
+  | A_pss of { period : float }
+  | A_mismatch_dc of { output : string; period : float }
+  | A_mismatch_delay of {
+      output : string; period : float; threshold : float; after : float;
+      rising : bool;
+    }
+  | A_mismatch_freq of { anchor : string; f_guess : float }
+  | A_monte_carlo of { n : int; seed : int }
+
+type statement =
+  | S_element of element
+  | S_model of { name : string; base : string; overrides : (string * float) list }
+  | S_analysis of analysis
+  | S_subckt_begin of { name : string; ports : string list }
+  | S_subckt_end
+  | S_end
+
+type deck = {
+  title : string;
+  statements : (int * statement) list; (* with line numbers *)
+}

@@ -1,0 +1,156 @@
+exception Elab_error of int * string
+
+type t = {
+  title : string;
+  circuit : Circuit.t;
+  analyses : (int * Spice_ast.analysis) list;
+}
+
+let err lineno fmt = Printf.ksprintf (fun s -> raise (Elab_error (lineno, s))) fmt
+
+let wave_of_spec = function
+  | Spice_ast.Src_dc v -> Wave.Dc v
+  | Spice_ast.Src_pulse p -> Wave.Pulse p
+  | Spice_ast.Src_sin s -> Wave.Sin s
+  | Spice_ast.Src_pwl pts -> Wave.Pwl (Array.of_list pts)
+
+let apply_override lineno (m : Mosfet.model) (key, v) =
+  match key with
+  | "vt0" -> { m with Mosfet.vt0 = v }
+  | "kp" -> { m with Mosfet.kp = v }
+  | "slope" | "n" -> { m with Mosfet.slope = v }
+  | "lambda" -> { m with Mosfet.lambda = v }
+  | "cox" -> { m with Mosfet.cox = v }
+  | "cov" -> { m with Mosfet.cov = v }
+  | "cj" -> { m with Mosfet.cj = v }
+  | "avt" -> { m with Mosfet.avt = v }
+  | "abeta" -> { m with Mosfet.abeta = v }
+  | "phit" -> { m with Mosfet.phi_t = v }
+  | "kf" -> { m with Mosfet.kf = v }
+  | other -> err lineno "unknown model parameter %s" other
+
+type subckt_def = {
+  ports : string list;
+  body : (int * Spice_ast.element) list;
+}
+
+(* split the statement stream into models, subcircuit definitions,
+   top-level elements and analyses *)
+let collect statements =
+  let models = Hashtbl.create 8 in
+  Hashtbl.replace models "nmos013" Mosfet.nmos_013;
+  Hashtbl.replace models "pmos013" Mosfet.pmos_013;
+  Hashtbl.replace models "nmos" Mosfet.nmos_013;
+  Hashtbl.replace models "pmos" Mosfet.pmos_013;
+  let subckts = Hashtbl.create 8 in
+  let elements = ref [] in
+  let analyses = ref [] in
+  let current_subckt = ref None in
+  let stopped = ref false in
+  List.iter
+    (fun (lineno, stmt) ->
+      if not !stopped then
+        match stmt, !current_subckt with
+        | Spice_ast.S_end, _ -> stopped := true
+        | Spice_ast.S_model { name; base; overrides }, _ -> begin
+          match Hashtbl.find_opt models base with
+          | None -> err lineno "unknown base model %s" base
+          | Some m ->
+            Hashtbl.replace models name
+              (List.fold_left (apply_override lineno) m overrides)
+          end
+        | Spice_ast.S_subckt_begin { name; ports }, None ->
+          current_subckt := Some (name, ports, ref [])
+        | Spice_ast.S_subckt_begin _, Some _ ->
+          err lineno "nested .subckt definitions are not supported"
+        | Spice_ast.S_subckt_end, Some (name, ports, body) ->
+          Hashtbl.replace subckts name { ports; body = List.rev !body };
+          current_subckt := None
+        | Spice_ast.S_subckt_end, None -> err lineno ".ends without .subckt"
+        | Spice_ast.S_element e, Some (_, _, body) ->
+          body := (lineno, e) :: !body
+        | Spice_ast.S_element e, None -> elements := (lineno, e) :: !elements
+        | Spice_ast.S_analysis _, Some _ ->
+          err lineno "analysis cards are not allowed inside .subckt"
+        | Spice_ast.S_analysis a, None -> analyses := (lineno, a) :: !analyses)
+    statements;
+  (match !current_subckt with
+   | Some (name, _, _) -> failwith (Printf.sprintf "unterminated .subckt %s" name)
+   | None -> ());
+  (models, subckts, List.rev !elements, List.rev !analyses)
+
+(* expand an element into the builder, renaming through the node map
+   and prefixing device names; X instances recurse *)
+let rec emit b ~models ~subckts ~prefix ~node_map ~depth lineno e =
+  if depth > 20 then err lineno "subcircuit nesting too deep (cycle?)";
+  let rename node =
+    match List.assoc_opt node node_map with
+    | Some outer -> outer
+    | None -> if node = "0" || node = "gnd" then "0" else prefix ^ node
+  in
+  let dev name = prefix ^ name in
+  match e with
+  | Spice_ast.E_resistor { name; p; n; r; tol } ->
+    Builder.resistor ~tol b (dev name) (rename p) (rename n) r
+  | Spice_ast.E_capacitor { name; p; n; c; tol } ->
+    Builder.capacitor ~tol b (dev name) (rename p) (rename n) c
+  | Spice_ast.E_inductor { name; p; n; l } ->
+    Builder.inductor b (dev name) (rename p) (rename n) l
+  | Spice_ast.E_vsource { name; p; n; spec } ->
+    Builder.vsource b (dev name) (rename p) (rename n) (wave_of_spec spec)
+  | Spice_ast.E_isource { name; p; n; spec } ->
+    Builder.isource b (dev name) (rename p) (rename n) (wave_of_spec spec)
+  | Spice_ast.E_vcvs { name; p; n; cp; cn; gain } ->
+    Builder.vcvs b (dev name) (rename p) (rename n) (rename cp) (rename cn) gain
+  | Spice_ast.E_vccs { name; p; n; cp; cn; gm } ->
+    Builder.vccs b (dev name) (rename p) (rename n) (rename cp) (rename cn) gm
+  | Spice_ast.E_cccs { name; p; n; ctrl; gain } ->
+    Builder.cccs b (dev name) (rename p) (rename n) ~ctrl:(prefix ^ ctrl) gain
+  | Spice_ast.E_ccvs { name; p; n; ctrl; r } ->
+    Builder.ccvs b (dev name) (rename p) (rename n) ~ctrl:(prefix ^ ctrl) r
+  | Spice_ast.E_diode { name; p; n; is_sat; nf } ->
+    Builder.diode ~is_sat ~nf b (dev name) (rename p) (rename n)
+  | Spice_ast.E_mosfet { name; d; g; s; b = bulk; model; w; l } -> begin
+    match Hashtbl.find_opt models model with
+    | None -> err lineno "unknown MOS model %s" model
+    | Some m ->
+      Builder.mosfet b (dev name) ~d:(rename d) ~g:(rename g) ~s:(rename s)
+        ~b:(rename bulk) ~model:m ~w ~l ()
+    end
+  | Spice_ast.E_bjt { name; c; b = base; e; area } ->
+    Builder.bjt ~area b (dev name) ~c:(rename c) ~b:(rename base) ~e:(rename e) ()
+  | Spice_ast.E_instance { name; nodes; subckt } -> begin
+    match Hashtbl.find_opt subckts subckt with
+    | None -> err lineno "unknown subcircuit %s" subckt
+    | Some def ->
+      if List.length nodes <> List.length def.ports then
+        err lineno "subcircuit %s expects %d nodes, got %d" subckt
+          (List.length def.ports) (List.length nodes);
+      let inner_map =
+        List.map2 (fun port node -> (port, rename node)) def.ports nodes
+      in
+      let inner_prefix = prefix ^ name ^ "." in
+      List.iter
+        (fun (ln, inner) ->
+          emit b ~models ~subckts ~prefix:inner_prefix ~node_map:inner_map
+            ~depth:(depth + 1) ln inner)
+        def.body
+    end
+
+let elaborate (deck : Spice_ast.deck) =
+  let models, subckts, elements, analyses = collect deck.Spice_ast.statements in
+  let b = Builder.create () in
+  List.iter
+    (fun (lineno, e) ->
+      emit b ~models ~subckts ~prefix:"" ~node_map:[] ~depth:0 lineno e)
+    elements;
+  { title = deck.Spice_ast.title; circuit = Builder.finish b; analyses }
+
+let load_string text = elaborate (Spice_parser.parse text)
+
+let load_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  load_string text

@@ -1,0 +1,25 @@
+(** Elaboration: parsed deck → {!Circuit.t} plus the analysis list.
+
+    Built-in MOSFET models: ["nmos013"] and ["pmos013"] (the 0.13 µm
+    EKV-lite models); [.model] cards derive new models from them with
+    field overrides (vt0 kp slope lambda cox cov cj avt abeta kf).
+
+    Subcircuits ([.subckt name port... / .ends], instantiated with
+    [X<name> node... subckt]) are expanded hierarchically: internal
+    nodes and device names are prefixed with the instance path
+    ("x1.m2"), so mismatch parameters of each instance stay distinct. *)
+
+exception Elab_error of int * string
+
+type t = {
+  title : string;
+  circuit : Circuit.t;
+  analyses : (int * Spice_ast.analysis) list;
+}
+
+val elaborate : Spice_ast.deck -> t
+
+val load_file : string -> t
+(** Parse + elaborate a deck file. *)
+
+val load_string : string -> t

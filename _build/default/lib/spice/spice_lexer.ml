@@ -1,0 +1,135 @@
+type line = {
+  number : int;
+  tokens : string list;
+}
+
+exception Lex_error of int * string
+
+let strip_comment s =
+  let cut = ref (String.length s) in
+  String.iteri
+    (fun i c -> if (c = ';' || c = '$') && i < !cut then cut := i)
+    s;
+  String.sub s 0 !cut
+
+(* split on whitespace, commas and parentheses, but keep '=' glued so
+   key=value survives as one token; '(' and ')' become separators *)
+let tokenize s =
+  let buf = Buffer.create 16 in
+  let out = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      out := String.lowercase_ascii (Buffer.contents buf) :: !out;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | ' ' | '\t' | ',' | '(' | ')' -> flush ()
+      | c -> Buffer.add_char buf c)
+    s;
+  flush ();
+  List.rev !out
+
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec fold acc current lineno = function
+    | [] -> List.rev (match current with None -> acc | Some l -> l :: acc)
+    | raw_line :: rest ->
+      let lineno = lineno + 1 in
+      let s = strip_comment raw_line in
+      let trimmed = String.trim s in
+      if trimmed = "" || trimmed.[0] = '*' then fold acc current lineno rest
+      else if trimmed.[0] = '+' then begin
+        let extra = tokenize (String.sub trimmed 1 (String.length trimmed - 1)) in
+        match current with
+        | None -> raise (Lex_error (lineno, "continuation with no previous line"))
+        | Some l -> fold acc (Some { l with tokens = l.tokens @ extra }) lineno rest
+      end
+      else begin
+        let acc = match current with None -> acc | Some l -> l :: acc in
+        fold acc (Some { number = lineno; tokens = tokenize trimmed }) lineno rest
+      end
+  in
+  fold [] None 0 raw
+
+let suffixes =
+  [ ("meg", 1e6); ("t", 1e12); ("g", 1e9); ("k", 1e3); ("m", 1e-3);
+    ("u", 1e-6); ("n", 1e-9); ("p", 1e-12); ("f", 1e-15) ]
+
+let parse_number s =
+  let s = String.lowercase_ascii (String.trim s) in
+  let n = String.length s in
+  if n = 0 then None
+  else begin
+    (* longest numeric prefix *)
+    let is_num_char c =
+      (c >= '0' && c <= '9') || c = '.' || c = '+' || c = '-' || c = 'e'
+    in
+    (* careful: 'e' only counts if followed by digits/sign (exponent) *)
+    let stop = ref 0 in
+    (try
+       let i = ref 0 in
+       while !i < n do
+         let c = s.[!i] in
+         if c = 'e' then begin
+           (* accept as exponent when the next char is digit or sign *)
+           if
+             !i + 1 < n
+             && (match s.[!i + 1] with
+                 | '0' .. '9' | '+' | '-' -> true
+                 | _ -> false)
+           then begin
+             stop := !i + 2;
+             i := !i + 2
+           end
+           else raise Exit
+         end
+         else if is_num_char c then begin
+           stop := !i + 1;
+           incr i
+         end
+         else raise Exit
+       done
+     with Exit -> ());
+    (* extend stop through the exponent digits *)
+    let stop = ref !stop in
+    while !stop < n && (match s.[!stop] with '0' .. '9' -> true | _ -> false) do
+      incr stop
+    done;
+    if !stop = 0 then None
+    else begin
+      match float_of_string_opt (String.sub s 0 !stop) with
+      | None -> None
+      | Some base ->
+        let tail = String.sub s !stop (n - !stop) in
+        let mult =
+          let rec find = function
+            | [] -> 1.0
+            | (sfx, m) :: rest ->
+              let ls = String.length sfx in
+              if String.length tail >= ls && String.sub tail 0 ls = sfx then m
+              else find rest
+          in
+          find suffixes
+        in
+        Some (base *. mult)
+    end
+  end
+
+let number_exn lineno s =
+  match parse_number s with
+  | Some v -> v
+  | None -> raise (Lex_error (lineno, Printf.sprintf "bad number %S" s))
+
+let split_assignments tokens =
+  List.fold_right
+    (fun tok (assigns, plain) ->
+      match String.index_opt tok '=' with
+      | Some i when i > 0 && i < String.length tok - 1 ->
+        let key = String.sub tok 0 i in
+        let value = String.sub tok (i + 1) (String.length tok - i - 1) in
+        ((key, value) :: assigns, plain)
+      | Some _ | None -> (assigns, tok :: plain))
+    tokens ([], [])

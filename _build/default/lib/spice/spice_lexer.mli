@@ -1,0 +1,25 @@
+(** Tokenizer for SPICE-style netlist decks.
+
+    Handles comments ([*] full-line, [;] and [$] trailing),
+    [+]-continuation lines, case-insensitive tokens, and engineering
+    number suffixes (f p n u m k meg g t). *)
+
+type line = {
+  number : int; (** 1-based source line of the (first) physical line *)
+  tokens : string list; (** lowercased tokens *)
+}
+
+exception Lex_error of int * string
+
+val logical_lines : string -> line list
+(** Split deck text into logical lines (continuations folded). *)
+
+val parse_number : string -> float option
+(** ["10k"] → [10e3], ["0.13u"] → [1.3e-7], ["2.5meg"] → [2.5e6];
+    trailing unit letters after the suffix are ignored (["10kohm"]). *)
+
+val number_exn : int -> string -> float
+(** Like {!parse_number} but raises {!Lex_error} with the line number. *)
+
+val split_assignments : string list -> (string * string) list * string list
+(** Partition tokens into [key=value] pairs and plain tokens. *)

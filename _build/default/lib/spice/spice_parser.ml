@@ -1,0 +1,197 @@
+exception Parse_error of int * string
+
+let err lineno fmt = Printf.ksprintf (fun s -> raise (Parse_error (lineno, s))) fmt
+
+let number lineno s =
+  match Spice_lexer.parse_number s with
+  | Some v -> v
+  | None -> err lineno "expected a number, got %S" s
+
+let assoc_num lineno assigns key default =
+  match List.assoc_opt key assigns with
+  | Some v -> number lineno v
+  | None -> default
+
+let require_num lineno assigns key =
+  match List.assoc_opt key assigns with
+  | Some v -> number lineno v
+  | None -> err lineno "missing %s=" key
+
+(* source value tokens: DC v | PULSE v1 v2 delay rise fall width period |
+   SIN offset ampl freq [phase] | PWL t1 v1 t2 v2 ... | bare number *)
+let parse_source lineno tokens =
+  match tokens with
+  | [] -> err lineno "source needs a value"
+  | "dc" :: v :: _ -> Spice_ast.Src_dc (number lineno v)
+  | "pulse" :: rest -> begin
+    match List.map (number lineno) rest with
+    | [ v1; v2; delay; rise; fall; width; period ] ->
+      Spice_ast.Src_pulse { Wave.v1; v2; delay; rise; fall; width; period }
+    | [ v1; v2; delay; rise; fall; width ] ->
+      Spice_ast.Src_pulse { Wave.v1; v2; delay; rise; fall; width; period = 0.0 }
+    | _ -> err lineno "pulse needs 6 or 7 values"
+    end
+  | "sin" :: rest -> begin
+    match List.map (number lineno) rest with
+    | [ offset; ampl; freq ] ->
+      Spice_ast.Src_sin { Wave.offset; ampl; freq; phase_deg = 0.0 }
+    | [ offset; ampl; freq; phase_deg ] ->
+      Spice_ast.Src_sin { Wave.offset; ampl; freq; phase_deg }
+    | _ -> err lineno "sin needs 3 or 4 values"
+    end
+  | "pwl" :: rest ->
+    let values = List.map (number lineno) rest in
+    let rec pair = function
+      | [] -> []
+      | t :: v :: rest -> (t, v) :: pair rest
+      | [ _ ] -> err lineno "pwl needs an even number of values"
+    in
+    Spice_ast.Src_pwl (pair values)
+  | v :: _ -> Spice_ast.Src_dc (number lineno v)
+
+let parse_element lineno name tokens =
+  let kind = name.[0] in
+  let assigns, plain = Spice_lexer.split_assignments tokens in
+  match kind, plain with
+  | 'r', p :: n :: v :: _ ->
+    Spice_ast.E_resistor
+      { name; p; n; r = number lineno v; tol = assoc_num lineno assigns "tol" 0.0 }
+  | 'c', p :: n :: v :: _ ->
+    Spice_ast.E_capacitor
+      { name; p; n; c = number lineno v; tol = assoc_num lineno assigns "tol" 0.0 }
+  | 'l', p :: n :: v :: _ ->
+    Spice_ast.E_inductor { name; p; n; l = number lineno v }
+  | 'v', p :: n :: rest ->
+    Spice_ast.E_vsource { name; p; n; spec = parse_source lineno rest }
+  | 'i', p :: n :: rest ->
+    Spice_ast.E_isource { name; p; n; spec = parse_source lineno rest }
+  | 'e', p :: n :: cp :: cn :: g :: _ ->
+    Spice_ast.E_vcvs { name; p; n; cp; cn; gain = number lineno g }
+  | 'g', p :: n :: cp :: cn :: g :: _ ->
+    Spice_ast.E_vccs { name; p; n; cp; cn; gm = number lineno g }
+  | 'q', c :: bb :: e :: _ ->
+    Spice_ast.E_bjt
+      { name; c; b = bb; e; area = assoc_num lineno assigns "area" 1.0 }
+  | 'f', p :: n :: ctrl :: g :: _ ->
+    Spice_ast.E_cccs { name; p; n; ctrl; gain = number lineno g }
+  | 'h', p :: n :: ctrl :: r :: _ ->
+    Spice_ast.E_ccvs { name; p; n; ctrl; r = number lineno r }
+  | 'd', p :: n :: _ ->
+    Spice_ast.E_diode
+      {
+        name; p; n;
+        is_sat = assoc_num lineno assigns "is" 1e-14;
+        nf = assoc_num lineno assigns "n" 1.0;
+      }
+  | 'm', d :: g :: s :: b :: model :: _ ->
+    Spice_ast.E_mosfet
+      {
+        name; d; g; s; b; model;
+        w = require_num lineno assigns "w";
+        l = require_num lineno assigns "l";
+      }
+  | 'm', _ -> err lineno "mosfet: M<name> d g s b model w= l="
+  | 'x', nodes when List.length nodes >= 2 ->
+    let rec split_last acc = function
+      | [] -> err lineno "x card needs nodes and a subcircuit name"
+      | [ last ] -> (List.rev acc, last)
+      | x :: rest -> split_last (x :: acc) rest
+    in
+    let nodes, subckt = split_last [] nodes in
+    Spice_ast.E_instance { name; nodes; subckt }
+  | _, _ -> err lineno "cannot parse element %S" name
+
+let parse_dot lineno card tokens =
+  let assigns, plain = Spice_lexer.split_assignments tokens in
+  match card, plain with
+  | ".end", _ -> Spice_ast.S_end
+  | ".op", _ -> Spice_ast.S_analysis Spice_ast.A_op
+  | ".dcmatch", [ output ] ->
+    Spice_ast.S_analysis (Spice_ast.A_dc_match { output })
+  | ".tran", dt :: tstop :: nodes ->
+    Spice_ast.S_analysis
+      (Spice_ast.A_tran
+         { dt = number lineno dt; tstop = number lineno tstop; nodes })
+  | ".ac", f1 :: f2 :: input :: output :: _ ->
+    (* log sweep, 10 points per decade *)
+    let f1 = number lineno f1 and f2 = number lineno f2 in
+    let freqs =
+      let rec gen f acc = if f > f2 *. 1.0001 then List.rev acc else gen (f *. (10.0 ** 0.1)) (f :: acc) in
+      gen f1 []
+    in
+    Spice_ast.S_analysis (Spice_ast.A_ac { freqs; input; output })
+  | ".noise", output :: freq_tokens ->
+    let freqs = List.map (number lineno) freq_tokens in
+    Spice_ast.S_analysis (Spice_ast.A_noise { output; freqs })
+  | ".pss", [ period ] ->
+    Spice_ast.S_analysis (Spice_ast.A_pss { period = number lineno period })
+  | ".mismatch", [ output ] ->
+    Spice_ast.S_analysis
+      (Spice_ast.A_mismatch_dc { output; period = require_num lineno assigns "pss" })
+  | ".mismatchdelay", [ output ] ->
+    let edge_rising =
+      match List.assoc_opt "edge" assigns with
+      | Some "fall" -> false
+      | Some "rise" | None -> true
+      | Some other -> err lineno "edge must be rise or fall, got %s" other
+    in
+    Spice_ast.S_analysis
+      (Spice_ast.A_mismatch_delay
+         {
+           output;
+           period = require_num lineno assigns "pss";
+           threshold = require_num lineno assigns "vth";
+           after = assoc_num lineno assigns "after" 0.0;
+           rising = edge_rising;
+         })
+  | ".mismatchfreq", [ anchor ] ->
+    Spice_ast.S_analysis
+      (Spice_ast.A_mismatch_freq
+         { anchor; f_guess = require_num lineno assigns "fguess" })
+  | ".mc", _ ->
+    Spice_ast.S_analysis
+      (Spice_ast.A_monte_carlo
+         {
+           n = int_of_float (assoc_num lineno assigns "n" 200.0);
+           seed = int_of_float (assoc_num lineno assigns "seed" 42.0);
+         })
+  | ".subckt", name :: ports ->
+    if ports = [] then err lineno ".subckt needs at least one port";
+    Spice_ast.S_subckt_begin { name; ports }
+  | ".ends", _ -> Spice_ast.S_subckt_end
+  | ".model", name :: base :: _ ->
+    let overrides = List.map (fun (k, v) -> (k, number lineno v)) assigns in
+    Spice_ast.S_model { name; base; overrides }
+  | _, _ -> err lineno "cannot parse card %s" card
+
+let parse_line (l : Spice_lexer.line) =
+  match l.Spice_lexer.tokens with
+  | [] -> None
+  | head :: rest ->
+    let stmt =
+      if head.[0] = '.' then parse_dot l.Spice_lexer.number head rest
+      else Spice_ast.S_element (parse_element l.Spice_lexer.number head rest)
+    in
+    Some (l.Spice_lexer.number, stmt)
+
+let parse_statements lines = List.filter_map parse_line lines
+
+let parse text =
+  let lines = Spice_lexer.logical_lines text in
+  match lines with
+  | [] -> { Spice_ast.title = ""; statements = [] }
+  | first :: rest ->
+    (* standard SPICE: the first non-comment line is always the title,
+       unless it is a dot-card (so headless card-only decks still work) *)
+    let is_card =
+      match first.Spice_lexer.tokens with
+      | head :: _ -> head.[0] = '.'
+      | [] -> false
+    in
+    if is_card then
+      { Spice_ast.title = ""; statements = parse_statements lines }
+    else
+      {
+        Spice_ast.title = String.concat " " first.Spice_lexer.tokens;
+        statements = parse_statements rest;
+      }

@@ -1,0 +1,20 @@
+(** Parser from logical lines to deck statements.
+
+    Element cards follow SPICE conventions (the first letter of the
+    name selects the element type); analysis cards are dot-commands:
+
+    {v
+      .op                         .dcmatch out
+      .tran 10p 4n [node ...]     .ac 1k 1meg out
+      .pss 4n                     .mismatch out pss=4n
+      .mismatchdelay out pss=8n vth=0.6 after=1n edge=fall
+      .mismatchfreq anchor fguess=1g
+      .mc n=200 seed=7            .end
+    v} *)
+
+exception Parse_error of int * string
+
+val parse : string -> Spice_ast.deck
+(** Parse a whole deck (first line is the title, as in SPICE). *)
+
+val parse_statements : Spice_lexer.line list -> (int * Spice_ast.statement) list

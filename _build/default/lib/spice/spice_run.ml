@@ -1,0 +1,99 @@
+let run_analysis ppf (deck : Spice_elab.t) analysis =
+  let circuit = deck.Spice_elab.circuit in
+  match analysis with
+  | Spice_ast.A_op ->
+    let x = Dc.solve circuit in
+    Format.fprintf ppf "@[<v>.op operating point:@,";
+    for id = 1 to Circuit.num_nodes circuit do
+      Format.fprintf ppf "  v(%s) = %.6g@," (Circuit.node_name circuit id)
+        x.(id - 1)
+    done;
+    Format.fprintf ppf "@]@."
+  | Spice_ast.A_dc_match { output } ->
+    Format.fprintf ppf "%a@." Sens.pp_report (Sens.dc_match circuit ~output)
+  | Spice_ast.A_tran { dt; tstop; nodes } ->
+    let w = Tran.run circuit ~tstart:0.0 ~tstop ~dt () in
+    let nodes =
+      match nodes with
+      | [] ->
+        List.init (Circuit.num_nodes circuit) (fun i ->
+            Circuit.node_name circuit (i + 1))
+      | ns -> ns
+    in
+    Format.fprintf ppf "%s@." (Waveform.to_csv w ~nodes)
+  | Spice_ast.A_ac { freqs; input; output } ->
+    let ac = Ac.prepare circuit in
+    Format.fprintf ppf "@[<v>.ac %s -> %s:@," input output;
+    List.iter
+      (fun f ->
+        let tf = Ac.transfer ac ~freq:f ~input:(Ac.Vsource input) ~output in
+        Format.fprintf ppf "  %12.6g Hz  |H| = %10.6g  phase = %+8.2f deg@," f
+          (Cx.abs tf)
+          (Cx.arg tf *. 180.0 /. Float.pi))
+      freqs;
+    Format.fprintf ppf "@]@."
+  | Spice_ast.A_noise { output; freqs } ->
+    let points = Noise_lti.analyze circuit ~output ~freqs:(Array.of_list freqs) in
+    Format.fprintf ppf "@[<v>.noise at %s:@," output;
+    Array.iter
+      (fun (pt : Noise_lti.point) ->
+        Format.fprintf ppf "  %12.6g Hz  %.6g V^2/Hz@," pt.Noise_lti.freq
+          pt.Noise_lti.total_psd)
+      points;
+    Format.fprintf ppf "@]@."
+  | Spice_ast.A_pss { period } ->
+    let pss = Pss.solve circuit ~period in
+    Format.fprintf ppf
+      ".pss: converged in %d shooting iterations, residual %.3g@."
+      pss.Pss.iterations pss.Pss.residual;
+    for id = 1 to Circuit.num_nodes circuit do
+      let name = Circuit.node_name circuit id in
+      let samples = Pss.node_samples pss name in
+      let lo = Array.fold_left Float.min samples.(0) samples in
+      let hi = Array.fold_left Float.max samples.(0) samples in
+      Format.fprintf ppf "  %s: [%.4g, %.4g], fundamental amplitude %.4g@." name
+        lo hi (Pss.amplitude pss name)
+    done
+  | Spice_ast.A_mismatch_dc { output; period } ->
+    let ctx = Analysis.prepare circuit ~period in
+    Format.fprintf ppf "%a@." Report.pp (Analysis.dc_variation ctx ~output)
+  | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
+    let ctx = Analysis.prepare circuit ~period in
+    let crossing =
+      {
+        Analysis.edge = (if rising then Waveform.Rising else Waveform.Falling);
+        threshold;
+        after;
+      }
+    in
+    Format.fprintf ppf "%a@." Report.pp
+      (Analysis.delay_variation ctx ~output ~crossing)
+  | Spice_ast.A_mismatch_freq { anchor; f_guess } ->
+    let rep, osc = Analysis.frequency_variation circuit ~anchor ~f_guess in
+    Format.fprintf ppf "oscillator frequency: %.6g Hz@."
+      osc.Pss_osc.frequency;
+    Format.fprintf ppf "%a@." Report.pp rep
+  | Spice_ast.A_monte_carlo { n; seed } ->
+    (* generic Monte Carlo over all node voltages at the DC point *)
+    let mc =
+      Monte_carlo.run ~seed ~n ~circuit
+        ~measure:(fun c ->
+          let x = Dc.solve c in
+          Array.init (Circuit.num_nodes c) (fun i -> x.(i)))
+        ()
+    in
+    Format.fprintf ppf "@[<v>.mc (n=%d) node voltage statistics:@," n;
+    Array.iteri
+      (fun i (s : Stats.summary) ->
+        Format.fprintf ppf "  v(%s): mean %.6g sigma %.4g@,"
+          (Circuit.node_name circuit (i + 1))
+          s.Stats.mean s.Stats.std_dev)
+      mc.Monte_carlo.summaries;
+    Format.fprintf ppf "@]@."
+
+let run ppf deck =
+  if deck.Spice_elab.title <> "" then
+    Format.fprintf ppf "* %s@.@." deck.Spice_elab.title;
+  match deck.Spice_elab.analyses with
+  | [] -> run_analysis ppf deck Spice_ast.A_op
+  | analyses -> List.iter (fun (_ln, a) -> run_analysis ppf deck a) analyses

@@ -1,0 +1,9 @@
+(** Execute the analysis cards of an elaborated deck and pretty-print
+    the results — the engine behind the [varsim] CLI. *)
+
+val run_analysis :
+  Format.formatter -> Spice_elab.t -> Spice_ast.analysis -> unit
+(** Run one analysis card against the deck's circuit. *)
+
+val run : Format.formatter -> Spice_elab.t -> unit
+(** Run every card in deck order.  A deck with no cards gets an [.op]. *)

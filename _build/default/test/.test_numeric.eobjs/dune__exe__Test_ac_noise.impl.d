@@ -1,0 +1,1 @@
+test/test_ac_noise.ml: Ac Alcotest Array Builder Circuit Correlated Cx Dc Float List Mat Monte_carlo Mosfet Noise_lti Printf Sens Stats Tran_noise Wave Waveform

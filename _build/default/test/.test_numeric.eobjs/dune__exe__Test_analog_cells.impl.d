@@ -1,0 +1,1 @@
+test/test_analog_cells.ml: Alcotest Array Bandgap Circuit Dc Float List Monte_carlo Ota Printf Sens Sram Stats

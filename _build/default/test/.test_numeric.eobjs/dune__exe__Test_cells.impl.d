@@ -1,0 +1,1 @@
+test/test_cells.ml: Alcotest Array Circuit Clock_tree Correlation Dac_string Float List Logic_path Monte_carlo Printf Ring_osc Rng Strongarm

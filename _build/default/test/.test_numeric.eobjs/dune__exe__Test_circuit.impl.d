@@ -1,0 +1,1 @@
+test/test_circuit.ml: Alcotest Array Builder Circuit Dc Device Float List Mat Mosfet Printf QCheck QCheck_alcotest Rng Stamp Vec Wave

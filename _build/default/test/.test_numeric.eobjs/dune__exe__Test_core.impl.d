@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Analysis Array Builder Circuit Correlated Correlation Design_sens Float Gates List Mat Optimize Pelgrom Printf Report Rng Sens Stats String Variation Wave Waveform

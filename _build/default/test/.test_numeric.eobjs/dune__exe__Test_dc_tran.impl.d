@@ -1,0 +1,1 @@
+test/test_dc_tran.ml: Alcotest Array Builder Circuit Dc Float Gates List Mosfet Printf String Tran Wave Waveform

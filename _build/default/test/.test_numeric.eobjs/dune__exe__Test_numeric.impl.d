@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array Cholesky Clu Cmat Cvec Cx Eig Fft Float Gen List Lu Mat Printf QCheck QCheck_alcotest Rng Special Stats Stdlib Vec

@@ -1,0 +1,1 @@
+test/test_pss_lptv.ml: Ac Alcotest Array Builder Circuit Cx Dc Float Format Gates List Lptv Mat Period_sens Pnoise Printf Pss Pss_osc Ring_osc Vec Wave

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Circuit Dc Float Format List Printf Spice_ast Spice_elab Spice_lexer Spice_parser Spice_run Str String Wave

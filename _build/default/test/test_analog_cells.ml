@@ -1,0 +1,150 @@
+(* The paper-introduction's quoted DC-match applications, each validated
+   against Monte Carlo (and, where available, closed forms): op-amp
+   offset, bandgap reference output, SRAM read stability. *)
+
+let within_pct msg pct a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.4g vs %.4g (tol %.0f%%)" msg a b pct)
+    true
+    (Float.abs (a -. b) <= pct /. 100.0 *. Float.max (Float.abs a) (Float.abs b))
+
+(* ------------------------------------------------------------------ OTA *)
+
+let test_ota_offset_vs_mc () =
+  let p = Ota.default_params in
+  let circuit = Ota.build_unity_gain ~params:p () in
+  let dcm = Sens.dc_match circuit ~output:Ota.output_node in
+  let mc =
+    Monte_carlo.run_scalar ~seed:4 ~n:2000 ~circuit
+      ~measure:(fun c -> Ota.measure_offset c p) ()
+  in
+  within_pct "OTA offset sigma" 6.0 dcm.Sens.sigma
+    mc.Monte_carlo.summaries.(0).Stats.std_dev;
+  Alcotest.(check int) "no failures" 0 mc.Monte_carlo.failed
+
+let test_ota_input_pair_and_load_dominate () =
+  let p = Ota.default_params in
+  let circuit = Ota.build_unity_gain ~params:p () in
+  let dcm = Sens.dc_match circuit ~output:Ota.output_node in
+  (* tail mismatch is common mode: must contribute ~nothing *)
+  Array.iter
+    (fun (ct : Sens.contribution) ->
+      if ct.Sens.param.Circuit.device_name = "M5" then
+        Alcotest.(check bool) "tail rejected" true
+          (ct.Sens.variance_share < 0.02 *. dcm.Sens.sigma *. dcm.Sens.sigma))
+    dcm.Sens.contributions;
+  (* top contributor is input pair or mirror load *)
+  let top = dcm.Sens.contributions.(0).Sens.param.Circuit.device_name in
+  Alcotest.(check bool)
+    (Printf.sprintf "top is pair/load (got %s)" top)
+    true
+    (List.mem top [ "M1"; "M2"; "M3"; "M4" ])
+
+(* -------------------------------------------------------------- Bandgap *)
+
+let test_bandgap_nominal () =
+  let p = Bandgap.default_params in
+  let c = Bandgap.build ~params:p () in
+  let vref = Bandgap.measure_vref c in
+  (* near the first-order design value (finite gain + startup pull) *)
+  within_pct "vref near design value" 5.0 vref (Bandgap.expected_vref p);
+  Alcotest.(check bool) "escaped the all-off state" true (vref > 1.0)
+
+let test_bandgap_sigma_vs_mc () =
+  let c = Bandgap.build () in
+  let x_nom = Dc.solve c in
+  let dcm = Sens.dc_match ~x_op:x_nom c ~output:Bandgap.output_node in
+  let mc =
+    Monte_carlo.run_scalar ~seed:3 ~n:2000 ~circuit:c
+      ~measure:(Bandgap.measure_vref ~x0:x_nom) ()
+  in
+  within_pct "bandgap sigma" 6.0 dcm.Sens.sigma
+    mc.Monte_carlo.summaries.(0).Stats.std_dev;
+  Alcotest.(check int) "no failures" 0 mc.Monte_carlo.failed
+
+let test_bandgap_bjt_area_helps () =
+  (* quadrupling both emitter areas halves the bipolar contribution *)
+  let c = Bandgap.build () in
+  let x = Dc.solve c in
+  let dcm = Sens.dc_match ~x_op:x c ~output:Bandgap.output_node in
+  let bjt_var kind_filter =
+    Array.fold_left
+      (fun acc (ct : Sens.contribution) ->
+        if ct.Sens.param.Circuit.kind = kind_filter then
+          acc +. ct.Sens.variance_share
+        else acc)
+      0.0 dcm.Sens.contributions
+  in
+  let v_is = bjt_var Circuit.Delta_is in
+  Alcotest.(check bool) "bipolar mismatch present" true (v_is > 0.0);
+  (* entries exist for resistors too *)
+  Alcotest.(check bool) "resistor mismatch present" true
+    (bjt_var Circuit.Delta_r > 0.0)
+
+(* ----------------------------------------------------------------- SRAM *)
+
+let test_sram_read_bump_vs_mc () =
+  let p = Sram.default_params in
+  let c = Sram.build_read ~params:p () in
+  let x_op = Sram.read_state ~params:p c in
+  let dcm = Sens.dc_match ~x_op c ~output:"q" in
+  let mc =
+    Monte_carlo.run_scalar ~seed:8 ~n:1500 ~circuit:c
+      ~measure:(fun c' -> Sram.measure_read_bump ~params:p c') ()
+  in
+  within_pct "V_read sigma" 6.0 dcm.Sens.sigma
+    mc.Monte_carlo.summaries.(0).Stats.std_dev;
+  Alcotest.(check int) "no flips at nominal mismatch" 0 mc.Monte_carlo.failed
+
+let test_sram_wrong_state_is_wrong () =
+  (* regression for a real pitfall: DC-matching the cold-started
+     operating point of a bistable cell silently measures the wrong
+     state's sensitivities *)
+  let p = Sram.default_params in
+  let c = Sram.build_read ~params:p () in
+  let x_op = Sram.read_state ~params:p c in
+  let right = (Sens.dc_match ~x_op c ~output:"q").Sens.sigma in
+  let cold = (Sens.dc_match c ~output:"q").Sens.sigma in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold %.4g vs stored-state %.4g differ" cold right)
+    true
+    (Float.abs (cold -. right) > 0.5 *. right)
+
+let test_sram_area_scaling () =
+  (* sigma(V_read) scales as 1/sqrt(W) across cell sizes *)
+  let sigma scale =
+    let p =
+      { Sram.default_params with
+        Sram.w_pd = 0.6e-6 *. scale;
+        w_pu = 0.3e-6 *. scale;
+        w_ax = 0.4e-6 *. scale }
+    in
+    let c = Sram.build_read ~params:p () in
+    let x_op = Sram.read_state ~params:p c in
+    (Sens.dc_match ~x_op c ~output:"q").Sens.sigma
+  in
+  within_pct "pelgrom area scaling" 3.0 (sigma 1.0) (2.0 *. sigma 4.0)
+
+let () =
+  Alcotest.run "analog_cells"
+    [
+      ( "ota",
+        [
+          Alcotest.test_case "offset vs MC" `Slow test_ota_offset_vs_mc;
+          Alcotest.test_case "contribution structure" `Quick
+            test_ota_input_pair_and_load_dominate;
+        ] );
+      ( "bandgap",
+        [
+          Alcotest.test_case "nominal vref" `Quick test_bandgap_nominal;
+          Alcotest.test_case "sigma vs MC" `Slow test_bandgap_sigma_vs_mc;
+          Alcotest.test_case "breakdown kinds" `Quick test_bandgap_bjt_area_helps;
+        ] );
+      ( "sram",
+        [
+          Alcotest.test_case "read bump vs MC" `Slow test_sram_read_bump_vs_mc;
+          Alcotest.test_case "wrong-state pitfall" `Quick
+            test_sram_wrong_state_is_wrong;
+          Alcotest.test_case "area scaling" `Quick test_sram_area_scaling;
+        ] );
+    ]

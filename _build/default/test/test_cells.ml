@@ -1,0 +1,233 @@
+(* Behavioral tests for the benchmark cells. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ------------------------------------------------------------ Logic path *)
+
+let test_logic_path_delays () =
+  let lp = Logic_path.build Logic_path.X_first in
+  let da, db = Logic_path.measure_delays lp in
+  Alcotest.(check bool)
+    (Printf.sprintf "delay A = %.0f ps plausible" (da *. 1e12))
+    true
+    (da > 50e-12 && da < 2e-9);
+  (* symmetric topology: A and B nominally equal *)
+  Alcotest.(check bool) "A = B nominally" true
+    (Float.abs (da -. db) < 0.02 *. da)
+
+let test_logic_path_case_symmetry () =
+  (* the delay from the later edge should not depend much on which input
+     fires first (the triggering path differs but both are 2 gates +
+     NAND) *)
+  let d_x, _ = Logic_path.measure_delays (Logic_path.build Logic_path.X_first) in
+  let d_y, _ = Logic_path.measure_delays (Logic_path.build Logic_path.Y_first) in
+  Alcotest.(check bool)
+    (Printf.sprintf "X-triggered %.0f ps vs Y-triggered %.0f ps" (d_x *. 1e12)
+       (d_y *. 1e12))
+    true
+    (d_x > 50e-12 && d_y > 50e-12)
+
+let test_logic_path_trigger () =
+  let lp = Logic_path.build Logic_path.X_first in
+  check_float "X first -> Y triggers" lp.Logic_path.t_y
+    (Logic_path.trigger_time lp);
+  let lp2 = Logic_path.build Logic_path.Y_first in
+  check_float "Y first -> X triggers" lp2.Logic_path.t_x
+    (Logic_path.trigger_time lp2)
+
+let test_logic_path_mismatch_moves_delay () =
+  let lp = Logic_path.build Logic_path.X_first in
+  let params = Circuit.mismatch_params lp.Logic_path.circuit in
+  Alcotest.(check bool) "many params" true (Array.length params > 20);
+  let d0, _ = Logic_path.measure_delays lp in
+  (* slow down the shared chain NMOS: delay of falling output changes *)
+  let deltas = Array.make (Array.length params) 0.0 in
+  Array.iter
+    (fun (p : Circuit.mismatch_param) ->
+      if p.Circuit.device_name = "a_mn" && p.Circuit.kind = Circuit.Delta_vt
+      then deltas.(p.Circuit.param_index) <- 0.05)
+    params;
+  let lp' = { lp with Logic_path.circuit = Circuit.apply_deltas lp.Logic_path.circuit deltas } in
+  let d1, _ = Logic_path.measure_delays lp' in
+  Alcotest.(check bool)
+    (Printf.sprintf "delay moved: %.1f -> %.1f ps" (d0 *. 1e12) (d1 *. 1e12))
+    true
+    (Float.abs (d1 -. d0) > 1e-12)
+
+(* ------------------------------------------------------------- StrongARM *)
+
+let test_strongarm_regulates_nominal () =
+  let c = Strongarm.testbench () in
+  let vos = Strongarm.measure_offset_tran ~settle_cycles:40 c in
+  Alcotest.(check bool)
+    (Printf.sprintf "nominal offset %.3f mV ~ 0" (vos *. 1e3))
+    true
+    (Float.abs vos < 0.2e-3)
+
+let test_strongarm_tracks_injected_vt () =
+  let c0 = Strongarm.testbench () in
+  let params = Circuit.mismatch_params c0 in
+  let deltas = Array.make (Array.length params) 0.0 in
+  Array.iter
+    (fun (p : Circuit.mismatch_param) ->
+      if p.Circuit.device_name = "M2" && p.Circuit.kind = Circuit.Delta_vt then
+        deltas.(p.Circuit.param_index) <- 0.01)
+    params;
+  let vos =
+    Strongarm.measure_offset_tran ~settle_cycles:60
+      (Circuit.apply_deltas c0 deltas)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "10 mV VT on M2 -> vos = %.2f mV" (vos *. 1e3))
+    true
+    (Float.abs (vos -. 0.01) < 0.001)
+
+let test_strongarm_widths () =
+  let p = Strongarm.default_params in
+  check_float "input pair width" p.Strongarm.w_in (Strongarm.width_of p "M2");
+  check_float "tail width" p.Strongarm.w_tail (Strongarm.width_of p "M1");
+  Alcotest.(check int) "all devices named" 12
+    (List.length Strongarm.comparator_device_names);
+  List.iter
+    (fun name -> ignore (Strongarm.width_of p name))
+    Strongarm.comparator_device_names
+
+(* ---------------------------------------------------------------- Ring *)
+
+let test_ring_osc_builds () =
+  let c = Ring_osc.build () in
+  (* 5 stages x 2 FETs, each with 2 mismatch params *)
+  let params = Circuit.mismatch_params c in
+  Alcotest.(check int) "20 mismatch params" 20 (Array.length params)
+
+let test_ring_osc_f_guess_close () =
+  let f_est = Ring_osc.f_guess Ring_osc.default_params in
+  let f_real = Ring_osc.measure_frequency_tran (Ring_osc.build ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "guess %.3g vs real %.3g within 3x" f_est f_real)
+    true
+    (f_est /. f_real < 3.0 && f_real /. f_est < 3.0)
+
+let test_ring_osc_mismatch_scale () =
+  let p1 = Ring_osc.default_params in
+  let p2 = { p1 with Ring_osc.mismatch_scale = 2.0 } in
+  let s1 = (Circuit.mismatch_params (Ring_osc.build ~params:p1 ())).(0).Circuit.sigma in
+  let s2 = (Circuit.mismatch_params (Ring_osc.build ~params:p2 ())).(0).Circuit.sigma in
+  check_float ~eps:1e-12 "scale doubles sigma" (2.0 *. s1) s2;
+  Alcotest.(check bool) "sigma_ids scales" true
+    (Float.abs
+       (Ring_osc.sigma_ids_rel p2 -. (2.0 *. Ring_osc.sigma_ids_rel p1))
+     < 1e-12)
+
+let test_ring_osc_even_stages_rejected () =
+  Alcotest.(check bool) "even rejected" true
+    (try
+       ignore
+         (Ring_osc.build
+            ~params:{ Ring_osc.default_params with Ring_osc.stages = 4 }
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------ Clock tree *)
+
+let test_clock_tree_divergence () =
+  (* 3 levels, 8 sinks: sink 0 vs 1 share everything to the last level *)
+  Alcotest.(check int) "0 vs 1" 3 (Clock_tree.divergence_level ~levels:3 0 1);
+  Alcotest.(check int) "0 vs 2" 2 (Clock_tree.divergence_level ~levels:3 0 2);
+  Alcotest.(check int) "0 vs 3" 2 (Clock_tree.divergence_level ~levels:3 0 3);
+  Alcotest.(check int) "0 vs 4" 1 (Clock_tree.divergence_level ~levels:3 0 4);
+  Alcotest.(check int) "0 vs 7" 1 (Clock_tree.divergence_level ~levels:3 0 7);
+  Alcotest.(check int) "6 vs 7" 3 (Clock_tree.divergence_level ~levels:3 6 7)
+
+let test_clock_tree_skew_structure () =
+  (* earlier divergence => more skew variance and less correlation *)
+  let reports = Clock_tree.sink_reports ~steps:400 () in
+  let skew = Clock_tree.skew_sigma_matrix reports in
+  Alcotest.(check bool) "diag zero" true (skew.(0).(0) = 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "near < mid < far (%.3g %.3g %.3g)" skew.(0).(1)
+       skew.(0).(2) skew.(0).(4))
+    true
+    (skew.(0).(1) < skew.(0).(2) && skew.(0).(2) < skew.(0).(4));
+  (* symmetric sinks: all level-1 pairs have equal sigma *)
+  Alcotest.(check bool) "symmetry" true
+    (Float.abs (skew.(0).(4) -. skew.(3).(7)) < 0.05 *. skew.(0).(4));
+  let rho_near = Correlation.coefficient reports.(0) reports.(1) in
+  let rho_far = Correlation.coefficient reports.(0) reports.(7) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rho near %.3f > rho far %.3f" rho_near rho_far)
+    true (rho_near > rho_far && rho_far > 0.0)
+
+(* ----------------------------------------------------------------- DAC *)
+
+let test_dac_nominal_taps () =
+  let p = Dac_string.default_params in
+  let c = Dac_string.build ~params:p () in
+  let taps = Dac_string.measure_taps c p in
+  Alcotest.(check int) "tap count" (p.Dac_string.codes - 1) (Array.length taps);
+  Array.iteri
+    (fun i v ->
+      check_float ~eps:1e-6
+        (Printf.sprintf "tap %d" (i + 1))
+        (Dac_string.ideal_tap_voltage p (i + 1))
+        v)
+    taps
+
+let test_dac_mismatch_moves_taps () =
+  let p = Dac_string.default_params in
+  let c = Dac_string.build ~params:p () in
+  let params = Circuit.mismatch_params c in
+  Alcotest.(check int) "one param per resistor" p.Dac_string.codes
+    (Array.length params);
+  let rng = Rng.create 9 in
+  let deltas = Monte_carlo.draw_deltas rng params in
+  let taps = Dac_string.measure_taps (Circuit.apply_deltas c deltas) p in
+  let moved = ref false in
+  Array.iteri
+    (fun i v ->
+      if Float.abs (v -. Dac_string.ideal_tap_voltage p (i + 1)) > 1e-5 then
+        moved := true)
+    taps;
+  Alcotest.(check bool) "taps moved" true !moved
+
+let () =
+  Alcotest.run "cells"
+    [
+      ( "logic path",
+        [
+          Alcotest.test_case "delays" `Quick test_logic_path_delays;
+          Alcotest.test_case "case symmetry" `Quick test_logic_path_case_symmetry;
+          Alcotest.test_case "trigger time" `Quick test_logic_path_trigger;
+          Alcotest.test_case "mismatch moves delay" `Quick
+            test_logic_path_mismatch_moves_delay;
+        ] );
+      ( "strongarm",
+        [
+          Alcotest.test_case "regulates nominal" `Slow
+            test_strongarm_regulates_nominal;
+          Alcotest.test_case "tracks injected VT" `Slow
+            test_strongarm_tracks_injected_vt;
+          Alcotest.test_case "widths" `Quick test_strongarm_widths;
+        ] );
+      ( "ring osc",
+        [
+          Alcotest.test_case "params" `Quick test_ring_osc_builds;
+          Alcotest.test_case "f_guess" `Slow test_ring_osc_f_guess_close;
+          Alcotest.test_case "mismatch scale" `Quick test_ring_osc_mismatch_scale;
+          Alcotest.test_case "even stages rejected" `Quick
+            test_ring_osc_even_stages_rejected;
+        ] );
+      ( "clock tree",
+        [
+          Alcotest.test_case "divergence levels" `Quick test_clock_tree_divergence;
+          Alcotest.test_case "skew structure" `Slow test_clock_tree_skew_structure;
+        ] );
+      ( "dac",
+        [
+          Alcotest.test_case "nominal taps" `Quick test_dac_nominal_taps;
+          Alcotest.test_case "mismatch moves taps" `Quick
+            test_dac_mismatch_moves_taps;
+        ] );
+    ]

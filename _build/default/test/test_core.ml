@@ -1,0 +1,419 @@
+(* Tests for the varsim_core mismatch-analysis layer: Pelgrom law,
+   PSD-to-variance interpretation, contribution-list algebra
+   (correlations, eq. 10-13), correlated source construction (eq. 6),
+   and design sensitivities (eq. 14-16). *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* -------------------------------------------------------------- Pelgrom *)
+
+let test_pelgrom () =
+  let avt = Pelgrom.mv_um 6.5 in
+  check_float ~eps:1e-15 "mv_um" 6.5e-9 avt;
+  check_float ~eps:1e-12 "pct_um" 3.25e-8 (Pelgrom.pct_um 3.25);
+  let s = Pelgrom.sigma_vt ~avt ~w:8.32e-6 ~l:0.13e-6 in
+  check_float ~eps:1e-5 "paper device sigma" 6.25e-3 s;
+  (* area round trip *)
+  let area = Pelgrom.area_for_sigma_vt ~avt ~sigma:s in
+  check_float ~eps:1e-15 "area round trip" (8.32e-6 *. 0.13e-6) area;
+  check_float ~eps:1e-6 "ids mismatch"
+    (sqrt (((3.0 *. 0.005) ** 2.0) +. (0.02 ** 2.0)))
+    (Pelgrom.sigma_ids_rel ~sigma_vt:0.005 ~sigma_beta:0.02 ~gm_over_id:3.0)
+
+(* ------------------------------------------------------------ Variation *)
+
+let test_variation_dc () =
+  (* the paper's worked example: 8.24e-4 V^2/Hz -> 28.7 mV *)
+  let sigma = Variation.dc_sigma ~baseband_psd:8.24e-4 in
+  Alcotest.(check bool) "paper example 28.7 mV" true
+    (Float.abs (sigma -. 28.7e-3) < 0.05e-3)
+
+let test_variation_delay_consistency () =
+  (* a pure time shift tau on a sinusoid of amplitude Ac at f0 produces
+     a harmonic-1 perturbation |y1| = pi f0 Ac tau; delay_sigma must
+     invert that exactly *)
+  let f0 = 1e9 and ac = 1.0 and tau = 3e-12 in
+  let y1 = Float.pi *. f0 *. ac *. tau in
+  let sigma = Variation.delay_sigma ~passband_psd:(y1 *. y1) ~amplitude:ac ~f0 in
+  check_float ~eps:1e-18 "delay inversion" tau sigma
+
+let test_variation_frequency () =
+  let sigma =
+    Variation.frequency_sigma ~passband_psd:4.0 ~amplitude:2.0 ~f_offset:1.0
+  in
+  check_float "frequency formula" 2.0 sigma
+
+let test_variation_crossing () =
+  check_float "crossing" 2e-12
+    (Variation.delay_sigma_from_crossing ~sigma_v:1e-3 ~slope:5e8);
+  Alcotest.(check bool) "zero slope rejected" true
+    (try
+       ignore (Variation.delay_sigma_from_crossing ~sigma_v:1.0 ~slope:0.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------------------------------------------------- Report *)
+
+let fake_param index name kind sigma =
+  {
+    Circuit.param_index = index;
+    device_index = index;
+    device_name = name;
+    kind;
+    sigma;
+  }
+
+let fake_report metric sens_sigmas =
+  let items =
+    Array.mapi
+      (fun i (name, s, sigma) ->
+        {
+          Report.param = fake_param i name Circuit.Delta_vt sigma;
+          sensitivity = s;
+          weighted = s *. sigma;
+        })
+      (Array.of_list sens_sigmas)
+  in
+  Report.make ~metric ~nominal:0.0 ~items ~runtime:0.0
+
+let test_report_sigma () =
+  let r = fake_report "p" [ ("a", 3.0, 1.0); ("b", 4.0, 1.0) ] in
+  check_float "rss" 5.0 r.Report.sigma;
+  let shares = Array.map (Report.variance_share r) r.Report.items in
+  check_float "share a" 0.36 shares.(0);
+  check_float "share b" 0.64 shares.(1);
+  let top = Report.top_items ~count:1 r in
+  Alcotest.(check string) "top item" "b"
+    top.(0).Report.param.Circuit.device_name
+
+let test_report_linear_prediction () =
+  let r = fake_report "p" [ ("a", 2.0, 1.0); ("b", -1.0, 1.0) ] in
+  check_float "prediction" (2.0 *. 0.5 -. 1.0 *. 0.25)
+    (Report.linear_prediction r ~deltas:[| 0.5; 0.25 |])
+
+let test_report_quantile_yield () =
+  let r = fake_report "p" [ ("a", 1.0, 1.0) ] in
+  (* sigma = 1, nominal = 0 *)
+  check_float ~eps:1e-6 "median" 0.0 (Report.quantile r 0.5);
+  check_float ~eps:1e-6 "+1 sigma" 1.0 (Report.quantile r 0.8413447461);
+  check_float ~eps:1e-9 "1-sigma yield" 0.6826894921
+    (Report.yield_within r ~lo:(-1.0) ~hi:1.0);
+  check_float ~eps:1e-9 "3-sigma yield" 0.9973002039
+    (Report.yield_within r ~lo:(-3.0) ~hi:3.0)
+
+(* ---------------------------------------------------------- Correlation *)
+
+let test_correlation_identical () =
+  let a = fake_report "A" [ ("x", 1.0, 2.0); ("y", -1.0, 1.0) ] in
+  check_float "self correlation" 1.0 (Correlation.coefficient a a);
+  (* sqrt-of-roundoff noise floor: eps accordingly *)
+  check_float ~eps:1e-6 "self difference" 0.0 (Correlation.difference_sigma a a)
+
+let test_correlation_disjoint () =
+  (* A depends only on x, B only on y: uncorrelated *)
+  let a = fake_report "A" [ ("x", 1.0, 1.0); ("y", 0.0, 1.0) ] in
+  let b = fake_report "B" [ ("x", 0.0, 1.0); ("y", 1.0, 1.0) ] in
+  check_float "disjoint" 0.0 (Correlation.coefficient a b);
+  (* eq 13 reduces to rss *)
+  check_float ~eps:1e-12 "difference rss" (sqrt 2.0)
+    (Correlation.difference_sigma a b)
+
+let test_correlation_shared_plus_private () =
+  (* the Table I situation: shared contribution c, private contributions
+     p each: rho = c^2/(c^2+p^2) *)
+  let c = 3.0 and p = 1.0 in
+  let a = fake_report "A" [ ("shared", c, 1.0); ("pa", p, 1.0); ("pb", 0.0, 1.0) ] in
+  let b = fake_report "B" [ ("shared", c, 1.0); ("pa", 0.0, 1.0); ("pb", p, 1.0) ] in
+  check_float ~eps:1e-12 "rho" (c *. c /. ((c *. c) +. (p *. p)))
+    (Correlation.coefficient a b);
+  (* eq 13: var(A-B) = 2 p^2 (shared cancels) *)
+  check_float ~eps:1e-12 "dnl variance" (sqrt (2.0 *. p *. p))
+    (Correlation.difference_sigma a b)
+
+let test_difference_report_items () =
+  let a = fake_report "A" [ ("x", 2.0, 1.0) ] in
+  let b = fake_report "B" [ ("x", 0.5, 1.0) ] in
+  let d = Correlation.difference_report ~metric:"A-B" a b in
+  check_float "diff sensitivity" 1.5 d.Report.items.(0).Report.sensitivity;
+  check_float "diff sigma" 1.5 d.Report.sigma
+
+let test_correlation_dimension_mismatch () =
+  let a = fake_report "A" [ ("x", 1.0, 1.0) ] in
+  let b = fake_report "B" [ ("x", 1.0, 1.0); ("y", 1.0, 1.0) ] in
+  Alcotest.(check bool) "rejected" true
+    (try
+       ignore (Correlation.covariance a b);
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------ Correlated *)
+
+let test_correlated_sampling () =
+  let rho = 0.8 in
+  let rho_mat = Mat.of_arrays [| [| 1.0; rho |]; [| rho; 1.0 |] |] in
+  let corr = Correlated.of_sigmas_correlation ~sigmas:[| 2.0; 0.5 |] ~rho:rho_mat in
+  let rng = Rng.create 77 in
+  let n = 30_000 in
+  let xs = Array.make n 0.0 and ys = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let v = Correlated.draw corr rng in
+    xs.(i) <- v.(0);
+    ys.(i) <- v.(1)
+  done;
+  Alcotest.(check bool) "sigma x" true (Float.abs (Stats.std_dev xs -. 2.0) < 0.05);
+  Alcotest.(check bool) "sigma y" true (Float.abs (Stats.std_dev ys -. 0.5) < 0.02);
+  Alcotest.(check bool) "rho" true
+    (Float.abs (Stats.correlation xs ys -. rho) < 0.02)
+
+let test_correlated_sigma_formula () =
+  let rho_mat = Mat.of_arrays [| [| 1.0; 1.0 |]; [| 1.0; 1.0 |] |] in
+  let corr = Correlated.of_sigmas_correlation ~sigmas:[| 1.0; 1.0 |] ~rho:rho_mat in
+  (* perfectly correlated, weights (1, -1): difference has zero sigma *)
+  check_float ~eps:1e-9 "common mode rejected" 0.0
+    (Correlated.correlated_sigma corr ~weights:[| 1.0; -1.0 |]);
+  check_float ~eps:1e-9 "common mode doubled" 2.0
+    (Correlated.correlated_sigma corr ~weights:[| 1.0; 1.0 |])
+
+let test_spatial_covariance () =
+  let corr =
+    Correlated.spatial_covariance ~sigmas:[| 1.0; 1.0; 1.0 |]
+      ~positions:[| (0.0, 0.0); (1.0, 0.0); (100.0, 0.0) |]
+      ~corr_length:1.0
+  in
+  let rng = Rng.create 123 in
+  let n = 20_000 in
+  let a = Array.make n 0.0 and b = Array.make n 0.0 and c = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    let v = Correlated.draw corr rng in
+    a.(i) <- v.(0);
+    b.(i) <- v.(1);
+    c.(i) <- v.(2)
+  done;
+  Alcotest.(check bool) "near pair correlated" true
+    (Stats.correlation a b > 0.3);
+  Alcotest.(check bool) "far pair uncorrelated" true
+    (Float.abs (Stats.correlation a c) < 0.05)
+
+(* ----------------------------------------------------------- Design sens *)
+
+let test_design_sens () =
+  (* one device with both VT and beta contributions *)
+  let items =
+    [|
+      {
+        Report.param = fake_param 0 "M2" Circuit.Delta_vt 1.0;
+        sensitivity = 3.0;
+        weighted = 3.0;
+      };
+      {
+        Report.param = fake_param 1 "M2" Circuit.Delta_beta 1.0;
+        sensitivity = 4.0;
+        weighted = 4.0;
+      };
+      {
+        Report.param = fake_param 2 "M9" Circuit.Delta_vt 1.0;
+        sensitivity = 1.0;
+        weighted = 1.0;
+      };
+    |]
+  in
+  let r = Report.make ~metric:"p" ~nominal:0.0 ~items ~runtime:0.0 in
+  let width_of = function
+    | "M2" -> Some 2e-6
+    | "M9" -> Some 1e-6
+    | _ -> None
+  in
+  let entries = Design_sens.width_sensitivities r ~width_of in
+  Alcotest.(check int) "two devices" 2 (Array.length entries);
+  let m2 = entries.(0) in
+  Alcotest.(check string) "M2 ranked first" "M2" m2.Design_sens.device;
+  (* eq 16: dvar/dW = -(9+16)/W *)
+  check_float ~eps:1e-3 "eq 16" (-25.0 /. 2e-6) m2.Design_sens.dvar_dwidth;
+  (* relative: W/(2 var) * dvar/dW = -25/(2*26) *)
+  check_float ~eps:1e-9 "relative" (-25.0 /. 52.0) m2.Design_sens.dsigma_relative;
+  check_float ~eps:1e-9 "share" (25.0 /. 26.0) m2.Design_sens.variance_share
+
+(* --------------------------------------------- Analysis on a small cell *)
+
+let inverter_ctx () =
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" 1.2;
+  Builder.vsource b "VIN" "in" "0"
+    (Wave.square ~v1:0.0 ~v2:1.2 ~period:4e-9 ~transition:100e-12 ());
+  Gates.inverter b "inv" ~input:"in" ~output:"out" ~vdd:"vdd";
+  let c = Builder.finish b in
+  Analysis.prepare ~steps:256 c ~period:4e-9
+
+let test_analysis_delay_report_shape () =
+  let ctx = inverter_ctx () in
+  let crossing =
+    { Analysis.edge = Waveform.Falling; threshold = 0.6; after = 0.0 }
+  in
+  let rep = Analysis.delay_variation ctx ~output:"out" ~crossing in
+  Alcotest.(check int) "items = params" 4 (Array.length rep.Report.items);
+  Alcotest.(check bool) "positive sigma" true (rep.Report.sigma > 0.0);
+  (* the falling edge is driven by the NMOS: it must dominate *)
+  let top = (Report.top_items ~count:1 rep).(0) in
+  Alcotest.(check string) "nmos dominates" "inv_mn"
+    top.Report.param.Circuit.device_name;
+  (* nominal crossing time must match the located crossing *)
+  let t_c = Analysis.crossing_time ctx ~output:"out" ~crossing in
+  check_float "nominal = crossing" t_c rep.Report.nominal
+
+let test_analysis_dc_variation_dc_circuit () =
+  (* dc_variation on a trivially periodic (DC) circuit must agree with
+     the classical DC match analysis *)
+  let b = Builder.create () in
+  Builder.vdc b "V1" "in" "0" 2.0;
+  Builder.resistor ~tol:0.01 b "R1" "in" "out" 1e3;
+  Builder.resistor ~tol:0.01 b "R2" "out" "0" 1e3;
+  Builder.capacitor b "CL" "out" "0" 1e-12;
+  let c = Builder.finish b in
+  let ctx = Analysis.prepare ~steps:32 c ~period:1e-6 in
+  let rep = Analysis.dc_variation ctx ~output:"out" in
+  let dcm = Sens.dc_match c ~output:"out" in
+  check_float ~eps:1e-6 "lptv baseband = dc match" dcm.Sens.sigma rep.Report.sigma;
+  check_float ~eps:1e-6 "nominal" 1.0 rep.Report.nominal
+
+(* -------------------------------------------------------------- Optimize *)
+
+let test_optimize_closed_form () =
+  (* two devices, equal widths, variance contributions 9 and 1:
+     optimum splits the budget as sqrt(9·w) : sqrt(1·w) = 3 : 1 *)
+  let items =
+    [|
+      {
+        Report.param = fake_param 0 "MA" Circuit.Delta_vt 1.0;
+        sensitivity = 3.0;
+        weighted = 3.0;
+      };
+      {
+        Report.param = fake_param 1 "MB" Circuit.Delta_vt 1.0;
+        sensitivity = 1.0;
+        weighted = 1.0;
+      };
+    |]
+  in
+  let r = Report.make ~metric:"p" ~nominal:0.0 ~items ~runtime:0.0 in
+  let width_of = function "MA" | "MB" -> Some 2e-6 | _ -> None in
+  let res = Optimize.width_allocation r ~width_of ~min_width:0.1e-6 () in
+  Alcotest.(check int) "two allocations" 2 (Array.length res.Optimize.allocations);
+  let find name =
+    (Array.to_list res.Optimize.allocations
+     |> List.find (fun (a : Optimize.allocation) -> a.Optimize.device = name))
+      .Optimize.width_new
+  in
+  check_float ~eps:1e-12 "3:1 split (A)" 3e-6 (find "MA");
+  check_float ~eps:1e-12 "3:1 split (B)" 1e-6 (find "MB");
+  (* predicted variance: 9·(2/3) + 1·(2/1) = 8 -> sigma sqrt(8) < sqrt(10) *)
+  check_float ~eps:1e-9 "predicted sigma" (sqrt 8.0) res.Optimize.sigma_predicted;
+  Alcotest.(check bool) "improves" true
+    (res.Optimize.sigma_predicted < res.Optimize.sigma_old)
+
+let test_optimize_budget_conserved () =
+  let items =
+    Array.init 5 (fun i ->
+        {
+          Report.param = fake_param i (Printf.sprintf "M%d" i) Circuit.Delta_vt 1.0;
+          sensitivity = float_of_int (i + 1);
+          weighted = float_of_int (i + 1);
+        })
+  in
+  let r = Report.make ~metric:"p" ~nominal:0.0 ~items ~runtime:0.0 in
+  let width_of name =
+    if String.length name = 2 && name.[0] = 'M' then Some 2e-6 else None
+  in
+  let res = Optimize.width_allocation r ~width_of ~min_width:0.5e-6 () in
+  let total =
+    Array.fold_left (fun acc a -> acc +. a.Optimize.width_new) 0.0
+      res.Optimize.allocations
+  in
+  check_float ~eps:1e-12 "budget conserved" 10e-6 total;
+  Array.iter
+    (fun (a : Optimize.allocation) ->
+      Alcotest.(check bool) "floor respected" true
+        (a.Optimize.width_new >= 0.5e-6 -. 1e-15))
+    res.Optimize.allocations
+
+let test_optimize_floor_binding () =
+  (* a zero-contribution device must be clamped at the floor *)
+  let items =
+    [|
+      {
+        Report.param = fake_param 0 "MA" Circuit.Delta_vt 1.0;
+        sensitivity = 1.0;
+        weighted = 1.0;
+      };
+      {
+        Report.param = fake_param 1 "MB" Circuit.Delta_vt 1.0;
+        sensitivity = 0.0;
+        weighted = 0.0;
+      };
+    |]
+  in
+  let r = Report.make ~metric:"p" ~nominal:0.0 ~items ~runtime:0.0 in
+  let width_of = function "MA" | "MB" -> Some 2e-6 | _ -> None in
+  let res = Optimize.width_allocation r ~width_of ~min_width:0.5e-6 () in
+  let find name =
+    (Array.to_list res.Optimize.allocations
+     |> List.find (fun (a : Optimize.allocation) -> a.Optimize.device = name))
+      .Optimize.width_new
+  in
+  check_float ~eps:1e-12 "dead device floored" 0.5e-6 (find "MB");
+  check_float ~eps:1e-12 "live device gets the rest" 3.5e-6 (find "MA")
+
+let () =
+  Alcotest.run "core"
+    [
+      ("pelgrom", [ Alcotest.test_case "formulas" `Quick test_pelgrom ]);
+      ( "variation",
+        [
+          Alcotest.test_case "dc (paper example)" `Quick test_variation_dc;
+          Alcotest.test_case "delay inversion" `Quick
+            test_variation_delay_consistency;
+          Alcotest.test_case "frequency" `Quick test_variation_frequency;
+          Alcotest.test_case "crossing" `Quick test_variation_crossing;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "rss and shares" `Quick test_report_sigma;
+          Alcotest.test_case "linear prediction" `Quick
+            test_report_linear_prediction;
+          Alcotest.test_case "quantile and yield" `Quick
+            test_report_quantile_yield;
+        ] );
+      ( "correlation",
+        [
+          Alcotest.test_case "identical" `Quick test_correlation_identical;
+          Alcotest.test_case "disjoint" `Quick test_correlation_disjoint;
+          Alcotest.test_case "shared+private (Table I algebra)" `Quick
+            test_correlation_shared_plus_private;
+          Alcotest.test_case "difference report" `Quick
+            test_difference_report_items;
+          Alcotest.test_case "dimension mismatch" `Quick
+            test_correlation_dimension_mismatch;
+        ] );
+      ( "correlated",
+        [
+          Alcotest.test_case "sampling moments" `Slow test_correlated_sampling;
+          Alcotest.test_case "sigma formula" `Quick test_correlated_sigma_formula;
+          Alcotest.test_case "spatial" `Slow test_spatial_covariance;
+        ] );
+      ("design sens", [ Alcotest.test_case "eq 14-16" `Quick test_design_sens ]);
+      ( "optimize",
+        [
+          Alcotest.test_case "closed form" `Quick test_optimize_closed_form;
+          Alcotest.test_case "budget conserved" `Quick
+            test_optimize_budget_conserved;
+          Alcotest.test_case "floor binding" `Quick test_optimize_floor_binding;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "delay report shape" `Quick
+            test_analysis_delay_report_shape;
+          Alcotest.test_case "dc variation = dc match" `Quick
+            test_analysis_dc_variation_dc_circuit;
+        ] );
+    ]
+

@@ -1,0 +1,293 @@
+(* Tests for the SPICE-style netlist front end: lexer (numbers,
+   continuations, comments), parser, elaborator, and deck runner. *)
+
+let check_float ?(eps = 1e-9) msg expected actual =
+  Alcotest.(check (float eps)) msg expected actual
+
+(* ---------------------------------------------------------------- lexer *)
+
+let test_numbers () =
+  let cases =
+    [ ("10", 10.0); ("10k", 10e3); ("4n", 4e-9); ("0.13u", 0.13e-6);
+      ("2.5meg", 2.5e6); ("1e-9", 1e-9); ("1.5e3", 1.5e3); ("-3m", -3e-3);
+      ("100f", 100e-15); ("7p", 7e-12); ("3g", 3e9); ("2t", 2e12);
+      ("10kohm", 10e3); ("1e3k", 1e6) ]
+  in
+  List.iter
+    (fun (s, expected) ->
+      match Spice_lexer.parse_number s with
+      | Some v -> check_float ~eps:(Float.abs expected *. 1e-12 +. 1e-30) s expected v
+      | None -> Alcotest.failf "did not parse %S" s)
+    cases;
+  Alcotest.(check (option (float 0.0))) "garbage" None
+    (Spice_lexer.parse_number "xyz")
+
+let test_logical_lines () =
+  let text =
+    "title line\n* a comment\nR1 a b 1k ; trailing comment\n+ tol=0.01\n\nC1 a 0 1p $ other comment\n"
+  in
+  let lines = Spice_lexer.logical_lines text in
+  Alcotest.(check int) "three logical lines" 3 (List.length lines);
+  (match lines with
+   | _title :: r1 :: c1 :: _ ->
+     Alcotest.(check (list string)) "continuation folded"
+       [ "r1"; "a"; "b"; "1k"; "tol=0.01" ]
+       r1.Spice_lexer.tokens;
+     Alcotest.(check (list string)) "comment stripped" [ "c1"; "a"; "0"; "1p" ]
+       c1.Spice_lexer.tokens
+   | _ -> Alcotest.fail "bad line structure")
+
+let test_assignments () =
+  let assigns, plain =
+    Spice_lexer.split_assignments [ "a"; "w=2u"; "b"; "l=0.13u" ]
+  in
+  Alcotest.(check (list string)) "plain" [ "a"; "b" ] plain;
+  Alcotest.(check (list (pair string string)))
+    "assigns"
+    [ ("w", "2u"); ("l", "0.13u") ]
+    assigns
+
+(* --------------------------------------------------------------- parser *)
+
+let parse_one text =
+  let deck = Spice_parser.parse ("test deck\n" ^ text ^ "\n.end\n") in
+  match deck.Spice_ast.statements with
+  | (_, stmt) :: _ -> stmt
+  | [] -> Alcotest.fail "no statements"
+
+let test_parse_elements () =
+  (match parse_one "R5 in out 10k tol=0.02" with
+   | Spice_ast.S_element (Spice_ast.E_resistor { name; r; tol; _ }) ->
+     Alcotest.(check string) "name" "r5" name;
+     check_float "r" 10e3 r;
+     check_float "tol" 0.02 tol
+   | _ -> Alcotest.fail "expected resistor");
+  (match parse_one "M1 d g s 0 nmos013 w=2u l=0.13u" with
+   | Spice_ast.S_element (Spice_ast.E_mosfet { model; w; l; _ }) ->
+     Alcotest.(check string) "model" "nmos013" model;
+     check_float ~eps:1e-15 "w" 2e-6 w;
+     check_float ~eps:1e-15 "l" 0.13e-6 l
+   | _ -> Alcotest.fail "expected mosfet");
+  (match parse_one "VCK clk 0 PULSE(0 1.2 0 100p 100p 1.9n 4n)" with
+   | Spice_ast.S_element
+       (Spice_ast.E_vsource { spec = Spice_ast.Src_pulse p; _ }) ->
+     check_float "v2" 1.2 p.Wave.v2;
+     check_float ~eps:1e-18 "period" 4e-9 p.Wave.period
+   | _ -> Alcotest.fail "expected pulse source");
+  (match parse_one "VS s 0 SIN(0.5 0.2 1meg)" with
+   | Spice_ast.S_element (Spice_ast.E_vsource { spec = Spice_ast.Src_sin s; _ }) ->
+     check_float "freq" 1e6 s.Wave.freq
+   | _ -> Alcotest.fail "expected sin source")
+
+let test_parse_analyses () =
+  (match parse_one ".mismatch vos pss=4n" with
+   | Spice_ast.S_analysis (Spice_ast.A_mismatch_dc { output; period }) ->
+     Alcotest.(check string) "output" "vos" output;
+     check_float ~eps:1e-18 "period" 4e-9 period
+   | _ -> Alcotest.fail "expected mismatch card");
+  (match parse_one ".mismatchdelay out pss=8n vth=0.6 after=1n edge=fall" with
+   | Spice_ast.S_analysis
+       (Spice_ast.A_mismatch_delay { rising; threshold; after; _ }) ->
+     Alcotest.(check bool) "falling" false rising;
+     check_float "vth" 0.6 threshold;
+     check_float ~eps:1e-18 "after" 1e-9 after
+   | _ -> Alcotest.fail "expected mismatchdelay card");
+  (match parse_one ".mc n=500 seed=3" with
+   | Spice_ast.S_analysis (Spice_ast.A_monte_carlo { n; seed }) ->
+     Alcotest.(check int) "n" 500 n;
+     Alcotest.(check int) "seed" 3 seed
+   | _ -> Alcotest.fail "expected mc card")
+
+let test_parse_errors () =
+  Alcotest.(check bool) "bad element" true
+    (try
+       ignore (Spice_parser.parse "t\nM1 d g s\n");
+       false
+     with Spice_parser.Parse_error (2, _) -> true)
+
+(* ----------------------------------------------------------- elaborator *)
+
+let test_elaborate_divider () =
+  let deck =
+    Spice_elab.load_string
+      "divider\nV1 in 0 2.0\nR1 in out 1k tol=0.01\nR2 out 0 1k tol=0.01\n.op\n.end\n"
+  in
+  Alcotest.(check int) "nodes" 2 (Circuit.num_nodes deck.Spice_elab.circuit);
+  Alcotest.(check int) "one analysis" 1 (List.length deck.Spice_elab.analyses);
+  let x = Dc.solve deck.Spice_elab.circuit in
+  check_float ~eps:1e-6 "solves" 1.0 (Circuit.voltage deck.Spice_elab.circuit x "out")
+
+let test_elaborate_model_override () =
+  let deck =
+    Spice_elab.load_string
+      "m\n.model fastn nmos013 vt0=0.25 kp=500u\nVD d 0 1.2\nVG g 0 1.2\nM1 d g 0 0 fastn w=2u l=0.13u\n.op\n.end\n"
+  in
+  let x = Dc.solve deck.Spice_elab.circuit in
+  (* drain current through VD's branch: more current than the stock model *)
+  let i_fast = Float.abs x.(Circuit.branch_row deck.Spice_elab.circuit "vd") in
+  let stock =
+    Spice_elab.load_string
+      "m\nVD d 0 1.2\nVG g 0 1.2\nM1 d g 0 0 nmos013 w=2u l=0.13u\n.op\n.end\n"
+  in
+  let x2 = Dc.solve stock.Spice_elab.circuit in
+  let i_stock = Float.abs x2.(Circuit.branch_row stock.Spice_elab.circuit "vd") in
+  Alcotest.(check bool)
+    (Printf.sprintf "override increases current (%.3g > %.3g)" i_fast i_stock)
+    true (i_fast > i_stock *. 1.3)
+
+let test_elaborate_unknown_model () =
+  Alcotest.(check bool) "unknown model rejected" true
+    (try
+       ignore (Spice_elab.load_string "m\nM1 d g 0 0 bogus w=1u l=1u\n.end\n");
+       false
+     with Spice_elab.Elab_error (2, _) -> true)
+
+let test_statements_after_end_ignored () =
+  let deck =
+    Spice_elab.load_string "t\nR1 a 0 1k\n.end\nR2 b 0 1k\n"
+  in
+  Alcotest.(check int) "only R1" 1
+    (Array.length (Circuit.devices deck.Spice_elab.circuit))
+
+(* ------------------------------------------------------------ subckt *)
+
+let test_subckt_expansion () =
+  let deck =
+    Spice_elab.load_string
+      "t\n.subckt divider top mid bot\nR1 top mid 1k tol=0.01\nR2 mid bot 1k tol=0.01\n.ends\nV1 in 0 2.0\nXa in m1 0 divider\nXb in m2 0 divider\n.end\n"
+  in
+  let c = deck.Spice_elab.circuit in
+  Alcotest.(check int) "4 resistors + source" 5 (Array.length (Circuit.devices c));
+  (* instance-scoped device names *)
+  ignore (Circuit.device_index c "xa.r1");
+  ignore (Circuit.device_index c "xb.r2");
+  (* each instance's mismatch parameters are distinct *)
+  Alcotest.(check int) "4 mismatch params" 4
+    (Array.length (Circuit.mismatch_params c));
+  let x = Dc.solve c in
+  Alcotest.(check (float 1e-6)) "xa divides" 1.0 (Circuit.voltage c x "m1");
+  Alcotest.(check (float 1e-6)) "xb divides" 1.0 (Circuit.voltage c x "m2")
+
+let test_subckt_nested () =
+  let deck =
+    Spice_elab.load_string
+      "t\n.subckt half top mid\nR1 top mid 1k\n.ends\n.subckt full top mid bot\nXu top mid half\nXd mid bot half\n.ends\nV1 in 0 2.0\nX1 in out 0 full\n.end\n"
+  in
+  let c = deck.Spice_elab.circuit in
+  ignore (Circuit.device_index c "x1.xu.r1");
+  let x = Dc.solve c in
+  Alcotest.(check (float 1e-6)) "nested divider" 1.0 (Circuit.voltage c x "out")
+
+let test_subckt_errors () =
+  Alcotest.(check bool) "unknown subckt" true
+    (try
+       ignore (Spice_elab.load_string "t\nX1 a b nothere\n.end\n");
+       false
+     with Spice_elab.Elab_error (2, _) -> true);
+  Alcotest.(check bool) "port arity" true
+    (try
+       ignore
+         (Spice_elab.load_string
+            "t\n.subckt s a b\nR1 a b 1k\n.ends\nX1 n1 s\n.end\n");
+       false
+     with Spice_elab.Elab_error _ -> true)
+
+(* ----------------------------------------------------------- deck runner *)
+
+let run_deck text =
+  let deck = Spice_elab.load_string text in
+  Format.asprintf "%a" (fun ppf () -> Spice_run.run ppf deck) ()
+
+let test_run_op_card () =
+  let out = run_deck "t\nV1 a 0 1.5\nR1 a b 1k\nR2 b 0 2k\n.op\n.end\n" in
+  Alcotest.(check bool) "prints op" true
+    (try ignore (Str.search_forward (Str.regexp "v(b) = 1") out 0); true
+     with Not_found -> false)
+
+let test_run_mismatch_card () =
+  let out =
+    run_deck
+      "t\nV1 in 0 2.0\nR1 in out 1k tol=0.01\nR2 out 0 1k tol=0.01\nC1 out 0 1p\n.mismatch out pss=1u\n.end\n"
+  in
+  (* sigma = 7.07 mV as in the quickstart *)
+  Alcotest.(check bool) "sigma printed" true
+    (try ignore (Str.search_forward (Str.regexp "sigma = 0.00707") out 0); true
+     with Not_found -> false)
+
+let test_run_dcmatch_card () =
+  let out =
+    run_deck
+      "t\nV1 in 0 2.0\nR1 in out 1k tol=0.01\nR2 out 0 1k tol=0.01\n.dcmatch out\n.end\n"
+  in
+  Alcotest.(check bool) "dc match printed" true
+    (try ignore (Str.search_forward (Str.regexp "DC match at out") out 0); true
+     with Not_found -> false)
+
+let test_run_tran_card () =
+  let out =
+    run_deck
+      "t\nV1 in 0 PULSE(0 1 0 1p 1p 1 0)\nR1 in out 1k\nC1 out 0 1n\n.tran 10n 2u out\n.end\n"
+  in
+  (* CSV with header and plenty of rows *)
+  Alcotest.(check bool) "csv header" true
+    (try ignore (Str.search_forward (Str.regexp "time,out") out 0); true
+     with Not_found -> false);
+  Alcotest.(check bool) "many rows" true
+    (List.length (String.split_on_char '\n' out) > 100)
+
+let test_run_pss_card () =
+  let out =
+    run_deck
+      "t\nV1 in 0 SIN(0.5 0.2 1meg)\nR1 in out 1k\nC1 out 0 100p\n.pss 1u\n.end\n"
+  in
+  Alcotest.(check bool) "pss converged" true
+    (try ignore (Str.search_forward (Str.regexp "converged") out 0); true
+     with Not_found -> false)
+
+let test_run_mc_card () =
+  let out =
+    run_deck
+      "t\nV1 in 0 2.0\nR1 in out 1k tol=0.01\nR2 out 0 1k tol=0.01\n.mc n=100 seed=2\n.end\n"
+  in
+  Alcotest.(check bool) "mc stats" true
+    (try ignore (Str.search_forward (Str.regexp "v(out): mean") out 0); true
+     with Not_found -> false)
+
+let () =
+  Alcotest.run "spice"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "numbers" `Quick test_numbers;
+          Alcotest.test_case "logical lines" `Quick test_logical_lines;
+          Alcotest.test_case "assignments" `Quick test_assignments;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "elements" `Quick test_parse_elements;
+          Alcotest.test_case "analyses" `Quick test_parse_analyses;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "elab",
+        [
+          Alcotest.test_case "divider" `Quick test_elaborate_divider;
+          Alcotest.test_case "model override" `Quick test_elaborate_model_override;
+          Alcotest.test_case "unknown model" `Quick test_elaborate_unknown_model;
+          Alcotest.test_case "after .end" `Quick test_statements_after_end_ignored;
+        ] );
+      ( "subckt",
+        [
+          Alcotest.test_case "expansion" `Quick test_subckt_expansion;
+          Alcotest.test_case "nested" `Quick test_subckt_nested;
+          Alcotest.test_case "errors" `Quick test_subckt_errors;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "op card" `Quick test_run_op_card;
+          Alcotest.test_case "mismatch card" `Quick test_run_mismatch_card;
+          Alcotest.test_case "dcmatch card" `Quick test_run_dcmatch_card;
+          Alcotest.test_case "tran card" `Quick test_run_tran_card;
+          Alcotest.test_case "pss card" `Quick test_run_pss_card;
+          Alcotest.test_case "mc card" `Quick test_run_mc_card;
+        ] );
+    ]

@@ -1,0 +1,294 @@
+(* End-to-end validation: the pseudo-noise linear analysis against
+   Monte-Carlo ground truth on the paper's three benchmark circuits.
+   These are the correctness claims of Table II in miniature (reduced
+   sample counts keep the suite fast; the full counts run in bench/). *)
+
+let within_pct msg pct a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: %.4g vs %.4g (tol %.0f%%)" msg a b pct)
+    true
+    (Float.abs (a -. b) <= pct /. 100.0 *. Float.max (Float.abs a) (Float.abs b))
+
+(* ------------------------------------------------------ comparator offset *)
+
+let test_comparator_offset_vs_mc () =
+  let c = Strongarm.testbench () in
+  let ctx = Analysis.prepare ~steps:400 c ~period:Strongarm.default_params.Strongarm.clk_period in
+  let rep = Analysis.dc_variation ctx ~output:Strongarm.vos_node in
+  let n = 120 in
+  let mc =
+    Monte_carlo.run_scalar ~seed:2024 ~n ~circuit:c
+      ~measure:(fun c' -> Strongarm.measure_offset_tran ~settle_cycles:50 c')
+      ()
+  in
+  let mc_sigma = mc.Monte_carlo.summaries.(0).Stats.std_dev in
+  (* 95% CI on sigma at n=120 is about +/-13% *)
+  within_pct "comparator offset sigma" 15.0 rep.Report.sigma mc_sigma;
+  Alcotest.(check int) "no MC failures" 0 mc.Monte_carlo.failed;
+  (* MC mean offset should be near zero *)
+  Alcotest.(check bool) "mc mean ~ 0" true
+    (Float.abs mc.Monte_carlo.summaries.(0).Stats.mean < 0.3 *. mc_sigma)
+
+let test_comparator_input_pair_dominates () =
+  (* Fig. 10's qualitative claim: the input pair M2-M3 has the largest
+     width sensitivity *)
+  let p = Strongarm.default_params in
+  let c = Strongarm.testbench ~params:p () in
+  let ctx = Analysis.prepare ~steps:400 c ~period:p.Strongarm.clk_period in
+  let rep = Analysis.dc_variation ctx ~output:Strongarm.vos_node in
+  let entries =
+    Design_sens.width_sensitivities rep ~width_of:(fun name ->
+        if List.mem name Strongarm.comparator_device_names then
+          Some (Strongarm.width_of p name)
+        else None)
+  in
+  Alcotest.(check bool) "entries present" true (Array.length entries >= 6);
+  let top = entries.(0).Design_sens.device in
+  Alcotest.(check bool)
+    (Printf.sprintf "top sensitivity is input pair (got %s)" top)
+    true
+    (top = "M2" || top = "M3")
+
+(* -------------------------------------------------------- logic path delay *)
+
+let test_logic_delay_vs_mc () =
+  let lp = Logic_path.build Logic_path.X_first in
+  let ctx = Analysis.prepare ~steps:800 lp.Logic_path.circuit ~period:lp.Logic_path.period in
+  let crossing =
+    { Analysis.edge = Waveform.Falling;
+      threshold = lp.Logic_path.vdd /. 2.0;
+      after = Logic_path.trigger_time lp }
+  in
+  let rep = Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing in
+  let mc =
+    Monte_carlo.run ~seed:7 ~n:200 ~circuit:lp.Logic_path.circuit
+      ~measure:(fun c' ->
+        let da, db = Logic_path.measure_delays { lp with Logic_path.circuit = c' } in
+        [| da; db |])
+      ()
+  in
+  let mc_sigma = mc.Monte_carlo.summaries.(0).Stats.std_dev in
+  within_pct "delay sigma" 15.0 rep.Report.sigma mc_sigma;
+  (* nominal delay agrees too (PSS crossing minus trigger vs MC mean) *)
+  let nominal_delay = rep.Report.nominal -. Logic_path.trigger_time lp in
+  within_pct "nominal delay" 5.0 nominal_delay
+    mc.Monte_carlo.summaries.(0).Stats.mean
+
+let test_logic_delay_correlation_vs_mc () =
+  (* Table I: the contribution-list correlation must match the MC sample
+     correlation *)
+  let lp = Logic_path.build Logic_path.X_first in
+  let ctx = Analysis.prepare ~steps:800 lp.Logic_path.circuit ~period:lp.Logic_path.period in
+  let crossing =
+    { Analysis.edge = Waveform.Falling;
+      threshold = lp.Logic_path.vdd /. 2.0;
+      after = Logic_path.trigger_time lp }
+  in
+  let rep_a = Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing in
+  let rep_b = Analysis.delay_variation ctx ~output:Logic_path.out_b ~crossing in
+  let rho_linear = Correlation.coefficient rep_a rep_b in
+  let mc =
+    Monte_carlo.run ~seed:8 ~n:200 ~circuit:lp.Logic_path.circuit
+      ~measure:(fun c' ->
+        let da, db = Logic_path.measure_delays { lp with Logic_path.circuit = c' } in
+        [| da; db |])
+      ()
+  in
+  let rho_mc =
+    Stats.correlation (Monte_carlo.samples_of mc 0) (Monte_carlo.samples_of mc 1)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "rho linear %.3f vs MC %.3f" rho_linear rho_mc)
+    true
+    (Float.abs (rho_linear -. rho_mc) < 0.1);
+  Alcotest.(check bool) "strongly correlated (X first)" true (rho_linear > 0.8)
+
+let test_logic_delay_correlation_cases () =
+  let rho_of case =
+    let lp = Logic_path.build case in
+    let ctx = Analysis.prepare ~steps:800 lp.Logic_path.circuit ~period:lp.Logic_path.period in
+    let crossing =
+      { Analysis.edge = Waveform.Falling;
+        threshold = lp.Logic_path.vdd /. 2.0;
+        after = Logic_path.trigger_time lp }
+    in
+    let rep_a = Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing in
+    let rep_b = Analysis.delay_variation ctx ~output:Logic_path.out_b ~crossing in
+    Correlation.coefficient rep_a rep_b
+  in
+  let rho_x = rho_of Logic_path.X_first in
+  let rho_y = rho_of Logic_path.Y_first in
+  (* the Table I structure: shared path -> high rho; disjoint -> near 0 *)
+  Alcotest.(check bool) (Printf.sprintf "X first rho = %.3f > 0.8" rho_x) true (rho_x > 0.8);
+  Alcotest.(check bool) (Printf.sprintf "Y first |rho| = %.3f < 0.3" rho_y) true
+    (Float.abs rho_y < 0.3)
+
+(* -------------------------------------------------- oscillator frequency *)
+
+let test_ring_freq_vs_mc () =
+  let circuit = Ring_osc.build () in
+  let rep, _ =
+    Analysis.frequency_variation circuit ~anchor:Ring_osc.anchor
+      ~f_guess:(Ring_osc.f_guess Ring_osc.default_params)
+  in
+  let mc =
+    Monte_carlo.run_scalar ~seed:31 ~n:120 ~circuit
+      ~measure:Ring_osc.measure_frequency_tran ()
+  in
+  let mc_sigma = mc.Monte_carlo.summaries.(0).Stats.std_dev in
+  within_pct "oscillator sigma_f" 15.0 rep.Report.sigma mc_sigma;
+  within_pct "oscillator f0" 3.0 rep.Report.nominal
+    mc.Monte_carlo.summaries.(0).Stats.mean
+
+let test_ring_freq_linear_prediction_per_sample () =
+  (* first-order prediction vs actual nonlinear frequency for individual
+     samples at nominal mismatch (the basis of Fig. 9/12) *)
+  let circuit = Ring_osc.build () in
+  let rep, _ =
+    Analysis.frequency_variation circuit ~anchor:Ring_osc.anchor
+      ~f_guess:(Ring_osc.f_guess Ring_osc.default_params)
+  in
+  let params = Circuit.mismatch_params circuit in
+  let rng = Rng.create 55 in
+  for _trial = 1 to 5 do
+    let deltas = Monte_carlo.draw_deltas rng params in
+    let predicted = Report.linear_prediction rep ~deltas in
+    let actual =
+      Ring_osc.measure_frequency_tran (Circuit.apply_deltas circuit deltas)
+    in
+    let err = Float.abs (predicted -. actual) /. actual in
+    Alcotest.(check bool)
+      (Printf.sprintf "per-sample prediction %.4g vs %.4g (err %.2f%%)"
+         predicted actual (100.0 *. err))
+      true (err < 0.02)
+  done
+
+(* ------------------------------------------------------------ DNL (eq 13) *)
+
+let test_dac_dnl_vs_mc () =
+  let p = { Dac_string.default_params with Dac_string.codes = 4 } in
+  let c = Dac_string.build ~params:p () in
+  (* linear DNL via DC match contribution lists *)
+  let report_of_tap k =
+    let dcm = Sens.dc_match c ~output:(Dac_string.tap k) in
+    let items =
+      Array.map
+        (fun (ct : Sens.contribution) ->
+          {
+            Report.param = ct.Sens.param;
+            sensitivity = ct.Sens.sensitivity;
+            weighted = ct.Sens.sensitivity *. ct.Sens.param.Circuit.sigma;
+          })
+        dcm.Sens.contributions
+    in
+    (* dc_match sorts contributions; restore param order for alignment *)
+    Array.sort
+      (fun (a : Report.item) b ->
+        compare a.Report.param.Circuit.param_index
+          b.Report.param.Circuit.param_index)
+      items;
+    Report.make ~metric:(Printf.sprintf "tap%d" k) ~nominal:0.0 ~items
+      ~runtime:0.0
+  in
+  let r1 = report_of_tap 1 and r2 = report_of_tap 2 in
+  let dnl_linear = Correlation.difference_sigma r2 r1 in
+  let mc =
+    Monte_carlo.run ~seed:77 ~n:2000 ~circuit:c
+      ~measure:(fun c' ->
+        let taps = Dac_string.measure_taps c' p in
+        [| taps.(1) -. taps.(0) |])
+      ()
+  in
+  let dnl_mc = mc.Monte_carlo.summaries.(0).Stats.std_dev in
+  within_pct "DNL sigma (eq 13)" 8.0 dnl_linear dnl_mc;
+  (* sanity: correlation between adjacent taps is high, so the naive rss
+     would overestimate *)
+  let naive = sqrt ((r1.Report.sigma ** 2.0) +. (r2.Report.sigma ** 2.0)) in
+  Alcotest.(check bool) "covariance matters" true (dnl_linear < 0.8 *. naive)
+
+(* --------------------------------------------- current mirror (analytic) *)
+
+let test_mirror_vs_analytic_vs_mc () =
+  (* the whole chain against closed-form Pelgrom: DC-match sigma of the
+     mirror output current must match both the analytic formula and MC *)
+  let p = Current_mirror.default_params in
+  let circuit = Current_mirror.build ~params:p () in
+  (* sigma of v(out) -> sigma of I ratio via R_load and I_ref *)
+  let dcm = Sens.dc_match circuit ~output:Current_mirror.output_node in
+  let sigma_ratio_linear =
+    dcm.Sens.sigma /. (p.Current_mirror.r_load *. p.Current_mirror.i_ref)
+  in
+  let analytic = Current_mirror.analytic_sigma_rel p in
+  within_pct "linear vs closed-form Pelgrom" 12.0 sigma_ratio_linear analytic;
+  let mc =
+    Monte_carlo.run_scalar ~seed:17 ~n:2000 ~circuit
+      ~measure:(fun c -> Current_mirror.measure_current_ratio c p)
+      ()
+  in
+  let sigma_mc = mc.Monte_carlo.summaries.(0).Stats.std_dev in
+  within_pct "linear vs MC" 6.0 sigma_ratio_linear sigma_mc;
+  (* mean ratio ~ 1 (CLM mismatch between VDS1 and VDS2 shifts it a bit) *)
+  Alcotest.(check bool) "ratio near 1" true
+    (Float.abs (mc.Monte_carlo.summaries.(0).Stats.mean -. 1.0) < 0.1)
+
+(* -------------------------------------------- oscillator eq(9) behavior *)
+
+let test_eq9_collapse_and_plateau () =
+  (* documents the eq. (9) numerical behavior on a shooting/BE
+     discretization: the reading collapses at 1 Hz (artificially damped
+     phase mode) but is order-correct above the damping corner, where it
+     should sit within ~3x of the adjoint value *)
+  let osc = Ring_osc.solve_pss () in
+  let adjoint = (Period_sens.analyze osc).Period_sens.sigma_f in
+  let read f = Analysis.frequency_variation_psd ~f_offset:f osc ~output:Ring_osc.anchor in
+  let at_1hz = read 1.0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "1 Hz reading collapses (%.3g << %.3g)" at_1hz adjoint)
+    true
+    (at_1hz < 0.01 *. adjoint);
+  let at_corner = read 1e4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "above-corner reading order-correct (%.3g vs %.3g)"
+       at_corner adjoint)
+    true
+    (at_corner > adjoint /. 3.0 && at_corner < adjoint *. 3.0);
+  (* monotone growth through the damped region *)
+  Alcotest.(check bool) "monotone below corner" true (read 100.0 > at_1hz)
+
+let () =
+  Alcotest.run "validation"
+    [
+      ( "comparator",
+        [
+          Alcotest.test_case "offset sigma vs MC" `Slow
+            test_comparator_offset_vs_mc;
+          Alcotest.test_case "input pair dominates (Fig 10)" `Slow
+            test_comparator_input_pair_dominates;
+        ] );
+      ( "logic path",
+        [
+          Alcotest.test_case "delay sigma vs MC" `Slow test_logic_delay_vs_mc;
+          Alcotest.test_case "correlation vs MC (Table I)" `Slow
+            test_logic_delay_correlation_vs_mc;
+          Alcotest.test_case "correlation cases (Table I)" `Slow
+            test_logic_delay_correlation_cases;
+        ] );
+      ( "oscillator",
+        [
+          Alcotest.test_case "sigma_f vs MC" `Slow test_ring_freq_vs_mc;
+          Alcotest.test_case "per-sample linear prediction" `Slow
+            test_ring_freq_linear_prediction_per_sample;
+        ] );
+      ( "dac",
+        [ Alcotest.test_case "DNL via eq 13 vs MC" `Slow test_dac_dnl_vs_mc ] );
+      ( "mirror",
+        [
+          Alcotest.test_case "analytic + MC" `Slow test_mirror_vs_analytic_vs_mc;
+        ] );
+      ( "oscillator eq9",
+        [
+          Alcotest.test_case "collapse and plateau" `Slow
+            test_eq9_collapse_and_plateau;
+        ] );
+    ]
+
