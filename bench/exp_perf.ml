@@ -1,0 +1,98 @@
+(* Parallel-engine performance tracking: times Lptv.build and
+   Pnoise.analyze at 1/2/4 domains on the two PSS-heavy benchmarks and
+   writes BENCH_pnoise.json so the perf trajectory is recorded per PR.
+
+   The PSS itself is solved once per circuit and shared across the
+   domain sweep — the point is the LPTV/PNOISE engine, not the shooting
+   solver.  total_psd is recorded per case so any cross-domain or
+   cross-PR numerical drift is caught alongside the timings. *)
+
+type case = {
+  circuit_name : string;
+  steps : int;
+  n_sources : int;
+  domains : int;
+  build_s : float;
+  analyze_s : float;
+  total_psd : float;
+}
+
+let domain_counts = [ 1; 2; 4 ]
+
+let best_of reps f =
+  let best = ref infinity in
+  let last = ref None in
+  for _ = 1 to reps do
+    let y, dt = Util.timed f in
+    if dt < !best then best := dt;
+    last := Some y
+  done;
+  match !last with
+  | Some y -> (y, !best)
+  | None -> invalid_arg "best_of: reps must be >= 1"
+
+(* one circuit: solve the PSS once, then sweep the lane count *)
+let sweep ~reps ~circuit_name ~pss ~output ~harmonic =
+  Format.printf "@.%s (%d steps):@." circuit_name pss.Pss.steps;
+  Format.printf "  %7s %10s %10s %10s %14s@." "domains" "build [s]"
+    "pnoise [s]" "total [s]" "psd";
+  List.map
+    (fun domains ->
+      let lptv, build_s =
+        best_of reps (fun () -> Lptv.build ~domains pss ~f_offset:1.0)
+      in
+      let sources = Pnoise.mismatch_sources lptv in
+      let sb, analyze_s =
+        best_of reps (fun () ->
+            Pnoise.analyze ~domains lptv ~output ~harmonic ~sources)
+      in
+      Format.printf "  %7d %10.3f %10.3f %10.3f %14.6e@." domains build_s
+        analyze_s (build_s +. analyze_s) sb.Pnoise.total_psd;
+      {
+        circuit_name;
+        steps = pss.Pss.steps;
+        n_sources = Array.length sources;
+        domains;
+        build_s;
+        analyze_s;
+        total_psd = sb.Pnoise.total_psd;
+      })
+    domain_counts
+
+let json_of_case c =
+  Printf.sprintf
+    "    {\"circuit\": %S, \"steps\": %d, \"sources\": %d, \"domains\": %d, \
+     \"build_s\": %.6f, \"analyze_s\": %.6f, \"total_psd\": %.17g}"
+    c.circuit_name c.steps c.n_sources c.domains c.build_s c.analyze_s
+    c.total_psd
+
+let write_json ~path cases =
+  let oc = open_out path in
+  output_string oc "{\n";
+  Printf.fprintf oc "  \"bench\": \"pnoise\",\n";
+  Printf.fprintf oc "  \"recommended_domains\": %d,\n"
+    (Domain.recommended_domain_count ());
+  output_string oc "  \"cases\": [\n";
+  output_string oc (String.concat ",\n" (List.map json_of_case cases));
+  output_string oc "\n  ]\n}\n";
+  close_out oc;
+  Format.printf "@.wrote %s@." path
+
+let run ~quick =
+  Util.section "PERF: parallel LPTV build + PNOISE analyze (1/2/4 domains)";
+  let reps = if quick then 1 else 3 in
+  let comparator =
+    let params = Strongarm.default_params in
+    let circuit = Strongarm.testbench ~params () in
+    let steps = if quick then 120 else 400 in
+    let pss = Pss.solve ~steps circuit ~period:params.Strongarm.clk_period in
+    sweep ~reps ~circuit_name:"strongarm_comparator" ~pss
+      ~output:Strongarm.vos_node ~harmonic:0
+  in
+  let ring =
+    let steps = if quick then 100 else 300 in
+    let osc = Ring_osc.solve_pss ~steps () in
+    sweep ~reps ~circuit_name:"ring_oscillator" ~pss:osc.Pss_osc.pss
+      ~output:Ring_osc.anchor ~harmonic:1
+  in
+  write_json ~path:"BENCH_pnoise.json" (comparator @ ring)

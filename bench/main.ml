@@ -6,7 +6,8 @@
      dune exec bench/main.exe -- table2     -- a single experiment
      dune exec bench/main.exe -- table1 fig9 --quick
 
-   Experiments: table1 table2 fig5 fig8 fig9 fig10 fig11 fig12 bechamel *)
+   Experiments: table1 table2 fig5 fig8 fig9 fig10 fig11 fig12 ablation
+   perf bechamel *)
 
 let experiments =
   [
@@ -19,6 +20,7 @@ let experiments =
     ("fig11", Exp_fig11.run);
     ("fig12", Exp_fig12.run);
     ("ablation", Exp_ablation.run);
+    ("perf", Exp_perf.run);
     ("bechamel", Bech.run);
   ]
 

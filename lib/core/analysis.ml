@@ -2,6 +2,7 @@ type pss_context = {
   pss : Pss.t;
   lptv : Lptv.t;
   sources : Pnoise.source array;
+  domains : int;
 }
 
 let timed f =
@@ -9,11 +10,12 @@ let timed f =
   let y = f () in
   (y, Unix.gettimeofday () -. t0)
 
-let prepare ?(steps = 200) ?(f_offset = 1.0) ?warmup_periods circuit ~period =
+let prepare ?(steps = 200) ?(f_offset = 1.0) ?warmup_periods ?(domains = 1)
+    circuit ~period =
   let pss = Pss.solve ~steps ?warmup_periods circuit ~period in
-  let lptv = Lptv.build pss ~f_offset in
+  let lptv = Lptv.build ~domains pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
-  { pss; lptv; sources }
+  { pss; lptv; sources; domains }
 
 let params_of ctx = Circuit.mismatch_params ctx.pss.Pss.circuit
 
@@ -30,7 +32,8 @@ let dc_variation ctx ~output =
   let (sb, nominal), runtime =
     timed (fun () ->
         let sb =
-          Pnoise.analyze ctx.lptv ~output ~harmonic:0 ~sources:ctx.sources
+          Pnoise.analyze ~domains:ctx.domains ctx.lptv ~output ~harmonic:0
+            ~sources:ctx.sources
         in
         let samples = Pss.node_samples ctx.pss output in
         let nominal = Stats.mean samples in
@@ -99,7 +102,8 @@ let delay_variation ctx ~output ~crossing =
   let (k_c, t_c, slope), _ = timed (fun () -> locate_crossing ctx ~output ~crossing) in
   let sb, runtime =
     timed (fun () ->
-        Pnoise.analyze_sample ctx.lptv ~output ~k:k_c ~sources:ctx.sources)
+        Pnoise.analyze_sample ~domains:ctx.domains ctx.lptv ~output ~k:k_c
+          ~sources:ctx.sources)
   in
   (* a voltage perturbation Δv at the crossing shifts the edge by
      -Δv/slope *)
@@ -110,7 +114,10 @@ let delay_variation ctx ~output ~crossing =
     ~items ~runtime
 
 let delay_variation_psd ctx ~output =
-  let sb = Pnoise.analyze ctx.lptv ~output ~harmonic:1 ~sources:ctx.sources in
+  let sb =
+    Pnoise.analyze ~domains:ctx.domains ctx.lptv ~output ~harmonic:1
+      ~sources:ctx.sources
+  in
   let amplitude = Pss.amplitude ctx.pss output in
   let f0 = 1.0 /. ctx.pss.Pss.period in
   Variation.delay_sigma ~passband_psd:sb.Pnoise.total_psd ~amplitude ~f0
@@ -121,11 +128,12 @@ let delay_variation_psd ctx ~output =
    sideband's complex Fourier-coefficient perturbation has magnitude
    |y₁| = A_c·Δf/(4·f_m).  Inverting: σ_f = 4·f_m·√P₁/A_c with
    P₁ = Σ|y₁,i|²σ_i². *)
-let frequency_variation_psd ?(f_offset = 1.0) (osc : Pss_osc.t) ~output =
+let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) (osc : Pss_osc.t)
+    ~output =
   let pss = osc.Pss_osc.pss in
-  let lptv = Lptv.build pss ~f_offset in
+  let lptv = Lptv.build ~domains pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
-  let sb = Pnoise.analyze lptv ~output ~harmonic:1 ~sources in
+  let sb = Pnoise.analyze ~domains lptv ~output ~harmonic:1 ~sources in
   let amplitude = Pss.amplitude pss output in
   4.0 *. f_offset *. sqrt (Float.max 0.0 sb.Pnoise.total_psd) /. amplitude
 

@@ -10,12 +10,16 @@ type pss_context = {
   pss : Pss.t;
   lptv : Lptv.t;
   sources : Pnoise.source array;
+  domains : int; (** lane count used by the LPTV/PNOISE passes *)
 }
 
 val prepare : ?steps:int -> ?f_offset:float -> ?warmup_periods:int ->
-  Circuit.t -> period:float -> pss_context
+  ?domains:int -> Circuit.t -> period:float -> pss_context
 (** Solve the driven PSS and build the LPTV context with the mismatch
-    pseudo-noise sources (offset frequency default 1 Hz). *)
+    pseudo-noise sources (offset frequency default 1 Hz).  [domains]
+    (default 1) parallelizes the LPTV build and the subsequent PNOISE
+    readings over that many OCaml domains; results are bit-identical
+    for any value (docs/parallelism.md). *)
 
 val dc_variation : pss_context -> output:string -> Report.t
 (** §V-A: variation of the DC (cycle-average) component of a node —
@@ -51,7 +55,7 @@ val crossing_time : pss_context -> output:string -> crossing:crossing -> float
     for Monte-Carlo comparisons). *)
 
 val frequency_variation_psd :
-  ?f_offset:float -> Pss_osc.t -> output:string -> float
+  ?f_offset:float -> ?domains:int -> Pss_osc.t -> output:string -> float
 (** The paper's literal eq. (9): read σ_f from the oscillator's
     passband pseudo-noise PSD at [f_offset] from the carrier.
 

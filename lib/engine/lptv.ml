@@ -10,62 +10,107 @@ type t = {
   wrap_lu : Clu.t;    (* factorization of I - Φ(ω) *)
 }
 
-(* complex mat-vec with a real matrix *)
-let real_mat_apply mat n (v : Cvec.t) : Cvec.t =
-  let re = Mat.mul_vec mat (Cvec.real v) in
-  let im = Mat.mul_vec mat (Cvec.imag v) in
-  Array.init n (fun i -> Cx.mk re.(i) im.(i))
+(* Scratch buffers for the allocation-free apply/solve kernels.  One
+   workspace per lane — sharing one across domains is a data race. *)
+type ws = {
+  re_in : Vec.t;
+  im_in : Vec.t;
+  re_out : Vec.t;
+  im_out : Vec.t;
+  ct1 : Cvec.t; (* per-step solve rhs inside a_apply *)
+  ct2 : Cvec.t; (* transpose-solve scratch / second intermediate *)
+}
 
-let real_mat_tapply mat n (v : Cvec.t) : Cvec.t =
-  let re = Mat.tmul_vec mat (Cvec.real v) in
-  let im = Mat.tmul_vec mat (Cvec.imag v) in
-  Array.init n (fun i -> Cx.mk re.(i) im.(i))
+let make_ws n =
+  {
+    re_in = Vec.create n;
+    im_in = Vec.create n;
+    re_out = Vec.create n;
+    im_out = Vec.create n;
+    ct1 = Cvec.create n;
+    ct2 = Cvec.create n;
+  }
 
-(* A_{k-1} p = M_k⁻¹ (C/h) p   (maps p_{k-1} to the homogeneous part of p_k) *)
-let a_apply_raw ~clus ~c_over_h ~n ~k p =
-  Clu.solve clus.(k - 1) (real_mat_apply c_over_h n p)
+(* dst <- mat·v, complex v through a real matrix; dst may alias v *)
+let real_mat_apply_into ws mat (v : Cvec.t) (dst : Cvec.t) =
+  let n = Array.length v in
+  for i = 0 to n - 1 do
+    let z = Array.unsafe_get v i in
+    Array.unsafe_set ws.re_in i z.Cx.re;
+    Array.unsafe_set ws.im_in i z.Cx.im
+  done;
+  Mat.mul_vec_into mat ws.re_in ws.re_out;
+  Mat.mul_vec_into mat ws.im_in ws.im_out;
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i
+      (Cx.mk (Array.unsafe_get ws.re_out i) (Array.unsafe_get ws.im_out i))
+  done
 
-let a_apply t ~k p = a_apply_raw ~clus:t.clus ~c_over_h:t.c_over_h ~n:t.n ~k p
+(* dst <- matᵀ·v; dst may alias v *)
+let real_mat_tapply_into ws mat (v : Cvec.t) (dst : Cvec.t) =
+  let n = Array.length v in
+  for i = 0 to n - 1 do
+    let z = Array.unsafe_get v i in
+    Array.unsafe_set ws.re_in i z.Cx.re;
+    Array.unsafe_set ws.im_in i z.Cx.im
+  done;
+  Mat.tmul_vec_into mat ws.re_in ws.re_out;
+  Mat.tmul_vec_into mat ws.im_in ws.im_out;
+  for i = 0 to n - 1 do
+    Array.unsafe_set dst i
+      (Cx.mk (Array.unsafe_get ws.re_out i) (Array.unsafe_get ws.im_out i))
+  done
 
-(* A_{k-1}ᵀ w = (C/h)ᵀ M_k⁻ᵀ w *)
-let a_transpose_apply t ~k w =
-  real_mat_tapply t.c_over_h t.n (Clu.solve_transpose t.clus.(k - 1) w)
+(* A_{k-1} p = M_k⁻¹ (C/h) p   (maps p_{k-1} to the homogeneous part of p_k);
+   dst may alias p but not ws.ct1 *)
+let a_apply_into ws ~clus ~c_over_h ~k p dst =
+  real_mat_apply_into ws c_over_h p ws.ct1;
+  Clu.solve_into clus.(k - 1) ws.ct1 dst
 
-let build (pss : Pss.t) ~f_offset =
+(* A_{k-1}ᵀ w = (C/h)ᵀ M_k⁻ᵀ w; dst may alias w but not ws.ct1/ws.ct2 *)
+let a_transpose_apply_into ws ~clus ~c_over_h ~k w dst =
+  Clu.solve_transpose_into clus.(k - 1) ~scratch:ws.ct2 w ws.ct1;
+  real_mat_tapply_into ws c_over_h ws.ct1 dst
+
+let build ?(domains = 1) (pss : Pss.t) ~f_offset =
   let circuit = pss.Pss.circuit in
   let n = Circuit.size circuit in
   let m = pss.Pss.steps in
   let h = pss.Pss.period /. float_of_int m in
   let omega = 2.0 *. Float.pi *. f_offset in
   let c_over_h = Mat.scale (1.0 /. h) pss.Pss.c_mat in
-  (* factorize M_k = C(1/h + jω) + G(t_k) for k = 1..m *)
-  let g_buf = Vec.create n in
-  let jac = Mat.create n n in
-  let clus =
-    Array.init m (fun i ->
-        let k = i + 1 in
-        Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
-          ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some jac) ();
-        let mk =
-          Cmat.init n n (fun r c ->
-              Cx.mk
-                (Mat.get jac r c +. Mat.get c_over_h r c)
-                (omega *. Mat.get pss.Pss.c_mat r c))
-        in
-        Clu.factorize mk)
-  in
-  (* Φ(ω) column by column, then factorize I - Φ *)
+  Domain_pool.with_pool domains @@ fun pool ->
+  (* factorize M_k = C(1/h + jω) + G(t_k) for k = 1..m — the m
+     factorizations are independent; each lane stamps into its own
+     g/jac workspace (a shared stamp buffer would be a data race) *)
+  let clus = Array.make m None in
+  Domain_pool.parallel_for_ws pool m
+    ~init:(fun () -> (Vec.create n, Mat.create n n))
+    (fun (g_buf, jac) i ->
+      let k = i + 1 in
+      Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
+        ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some jac) ();
+      let mk =
+        Cmat.init n n (fun r c ->
+            Cx.mk
+              (Mat.get jac r c +. Mat.get c_over_h r c)
+              (omega *. Mat.get pss.Pss.c_mat r c))
+      in
+      clus.(i) <- Some (Clu.factorize mk));
+  let clus = Array.map (function Some c -> c | None -> assert false) clus in
+  (* Φ(ω) column by column (independent), then factorize I - Φ *)
   let phi = Cmat.create n n in
-  for j = 0 to n - 1 do
-    let v = ref (Cvec.create n) in
-    !v.(j) <- Cx.one;
-    for k = 1 to m do
-      v := a_apply_raw ~clus ~c_over_h ~n ~k !v
-    done;
-    for i = 0 to n - 1 do
-      Cmat.set phi i j !v.(i)
-    done
-  done;
+  Domain_pool.parallel_for_ws pool n
+    ~init:(fun () -> (make_ws n, Cvec.create n))
+    (fun (ws, v) j ->
+      Cvec.fill v Cx.zero;
+      v.(j) <- Cx.one;
+      for k = 1 to m do
+        a_apply_into ws ~clus ~c_over_h ~k v v
+      done;
+      for i = 0 to n - 1 do
+        Cmat.set phi i j v.(i)
+      done);
   let wrap = Cmat.sub (Cmat.identity n) phi in
   { pss; f_offset; omega; n; m; h; c_over_h; clus;
     wrap_lu = Clu.factorize wrap }
@@ -86,17 +131,29 @@ let rhs_of t ~k (inj : injection) =
 let solve_source t inj =
   (* particular forcing accumulated over one period from p_0 = 0:
      q_k = A_{k-1} q_{k-1} + M_k⁻¹ b_k; then (I - Φ)·p_0 = q_m *)
-  let q = ref (Cvec.create t.n) in
+  let ws = make_ws t.n in
+  (* the per-step forced vectors M_k⁻¹ b_k are shared by the wrap pass
+     and the final sweep — solve each only once *)
+  let forced =
+    Array.init t.m (fun i ->
+        let b = rhs_of t ~k:(i + 1) inj in
+        Clu.solve_inplace t.clus.(i) b;
+        b)
+  in
+  let q = Cvec.create t.n in
   for k = 1 to t.m do
-    let forced = Clu.solve t.clus.(k - 1) (rhs_of t ~k inj) in
-    q := Cvec.add (a_apply t ~k !q) forced
+    a_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k q q;
+    Cvec.add_inplace q forced.(k - 1)
   done;
-  let p0 = Clu.solve t.wrap_lu !q in
-  let p = Array.make (t.m + 1) (Cvec.create t.n) in
-  p.(0) <- p0;
+  let p0 = Clu.solve t.wrap_lu q in
+  let p = Array.make (t.m + 1) p0 in
   for k = 1 to t.m do
-    let forced = Clu.solve t.clus.(k - 1) (rhs_of t ~k inj) in
-    p.(k) <- Cvec.add (a_apply t ~k p.(k - 1)) forced
+    (* p_k = A_{k-1} p_{k-1} + forced_k; the forced vector is dead after
+       this step and doubles as p_k's storage *)
+    let pk = forced.(k - 1) in
+    a_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k p.(k - 1) ws.ct2;
+    Cvec.add_inplace pk ws.ct2;
+    p.(k) <- pk
   done;
   p
 
@@ -113,44 +170,43 @@ type functional = Cvec.t array
 (* Backward pass: given c_k (k = 1..m) output weights, find λ_k with
      λ_k = c_k + A_kᵀ λ_{k+1}   (k = 1..m-1, A_k uses clus.(k))
      λ_m = c_m + A_0ᵀ λ_1       (cyclic, A_0 uses clus.(0))
-   then λ̃_k = M_k⁻ᵀ λ_k is ∂y/∂b_k. *)
-let adjoint_general t (c : int -> Cvec.t) : functional =
-  (* first pass with λ_m = 0 to get d_1 *)
-  let backward lam_m =
-    let lam = Array.make (t.m + 1) (Cvec.create t.n) in
-    lam.(t.m) <- lam_m;
+   then λ̃_k = M_k⁻ᵀ λ_k is ∂y/∂b_k.
+
+   [c_add k v] adds the output weight c_k into [v] — sparse functionals
+   stay allocation-free this way. *)
+let adjoint_general t (c_add : int -> Cvec.t -> unit) : functional =
+  let ws = make_ws t.n in
+  let lam = Array.init (t.m + 1) (fun _ -> Cvec.create t.n) in
+  let backward () =
     for k = t.m - 1 downto 1 do
       (* A_k maps p_k -> p_{k+1}, built from clus.(k) (i.e. M_{k+1}) *)
-      lam.(k) <- Cvec.add (c k) (a_transpose_apply t ~k:(k + 1) lam.(k + 1))
-    done;
-    lam
+      a_transpose_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k:(k + 1)
+        lam.(k + 1) lam.(k);
+      c_add k lam.(k)
+    done
   in
-  let d = backward (Cvec.create t.n) in
+  (* first pass with λ_m = 0 to get d_1 *)
+  backward ();
   (* (I - Φᵀ) λ_m = c_m + A_0ᵀ d_1 *)
-  let rhs = Cvec.add (c t.m) (a_transpose_apply t ~k:1 d.(1)) in
-  let lam_m = Clu.solve_transpose t.wrap_lu rhs in
-  let lam = backward lam_m in
-  Array.init t.m (fun i ->
-      let k = i + 1 in
-      Clu.solve_transpose t.clus.(k - 1) lam.(k))
+  let rhs = Cvec.create t.n in
+  a_transpose_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k:1 lam.(1) rhs;
+  c_add t.m rhs;
+  Clu.solve_transpose_into t.wrap_lu ~scratch:ws.ct2 rhs lam.(t.m);
+  backward ();
+  Array.init t.m (fun i -> Clu.solve_transpose t.clus.(i) lam.(i + 1))
 
 let adjoint_harmonic t ~row ~harmonic =
-  let c k =
-    let v = Cvec.create t.n in
-    let ang = -2.0 *. Float.pi *. float_of_int (harmonic * k) /. float_of_int t.m in
-    v.(row) <- Cx.scale (1.0 /. float_of_int t.m) (Cx.exp_i ang);
-    v
-  in
-  adjoint_general t c
+  let weight = 1.0 /. float_of_int t.m in
+  adjoint_general t (fun k v ->
+      let ang =
+        -2.0 *. Float.pi *. float_of_int (harmonic * k) /. float_of_int t.m
+      in
+      v.(row) <- Cx.( +: ) v.(row) (Cx.scale weight (Cx.exp_i ang)))
 
 let adjoint_sample t ~row ~k:ksample =
   if ksample < 1 || ksample > t.m then invalid_arg "Lptv.adjoint_sample";
-  let c k =
-    let v = Cvec.create t.n in
-    if k = ksample then v.(row) <- Cx.one;
-    v
-  in
-  adjoint_general t c
+  adjoint_general t (fun k v ->
+      if k = ksample then v.(row) <- Cx.( +: ) v.(row) Cx.one)
 
 let apply (lam : functional) (inj : injection) =
   let s = ref Cx.zero in

@@ -27,24 +27,11 @@ let run ?(seed = 42) ?(domains = 1) ?transform ~n ~circuit ~measure () =
   let t_start = Unix.gettimeofday () in
   let params = Circuit.mismatch_params circuit in
   let results = Array.make n None in
-  if domains <= 1 then
-    for i = 0 to n - 1 do
-      results.(i) <- run_sample ~seed ~transform ~params ~circuit ~measure i
-    done
-  else begin
-    (* static block partition across domains *)
-    let workers =
-      List.init domains (fun d ->
-          Domain.spawn (fun () ->
-              let i = ref d in
-              while !i < n do
-                results.(!i) <-
-                  run_sample ~seed ~transform ~params ~circuit ~measure !i;
-                i := !i + domains
-              done))
-    in
-    List.iter Domain.join workers
-  end;
+  (* each lane writes only its own sample slots; the (seed, index)
+     derivation makes the stream independent of the lane count *)
+  Domain_pool.with_pool domains (fun pool ->
+      Domain_pool.parallel_for pool n (fun i ->
+          results.(i) <- run_sample ~seed ~transform ~params ~circuit ~measure i));
   let collected = Array.to_list results |> List.filter_map (fun x -> x) in
   let values = Array.of_list collected in
   let failed = n - Array.length values in

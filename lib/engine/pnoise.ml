@@ -22,13 +22,19 @@ let mismatch_sources lptv =
   let pss = Lptv.pss lptv in
   let circuit = pss.Pss.circuit in
   let params = Circuit.mismatch_params circuit in
+  let m = Lptv.steps lptv in
+  (* backward-difference state derivatives, computed once and shared by
+     every ΔC source's injection closure *)
+  let xdots =
+    Array.init (m + 1) (fun k -> if k = 0 then [||] else Pss.xdot pss ~k)
+  in
   Array.map
     (fun (p : Circuit.mismatch_param) ->
       let inject k =
         (* bias-dependent injection along the cycle; ΔC parameters use
            the backward-difference state derivative *)
         let x = pss.Pss.states.(k) in
-        let xdot = Pss.xdot pss ~k in
+        let xdot = xdots.(k) in
         (* the small-signal RHS is -∂g/∂δ *)
         List.map (fun (row, v) -> (row, -.v))
           (Stamp.injection circuit p ~x ~xdot ())
@@ -45,62 +51,80 @@ let mismatch_sources lptv =
 let physical_sources ?temp lptv =
   let pss = Lptv.pss lptv in
   let circuit = pss.Pss.circuit in
-  (* enumerate once at k=1 to fix the source list, then re-evaluate the
-     bias-dependent PSD along the cycle; the modulation is folded into
-     the injection amplitude (unit-PSD stationary noise times m(t)) *)
+  (* enumerate the bias-dependent source list once per grid step and
+     share it across all closures — re-stamping the full circuit inside
+     every source's [inject] was O(S²·m).  The k=1 list fixes the source
+     identities; the modulation is folded into the injection amplitude
+     (unit-PSD stationary noise times m(t)) *)
   let f = Lptv.f_offset lptv in
-  let template = Stamp.noise_sources circuit ~x:pss.Pss.states.(1) ?temp () in
-  let sources =
-    List.mapi
-      (fun idx (ns : Stamp.noise_source) ->
-        let inject k =
-          let here = Stamp.noise_sources circuit ~x:pss.Pss.states.(k) ?temp () in
-          match List.nth_opt here idx with
-          | None -> []
-          | Some ns_k ->
-            let scale = sqrt (ns_k.Stamp.ns_psd f) in
-            List.map (fun (row, v) -> (row, v *. scale)) ns_k.Stamp.ns_rows
-        in
-        { src_name = ns.Stamp.ns_name; src_inject = inject; src_psd = 1.0 })
-      template
+  let m = Lptv.steps lptv in
+  let per_step =
+    Array.init (m + 1) (fun k ->
+        if k = 0 then [||]
+        else
+          Array.of_list
+            (Stamp.noise_sources circuit ~x:pss.Pss.states.(k) ?temp ()))
   in
-  Array.of_list sources
+  Array.mapi
+    (fun idx (ns : Stamp.noise_source) ->
+      let inject k =
+        let here = per_step.(k) in
+        if idx >= Array.length here then []
+        else begin
+          let ns_k = here.(idx) in
+          let scale = sqrt (ns_k.Stamp.ns_psd f) in
+          List.map (fun (row, v) -> (row, v *. scale)) ns_k.Stamp.ns_rows
+        end
+      in
+      { src_name = ns.Stamp.ns_name; src_inject = inject; src_psd = 1.0 })
+    per_step.(1)
 
-let finish ~output ~harmonic ~f_offset ~lam ~sources =
+let finish ?(domains = 1) ~output ~harmonic ~f_offset ~lam ~sources () =
   let contributions =
-    Array.map
-      (fun src ->
+    Domain_pool.with_pool domains @@ fun pool ->
+    Domain_pool.parallel_init pool (Array.length sources) (fun i ->
+        let src = sources.(i) in
         let tf = Lptv.apply lam src.src_inject in
         { source = src; transfer = tf; share = Cx.abs2 tf *. src.src_psd })
-      sources
   in
   let total = Array.fold_left (fun acc c -> acc +. c.share) 0.0 contributions in
   { output; harmonic; f_offset; total_psd = total; contributions }
 
-let analyze lptv ~output ~harmonic ~sources =
+let analyze ?domains lptv ~output ~harmonic ~sources =
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let lam = Lptv.adjoint_harmonic lptv ~row ~harmonic in
-  finish ~output ~harmonic ~f_offset:(Lptv.f_offset lptv) ~lam ~sources
+  finish ?domains ~output ~harmonic ~f_offset:(Lptv.f_offset lptv) ~lam
+    ~sources ()
 
-let analyze_sample lptv ~output ~k ~sources =
+let analyze_sample ?domains lptv ~output ~k ~sources =
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let lam = Lptv.adjoint_sample lptv ~row ~k in
-  finish ~output ~harmonic:0 ~f_offset:(Lptv.f_offset lptv) ~lam ~sources
+  finish ?domains ~output ~harmonic:0 ~f_offset:(Lptv.f_offset lptv) ~lam
+    ~sources ()
 
-let sigma_waveform lptv ~output ~sources =
+let sigma_waveform ?(domains = 1) lptv ~output ~sources =
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let m = Lptv.steps lptv in
+  (* one direct solve per source, fanned out over the pool; each lane
+     writes only its own per-source row, then the rows are reduced in
+     source order so the result is independent of the lane count *)
+  let rows =
+    Domain_pool.with_pool domains @@ fun pool ->
+    Domain_pool.parallel_init pool (Array.length sources) (fun i ->
+        let src = sources.(i) in
+        let p = Lptv.solve_source lptv src.src_inject in
+        Array.init m (fun j -> Cx.abs2 p.(j + 1).(row) *. src.src_psd))
+  in
   let acc = Array.make m 0.0 in
   Array.iter
-    (fun src ->
-      let p = Lptv.solve_source lptv src.src_inject in
-      for k = 1 to m do
-        acc.(k - 1) <- acc.(k - 1) +. (Cx.abs2 p.(k).(row) *. src.src_psd)
+    (fun r ->
+      for j = 0 to m - 1 do
+        acc.(j) <- acc.(j) +. r.(j)
       done)
-    sources;
+    rows;
   Array.map sqrt acc
 
 let pp_sideband ppf sb =

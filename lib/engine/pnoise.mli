@@ -39,11 +39,15 @@ val physical_sources : ?temp:float -> Lptv.t -> source array
 (** Thermal device noise, periodically modulated by the PSS bias. *)
 
 val analyze :
+  ?domains:int ->
   Lptv.t -> output:string -> harmonic:int -> sources:source array -> sideband
 (** Adjoint analysis of one output sideband (single backward pass, then
-    one inner product per source). *)
+    one inner product per source).  [domains] (default 1) fans the
+    per-source inner products out over a {!Domain_pool}; results are
+    bit-identical for any lane count. *)
 
 val analyze_sample :
+  ?domains:int ->
   Lptv.t -> output:string -> k:int -> sources:source array -> sideband
 (** Time-domain variant: the functional is the response at grid point
     [k]; [total_psd] is then the variance density of the output voltage
@@ -51,8 +55,9 @@ val analyze_sample :
     delay extraction). *)
 
 val sigma_waveform :
+  ?domains:int ->
   Lptv.t -> output:string -> sources:source array -> float array
 (** σ(t_k), k = 1..steps: the ±σ envelope of Fig. 8.  Uses one direct
-    solve per source. *)
+    solve per source, fanned out over [domains] lanes (default 1). *)
 
 val pp_sideband : Format.formatter -> sideband -> unit

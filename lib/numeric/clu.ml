@@ -37,68 +37,104 @@ let factorize ?pivot_tol m =
     end;
     let pivot = Cmat.get lu k k in
     if Cx.abs pivot < tol then raise (Singular k);
+    (* indices below stay in [0, n) by construction, so the elimination
+       inner loops can skip bounds checks; the complex multiply-subtract
+       is spelled out on floats to keep the accumulators unboxed *)
     for i = k + 1 to n - 1 do
-      let f = Cx.( /: ) (Cmat.get lu i k) pivot in
-      Cmat.set lu i k f;
-      if f <> Cx.zero then
+      let f = Cx.( /: ) (Cmat.unsafe_get lu i k) pivot in
+      Cmat.unsafe_set lu i k f;
+      if f <> Cx.zero then begin
+        let fr = f.Cx.re and fi = f.Cx.im in
         for j = k + 1 to n - 1 do
-          Cmat.set lu i j
-            (Cx.( -: ) (Cmat.get lu i j) (Cx.( *: ) f (Cmat.get lu k j)))
+          let a = Cmat.unsafe_get lu i j and b = Cmat.unsafe_get lu k j in
+          Cmat.unsafe_set lu i j
+            (Cx.mk
+               (a.Cx.re -. ((fr *. b.Cx.re) -. (fi *. b.Cx.im)))
+               (a.Cx.im -. ((fr *. b.Cx.im) +. (fi *. b.Cx.re))))
         done
+      end
     done
   done;
   { n; lu; perm; sign = !sign }
 
 let dim t = t.n
 
-let solve_inplace t b =
-  if Array.length b <> t.n then invalid_arg "Clu.solve: dimension mismatch";
+let solve_into t b x =
+  if Array.length b <> t.n || Array.length x <> t.n then
+    invalid_arg "Clu.solve_into: dimension mismatch";
+  if x == b then invalid_arg "Clu.solve_into: output aliases input";
   let n = t.n in
-  let x = Array.init n (fun i -> b.(t.perm.(i))) in
+  for i = 0 to n - 1 do
+    x.(i) <- b.(t.perm.(i))
+  done;
   for i = 1 to n - 1 do
-    let s = ref x.(i) in
+    let z = Array.unsafe_get x i in
+    let sr = ref z.Cx.re and si = ref z.Cx.im in
     for j = 0 to i - 1 do
-      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu i j) x.(j))
+      let m = Cmat.unsafe_get t.lu i j and xj = Array.unsafe_get x j in
+      sr := !sr -. ((m.Cx.re *. xj.Cx.re) -. (m.Cx.im *. xj.Cx.im));
+      si := !si -. ((m.Cx.re *. xj.Cx.im) +. (m.Cx.im *. xj.Cx.re))
     done;
-    x.(i) <- !s
+    Array.unsafe_set x i (Cx.mk !sr !si)
   done;
   for i = n - 1 downto 0 do
-    let s = ref x.(i) in
+    let z = Array.unsafe_get x i in
+    let sr = ref z.Cx.re and si = ref z.Cx.im in
     for j = i + 1 to n - 1 do
-      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu i j) x.(j))
+      let m = Cmat.unsafe_get t.lu i j and xj = Array.unsafe_get x j in
+      sr := !sr -. ((m.Cx.re *. xj.Cx.re) -. (m.Cx.im *. xj.Cx.im));
+      si := !si -. ((m.Cx.re *. xj.Cx.im) +. (m.Cx.im *. xj.Cx.re))
     done;
-    x.(i) <- Cx.( /: ) !s (Cmat.get t.lu i i)
-  done;
-  Array.blit x 0 b 0 n
+    Array.unsafe_set x i (Cx.( /: ) (Cx.mk !sr !si) (Cmat.unsafe_get t.lu i i))
+  done
 
 let solve t b =
-  let x = Array.copy b in
-  solve_inplace t x;
+  let x = Array.make t.n Cx.zero in
+  solve_into t b x;
   x
 
-let solve_transpose t b =
-  if Array.length b <> t.n then
-    invalid_arg "Clu.solve_transpose: dimension mismatch";
+let solve_inplace t b =
+  let x = solve t b in
+  Array.blit x 0 b 0 t.n
+
+(* [scratch] holds the intermediate of the two triangular sweeps; it may
+   alias [b] (the solve then runs in place) but never [x]. *)
+let solve_transpose_into t ~scratch b x =
+  if Array.length b <> t.n || Array.length x <> t.n
+     || Array.length scratch <> t.n
+  then invalid_arg "Clu.solve_transpose_into: dimension mismatch";
+  if x == scratch || x == b then
+    invalid_arg "Clu.solve_transpose_into: output aliases an input";
   let n = t.n in
-  let y = Array.copy b in
+  if scratch != b then Array.blit b 0 scratch 0 n;
+  let y = scratch in
   for i = 0 to n - 1 do
-    let s = ref y.(i) in
+    let z = Array.unsafe_get y i in
+    let sr = ref z.Cx.re and si = ref z.Cx.im in
     for j = 0 to i - 1 do
-      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu j i) y.(j))
+      let m = Cmat.unsafe_get t.lu j i and yj = Array.unsafe_get y j in
+      sr := !sr -. ((m.Cx.re *. yj.Cx.re) -. (m.Cx.im *. yj.Cx.im));
+      si := !si -. ((m.Cx.re *. yj.Cx.im) +. (m.Cx.im *. yj.Cx.re))
     done;
-    y.(i) <- Cx.( /: ) !s (Cmat.get t.lu i i)
+    Array.unsafe_set y i (Cx.( /: ) (Cx.mk !sr !si) (Cmat.unsafe_get t.lu i i))
   done;
   for i = n - 1 downto 0 do
-    let s = ref y.(i) in
+    let z = Array.unsafe_get y i in
+    let sr = ref z.Cx.re and si = ref z.Cx.im in
     for j = i + 1 to n - 1 do
-      s := Cx.( -: ) !s (Cx.( *: ) (Cmat.get t.lu j i) y.(j))
+      let m = Cmat.unsafe_get t.lu j i and yj = Array.unsafe_get y j in
+      sr := !sr -. ((m.Cx.re *. yj.Cx.re) -. (m.Cx.im *. yj.Cx.im));
+      si := !si -. ((m.Cx.re *. yj.Cx.im) +. (m.Cx.im *. yj.Cx.re))
     done;
-    y.(i) <- !s
+    Array.unsafe_set y i (Cx.mk !sr !si)
   done;
-  let x = Array.make n Cx.zero in
   for i = 0 to n - 1 do
     x.(t.perm.(i)) <- y.(i)
-  done;
+  done
+
+let solve_transpose t b =
+  let x = Array.make t.n Cx.zero in
+  solve_transpose_into t ~scratch:(Array.copy b) b x;
   x
 
 let det t =

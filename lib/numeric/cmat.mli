@@ -10,6 +10,12 @@ val rows : t -> int
 val cols : t -> int
 val get : t -> int -> int -> Cx.t
 val set : t -> int -> int -> Cx.t -> unit
+
+val unsafe_get : t -> int -> int -> Cx.t
+(** {!get} without bounds checks — only for inner loops whose indices
+    are in range by construction. *)
+
+val unsafe_set : t -> int -> int -> Cx.t -> unit
 val add_to : t -> int -> int -> Cx.t -> unit
 val copy : t -> t
 val add : t -> t -> t

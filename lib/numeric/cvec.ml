@@ -22,6 +22,17 @@ let sub x y =
 
 let scale a x = Array.map (fun z -> Cx.( *: ) a z) x
 
+let add_inplace x y =
+  check_dim x y;
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- Cx.( +: ) x.(i) y.(i)
+  done
+
+let scale_inplace a x =
+  for i = 0 to Array.length x - 1 do
+    x.(i) <- Cx.( *: ) a x.(i)
+  done
+
 let axpy a x y =
   check_dim x y;
   for i = 0 to Array.length x - 1 do

@@ -12,6 +12,13 @@ val imag : t -> Vec.t
 val add : t -> t -> t
 val sub : t -> t -> t
 val scale : Cx.t -> t -> t
+
+val add_inplace : t -> t -> unit
+(** [add_inplace x y] performs [x <- x + y] without allocating. *)
+
+val scale_inplace : Cx.t -> t -> unit
+(** [scale_inplace a x] performs [x <- a*x] without allocating. *)
+
 val axpy : Cx.t -> t -> t -> unit
 (** [axpy a x y] performs [y <- a*x + y] in place. *)
 

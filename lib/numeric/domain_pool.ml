@@ -1,0 +1,179 @@
+(* Work-stealing-lite pool over OCaml 5 domains (stdlib only).
+
+   One pool owns [lanes - 1] worker domains parked on a condition
+   variable.  A job is an index range [0, n) plus a body; every lane
+   (workers and the publishing caller alike) claims chunks of indices
+   from a shared atomic counter until the range is drained, so uneven
+   per-index cost balances automatically without per-task spawns.
+
+   Each job carries its own atomic counter: a worker that wakes up late
+   and still holds a reference to a finished job drains that job's
+   (exhausted) counter and parks again — it can never claim indices of
+   a job published afterwards. *)
+
+type job = {
+  mk_body : unit -> int -> unit;
+      (* called once per participating lane to build its body — this is
+         where per-lane workspaces are allocated *)
+  next : int Atomic.t;
+  hi : int;
+  chunk : int;
+}
+
+type t = {
+  lanes : int;
+  mutex : Mutex.t;
+  work : Condition.t; (* new job published, or stop *)
+  idle : Condition.t; (* a lane finished its share of the current job *)
+  mutable job : job option;
+  mutable gen : int;
+  mutable running : int;
+  mutable stop : bool;
+  mutable failure : exn option;
+  mutable workers : unit Domain.t list;
+}
+
+let record_failure t e =
+  Mutex.lock t.mutex;
+  (match t.failure with None -> t.failure <- Some e | Some _ -> ());
+  Mutex.unlock t.mutex
+
+(* Claim and run chunks until the job is drained.  The lane body is only
+   built once the lane has actually claimed work.  On an exception the
+   lane stops claiming (the failure is re-raised by the publisher);
+   other lanes drain the remaining indices. *)
+let drain t (job : job) =
+  let body = ref None in
+  let live = ref true in
+  while !live do
+    let i = Atomic.fetch_and_add job.next job.chunk in
+    if i >= job.hi then live := false
+    else begin
+      let b =
+        match !body with
+        | Some b -> b
+        | None ->
+          let b = job.mk_body () in
+          body := Some b;
+          b
+      in
+      try
+        for j = i to Stdlib.min job.hi (i + job.chunk) - 1 do
+          b j
+        done
+      with e ->
+        record_failure t e;
+        live := false
+    end
+  done
+
+let worker t =
+  let my_gen = ref 0 in
+  let live = ref true in
+  while !live do
+    Mutex.lock t.mutex;
+    while (not t.stop) && t.gen = !my_gen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stop then begin
+      Mutex.unlock t.mutex;
+      live := false
+    end
+    else begin
+      my_gen := t.gen;
+      let job = t.job in
+      t.running <- t.running + 1;
+      Mutex.unlock t.mutex;
+      (match job with Some j -> drain t j | None -> ());
+      Mutex.lock t.mutex;
+      t.running <- t.running - 1;
+      if t.running = 0 then Condition.broadcast t.idle;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create lanes =
+  if lanes < 1 then invalid_arg "Domain_pool.create";
+  let t =
+    {
+      lanes;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      gen = 0;
+      running = 0;
+      stop = false;
+      failure = None;
+      workers = [];
+    }
+  in
+  t.workers <- List.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let size t = t.lanes
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.workers;
+  t.workers <- []
+
+let with_pool lanes f =
+  let t = create lanes in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+let parallel_for_ws t ?(chunk = 1) n ~init body =
+  if chunk < 1 then invalid_arg "Domain_pool.parallel_for_ws: chunk < 1";
+  if n > 0 then begin
+    if n = 1 || t.workers = [] then begin
+      let ws = init () in
+      for i = 0 to n - 1 do
+        body ws i
+      done
+    end
+    else begin
+      let job =
+        {
+          mk_body =
+            (fun () ->
+              let ws = init () in
+              fun i -> body ws i);
+          next = Atomic.make 0;
+          hi = n;
+          chunk;
+        }
+      in
+      Mutex.lock t.mutex;
+      t.failure <- None;
+      t.job <- Some job;
+      t.gen <- t.gen + 1;
+      Condition.broadcast t.work;
+      Mutex.unlock t.mutex;
+      drain t job;
+      Mutex.lock t.mutex;
+      while t.running > 0 do
+        Condition.wait t.idle t.mutex
+      done;
+      let failure = t.failure in
+      t.failure <- None;
+      t.job <- None;
+      Mutex.unlock t.mutex;
+      match failure with None -> () | Some e -> raise e
+    end
+  end
+
+let parallel_for t ?chunk n body =
+  parallel_for_ws t ?chunk n ~init:(fun () -> ()) (fun () i -> body i)
+
+let parallel_init t ?chunk n f =
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n None in
+    parallel_for t ?chunk n (fun i -> out.(i) <- Some (f i));
+    Array.map (function Some x -> x | None -> assert false) out
+  end
+
+let default_lanes () = Domain.recommended_domain_count ()

@@ -1,0 +1,53 @@
+(** Reusable domain pool for data-parallel loops (stdlib [Domain] only).
+
+    A pool of [lanes] parallel lanes: the calling domain plus
+    [lanes - 1] persistent worker domains parked between jobs.  Jobs are
+    index ranges; lanes claim chunks from a shared atomic counter
+    ("work-stealing lite"), so unevenly sized iterations balance without
+    spawning a domain per task.
+
+    Determinism: the pool only decides {e which lane} runs each index,
+    never the arithmetic performed for it.  Bodies that write
+    exclusively to per-index slots (and read only shared immutable
+    state) therefore produce bit-identical results for any lane count.
+
+    A pool is not reentrant: publishing a job from inside a job body
+    deadlocks.  Nested parallelism must use separate pools. *)
+
+type t
+
+val create : int -> t
+(** [create lanes] spawns [lanes - 1] worker domains ([lanes >= 1];
+    [create 1] spawns none and runs every job inline). *)
+
+val size : t -> int
+(** Number of lanes, including the caller. *)
+
+val shutdown : t -> unit
+(** Park, join and release the worker domains.  Every pool must be shut
+    down before the program exits (prefer {!with_pool}). *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [with_pool lanes f] runs [f] with a fresh pool and always shuts it
+    down, including on exceptions. *)
+
+val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+(** [parallel_for pool n body] runs [body i] for [i] in [0, n), spread
+    over the pool's lanes; returns when all indices have completed.
+    [chunk] (default 1) indices are claimed at a time.  If any [body]
+    raises, the first exception is re-raised in the caller after the
+    range drains; remaining indices may or may not have run. *)
+
+val parallel_for_ws :
+  t -> ?chunk:int -> int -> init:(unit -> 'ws) -> ('ws -> int -> unit) -> unit
+(** Like {!parallel_for}, but each participating lane calls [init] once
+    (lazily, on its first claimed chunk) and threads the result through
+    its iterations — the hook for per-lane scratch workspaces that must
+    not be shared across domains. *)
+
+val parallel_init : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [parallel_init pool n f] is [Array.init n f] with the elements
+    computed in parallel ([f] must tolerate out-of-order evaluation). *)
+
+val default_lanes : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

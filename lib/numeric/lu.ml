@@ -39,12 +39,15 @@ let factorize ?pivot_tol m =
     end;
     let pivot = Mat.get lu k k in
     if Float.abs pivot < tol then raise (Singular k);
+    (* indices below stay in [0, n) by construction, so the elimination
+       inner loops can skip bounds checks *)
     for i = k + 1 to n - 1 do
-      let f = Mat.get lu i k /. pivot in
-      Mat.set lu i k f;
+      let f = Mat.unsafe_get lu i k /. pivot in
+      Mat.unsafe_set lu i k f;
       if f <> 0.0 then
         for j = k + 1 to n - 1 do
-          Mat.set lu i j (Mat.get lu i j -. (f *. Mat.get lu k j))
+          Mat.unsafe_set lu i j
+            (Mat.unsafe_get lu i j -. (f *. Mat.unsafe_get lu k j))
         done
     done
   done;
@@ -52,58 +55,73 @@ let factorize ?pivot_tol m =
 
 let dim t = t.n
 
-let solve_inplace t b =
-  if Array.length b <> t.n then invalid_arg "Lu.solve: dimension mismatch";
+let solve_into t b x =
+  if Array.length b <> t.n || Array.length x <> t.n then
+    invalid_arg "Lu.solve_into: dimension mismatch";
+  if x == b then invalid_arg "Lu.solve_into: output aliases input";
   let n = t.n in
-  let x = Array.init n (fun i -> b.(t.perm.(i))) in
+  for i = 0 to n - 1 do
+    x.(i) <- b.(t.perm.(i))
+  done;
   (* forward substitution with unit-diagonal L *)
   for i = 1 to n - 1 do
-    let s = ref x.(i) in
+    let s = ref (Array.unsafe_get x i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get t.lu i j *. x.(j))
+      s := !s -. (Mat.unsafe_get t.lu i j *. Array.unsafe_get x j)
     done;
-    x.(i) <- !s
+    Array.unsafe_set x i !s
   done;
   (* back substitution with U *)
   for i = n - 1 downto 0 do
-    let s = ref x.(i) in
+    let s = ref (Array.unsafe_get x i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get t.lu i j *. x.(j))
+      s := !s -. (Mat.unsafe_get t.lu i j *. Array.unsafe_get x j)
     done;
-    x.(i) <- !s /. Mat.get t.lu i i
-  done;
-  Array.blit x 0 b 0 n
+    Array.unsafe_set x i (!s /. Mat.unsafe_get t.lu i i)
+  done
 
 let solve t b =
-  let x = Array.copy b in
-  solve_inplace t x;
+  let x = Array.make t.n 0.0 in
+  solve_into t b x;
   x
 
+let solve_inplace t b =
+  let x = solve t b in
+  Array.blit x 0 b 0 t.n
+
 (* Aᵀx = b  ⇔  Uᵀ Lᵀ Px = b: solve Uᵀy = b (forward), Lᵀz = y (backward),
-   then undo the permutation. *)
-let solve_transpose t b =
-  if Array.length b <> t.n then
-    invalid_arg "Lu.solve_transpose: dimension mismatch";
+   then undo the permutation.  [scratch] holds y; it may alias [b] (the
+   solve then runs in place) but never [x]. *)
+let solve_transpose_into t ~scratch b x =
+  if Array.length b <> t.n || Array.length x <> t.n
+     || Array.length scratch <> t.n
+  then invalid_arg "Lu.solve_transpose_into: dimension mismatch";
+  if x == scratch || x == b then
+    invalid_arg "Lu.solve_transpose_into: output aliases an input";
   let n = t.n in
-  let y = Array.copy b in
+  if scratch != b then Array.blit b 0 scratch 0 n;
+  let y = scratch in
   for i = 0 to n - 1 do
-    let s = ref y.(i) in
+    let s = ref (Array.unsafe_get y i) in
     for j = 0 to i - 1 do
-      s := !s -. (Mat.get t.lu j i *. y.(j))
+      s := !s -. (Mat.unsafe_get t.lu j i *. Array.unsafe_get y j)
     done;
-    y.(i) <- !s /. Mat.get t.lu i i
+    Array.unsafe_set y i (!s /. Mat.unsafe_get t.lu i i)
   done;
   for i = n - 1 downto 0 do
-    let s = ref y.(i) in
+    let s = ref (Array.unsafe_get y i) in
     for j = i + 1 to n - 1 do
-      s := !s -. (Mat.get t.lu j i *. y.(j))
+      s := !s -. (Mat.unsafe_get t.lu j i *. Array.unsafe_get y j)
     done;
-    y.(i) <- !s
+    Array.unsafe_set y i !s
   done;
-  let x = Array.make n 0.0 in
   for i = 0 to n - 1 do
     x.(t.perm.(i)) <- y.(i)
-  done;
+  done
+
+let solve_transpose t b =
+  let x = Array.make t.n 0.0 in
+  solve_transpose_into t ~scratch:(Array.copy b) b x;
   x
 
 let solve_mat t b =

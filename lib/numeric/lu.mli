@@ -19,8 +19,17 @@ val solve : t -> Vec.t -> Vec.t
 
 val solve_inplace : t -> Vec.t -> unit
 
+val solve_into : t -> Vec.t -> Vec.t -> unit
+(** [solve_into lu b x] stores [A⁻¹b] in [x] without allocating; [x]
+    must not alias [b]. *)
+
 val solve_transpose : t -> Vec.t -> Vec.t
 (** [solve_transpose lu b] returns [x] with [Aᵀ x = b]. *)
+
+val solve_transpose_into : t -> scratch:Vec.t -> Vec.t -> Vec.t -> unit
+(** [solve_transpose_into lu ~scratch b x] stores [A⁻ᵀb] in [x] without
+    allocating.  [scratch] is clobbered; it may alias [b] but [x] must
+    alias neither. *)
 
 val solve_mat : t -> Mat.t -> Mat.t
 (** Column-wise solve: [solve_mat lu b] returns [X] with [A X = B]. *)

@@ -36,6 +36,8 @@ let rows m = m.r
 let cols m = m.c
 let get m i j = m.a.((i * m.c) + j)
 let set m i j v = m.a.((i * m.c) + j) <- v
+let unsafe_get m i j = Array.unsafe_get m.a ((i * m.c) + j)
+let unsafe_set m i j v = Array.unsafe_set m.a ((i * m.c) + j) v
 let add_to m i j v = m.a.((i * m.c) + j) <- m.a.((i * m.c) + j) +. v
 let copy m = { m with a = Array.copy m.a }
 let fill m v = Array.fill m.a 0 (m.r * m.c) v
@@ -81,6 +83,35 @@ let mul_vec m x =
         s := !s +. (m.a.((i * m.c) + j) *. x.(j))
       done;
       !s)
+
+let mul_vec_into m x y =
+  if m.c <> Array.length x then invalid_arg "Mat.mul_vec_into: dimension mismatch";
+  if m.r <> Array.length y then invalid_arg "Mat.mul_vec_into: dimension mismatch";
+  if x == y then invalid_arg "Mat.mul_vec_into: output aliases input";
+  for i = 0 to m.r - 1 do
+    let base = i * m.c in
+    let s = ref 0.0 in
+    for j = 0 to m.c - 1 do
+      s := !s +. (Array.unsafe_get m.a (base + j) *. Array.unsafe_get x j)
+    done;
+    Array.unsafe_set y i !s
+  done
+
+let tmul_vec_into m x y =
+  if m.r <> Array.length x then invalid_arg "Mat.tmul_vec_into: dimension mismatch";
+  if m.c <> Array.length y then invalid_arg "Mat.tmul_vec_into: dimension mismatch";
+  if x == y then invalid_arg "Mat.tmul_vec_into: output aliases input";
+  Array.fill y 0 m.c 0.0;
+  for i = 0 to m.r - 1 do
+    let xi = Array.unsafe_get x i in
+    if xi <> 0.0 then begin
+      let base = i * m.c in
+      for j = 0 to m.c - 1 do
+        Array.unsafe_set y j
+          (Array.unsafe_get y j +. (Array.unsafe_get m.a (base + j) *. xi))
+      done
+    end
+  done
 
 let tmul_vec m x =
   if m.r <> Array.length x then invalid_arg "Mat.tmul_vec: dimension mismatch";

@@ -23,6 +23,12 @@ val get : t -> int -> int -> float
 
 val set : t -> int -> int -> float -> unit
 
+val unsafe_get : t -> int -> int -> float
+(** {!get} without bounds checks — only for inner loops whose indices
+    are in range by construction. *)
+
+val unsafe_set : t -> int -> int -> float -> unit
+
 val add_to : t -> int -> int -> float -> unit
 (** [add_to m i j v] performs [m.(i).(j) <- m.(i).(j) + v]. *)
 
@@ -48,6 +54,14 @@ val mul_vec : t -> Vec.t -> Vec.t
 
 val tmul_vec : t -> Vec.t -> Vec.t
 (** [tmul_vec m x] is [transpose m * x] without forming the transpose. *)
+
+val mul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [mul_vec_into m x y] stores [m·x] in [y] without allocating; [y]
+    must not alias [x]. *)
+
+val tmul_vec_into : t -> Vec.t -> Vec.t -> unit
+(** [tmul_vec_into m x y] stores [mᵀ·x] in [y] without allocating; [y]
+    must not alias [x]. *)
 
 val row : t -> int -> Vec.t
 

@@ -131,6 +131,94 @@ let test_clu_transpose () =
   let residual = Cvec.sub (Cmat.tmul_vec a x) b in
   Alcotest.(check bool) "clu transpose solve" true (Cvec.norm_inf residual < 1e-9)
 
+(* ------------------------------------- allocation-free kernel variants *)
+
+(* the _into kernels must be drop-in replacements on the hot paths, so
+   the contract is exact equality with the allocating originals, not
+   tolerance-level agreement *)
+
+let check_floats_exact msg a b =
+  Alcotest.(check (array (float 0.0))) msg a b
+
+let check_cvec_exact msg (a : Cvec.t) (b : Cvec.t) =
+  Array.iteri
+    (fun i (z : Cx.t) ->
+      Alcotest.(check (float 0.0)) (msg ^ " re") z.Cx.re b.(i).Cx.re;
+      Alcotest.(check (float 0.0)) (msg ^ " im") z.Cx.im b.(i).Cx.im)
+    a
+
+let test_mat_vec_into () =
+  let rng = Rng.create 31 in
+  for _trial = 1 to 10 do
+    let n = 1 + Rng.int rng 9 in
+    let a = random_matrix rng n in
+    let x = Rng.gaussian_vector rng n in
+    let y = Vec.create n in
+    Mat.mul_vec_into a x y;
+    check_floats_exact "mul_vec_into = mul_vec" (Mat.mul_vec a x) y;
+    Mat.tmul_vec_into a x y;
+    check_floats_exact "tmul_vec_into = tmul_vec" (Mat.tmul_vec a x) y
+  done
+
+let test_lu_solve_into () =
+  let rng = Rng.create 32 in
+  for _trial = 1 to 10 do
+    let n = 1 + Rng.int rng 9 in
+    let a = random_matrix rng n in
+    for i = 0 to n - 1 do
+      Mat.add_to a i i 4.0
+    done;
+    let lu = Lu.factorize a in
+    let b = Rng.gaussian_vector rng n in
+    let x = Vec.create n in
+    Lu.solve_into lu b x;
+    check_floats_exact "solve_into = solve" (Lu.solve lu b) x;
+    let scratch = Vec.create n in
+    Lu.solve_transpose_into lu ~scratch b x;
+    check_floats_exact "solve_transpose_into = solve_transpose"
+      (Lu.solve_transpose lu b) x
+  done
+
+let random_cmatrix rng n =
+  Cmat.init n n (fun i j ->
+      let base = Cx.mk (Rng.uniform rng -. 0.5) (Rng.uniform rng -. 0.5) in
+      if i = j then Cx.( +: ) base (Cx.re 4.0) else base)
+
+let test_clu_solve_into () =
+  let rng = Rng.create 33 in
+  for _trial = 1 to 10 do
+    let n = 1 + Rng.int rng 9 in
+    let a = random_cmatrix rng n in
+    let lu = Clu.factorize a in
+    let b =
+      Array.init n (fun _ -> Cx.mk (Rng.gaussian rng) (Rng.gaussian rng))
+    in
+    let x = Cvec.create n in
+    Clu.solve_into lu b x;
+    check_cvec_exact "solve_into = solve" (Clu.solve lu b) x;
+    let scratch = Cvec.create n in
+    Clu.solve_transpose_into lu ~scratch b x;
+    check_cvec_exact "solve_transpose_into = solve_transpose"
+      (Clu.solve_transpose lu b) x
+  done
+
+let test_cvec_inplace () =
+  let rng = Rng.create 34 in
+  let n = 7 in
+  let mk () =
+    Array.init n (fun _ -> Cx.mk (Rng.gaussian rng) (Rng.gaussian rng))
+  in
+  let x = mk () and y = mk () in
+  let expect_add = Cvec.add x y in
+  let z = Cvec.copy x in
+  Cvec.add_inplace z y;
+  check_cvec_exact "add_inplace = add" expect_add z;
+  let a = Cx.mk 0.3 (-1.7) in
+  let expect_scale = Cvec.scale a x in
+  let w = Cvec.copy x in
+  Cvec.scale_inplace a w;
+  check_cvec_exact "scale_inplace = scale" expect_scale w
+
 (* ------------------------------------------------------------- Cholesky *)
 
 let test_cholesky () =
@@ -488,6 +576,13 @@ let () =
         [
           Alcotest.test_case "solve" `Quick test_clu_solve;
           Alcotest.test_case "transpose solve" `Quick test_clu_transpose;
+        ] );
+      ( "into-kernels",
+        [
+          Alcotest.test_case "mat-vec" `Quick test_mat_vec_into;
+          Alcotest.test_case "lu solve" `Quick test_lu_solve_into;
+          Alcotest.test_case "clu solve" `Quick test_clu_solve_into;
+          Alcotest.test_case "cvec inplace" `Quick test_cvec_inplace;
         ] );
       ( "cholesky",
         [
