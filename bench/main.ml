@@ -21,6 +21,7 @@ let experiments =
     ("fig12", Exp_fig12.run);
     ("ablation", Exp_ablation.run);
     ("perf", Exp_perf.run);
+    ("sparse", Exp_sparse.run);
     ("bechamel", Bech.run);
   ]
 

@@ -5,7 +5,11 @@
      varsim op <deck.sp>         DC operating point only
      varsim dcmatch <deck.sp> -o out
      varsim mismatch <deck.sp> -o out --period 4n
-     varsim demo [comparator|logicpath|ringosc]   built-in benchmarks *)
+     varsim demo [comparator|logicpath|ringosc]   built-in benchmarks
+
+   Global-ish options shared by the solver-heavy subcommands:
+     --domains N                 OCaml domains for the LPTV/PNOISE passes
+     --backend dense|sparse|auto linear-solver backend (docs/solver.md) *)
 
 open Cmdliner
 
@@ -23,54 +27,74 @@ let deck_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"DECK"
          ~doc:"SPICE-style netlist file")
 
+let domains_arg =
+  Arg.(value & opt int 1 & info [ "domains" ] ~docv:"N"
+         ~doc:"Number of OCaml domains for the parallel LPTV/PNOISE passes \
+               (results are bit-identical for any value)")
+
+let backend_conv =
+  Arg.conv
+    ~docv:"BACKEND"
+    ( (fun s ->
+        match Linsys.backend_of_string s with
+        | Some b -> Ok b
+        | None -> Error (`Msg "expected dense, sparse or auto")),
+      fun ppf b -> Format.pp_print_string ppf (Linsys.backend_to_string b) )
+
+let backend_arg =
+  Arg.(value & opt backend_conv Linsys.Auto & info [ "backend" ] ~docv:"BACKEND"
+         ~doc:"Linear-solver backend: $(b,dense), $(b,sparse) or $(b,auto) \
+               (size-based choice; see docs/solver.md)")
+
 let handle = function
   | Ok () -> `Ok ()
   | Error msg -> `Error (false, msg)
 
 let run_cmd =
-  let run path =
+  let run path domains backend =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run Format.std_formatter deck;
+         Spice_run.run ~domains ~backend Format.std_formatter deck;
          Ok ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run every analysis card in a netlist deck")
-    Term.(ret (const run $ deck_arg))
+    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg))
 
 let op_cmd =
-  let run path =
+  let run path backend =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run_analysis Format.std_formatter deck Spice_ast.A_op;
+         Spice_run.run_analysis ~backend Format.std_formatter deck
+           Spice_ast.A_op;
          Ok ())
   in
   Cmd.v
     (Cmd.info "op" ~doc:"DC operating point of a deck")
-    Term.(ret (const run $ deck_arg))
+    Term.(ret (const run $ deck_arg $ backend_arg))
 
 let output_arg =
   Arg.(required & opt (some string) None & info [ "o"; "output" ]
          ~docv:"NODE" ~doc:"Output node")
 
 let dcmatch_cmd =
-  let run path output =
+  let run path output domains backend =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run_analysis Format.std_formatter deck
+         Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
            (Spice_ast.A_dc_match { output });
          Ok ())
   in
   Cmd.v
     (Cmd.info "dcmatch"
        ~doc:"Classical DC match analysis (sigma of a DC node voltage)")
-    Term.(ret (const run $ deck_arg $ output_arg))
+    Term.(ret (const run $ deck_arg $ output_arg $ domains_arg $ backend_arg))
 
 let period_arg =
   let period_conv =
@@ -86,12 +110,12 @@ let period_arg =
          ~doc:"PSS fundamental period (suffixes allowed, e.g. 4n)")
 
 let mismatch_cmd =
-  let run path output period =
+  let run path output period domains backend =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run_analysis Format.std_formatter deck
+         Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
            (Spice_ast.A_mismatch_dc { output; period });
          Ok ())
   in
@@ -99,7 +123,8 @@ let mismatch_cmd =
     (Cmd.info "mismatch"
        ~doc:"Pseudo-noise mismatch analysis of a DC-like performance \
              (PSS + LPTV baseband)")
-    Term.(ret (const run $ deck_arg $ output_arg $ period_arg))
+    Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ domains_arg
+               $ backend_arg))
 
 let demo_cmd =
   let demos = [ ("comparator", `Comparator); ("logicpath", `Logicpath);
@@ -108,20 +133,21 @@ let demo_cmd =
     Arg.(value & pos 0 (enum demos) `Ringosc & info [] ~docv:"DEMO"
            ~doc:"comparator | logicpath | ringosc")
   in
-  let run which =
+  let run which domains backend =
     match which with
     | `Comparator ->
       let params = Strongarm.default_params in
       let circuit = Strongarm.testbench ~params () in
       let ctx =
-        Analysis.prepare ~steps:400 circuit ~period:params.Strongarm.clk_period
+        Analysis.prepare ~steps:400 ~domains ~backend circuit
+          ~period:params.Strongarm.clk_period
       in
       Format.printf "%a@." Report.pp
         (Analysis.dc_variation ctx ~output:Strongarm.vos_node)
     | `Logicpath ->
       let lp = Logic_path.build Logic_path.X_first in
       let ctx =
-        Analysis.prepare ~steps:800 lp.Logic_path.circuit
+        Analysis.prepare ~steps:800 ~domains ~backend lp.Logic_path.circuit
           ~period:lp.Logic_path.period
       in
       let crossing =
@@ -136,14 +162,14 @@ let demo_cmd =
     | `Ringosc ->
       let circuit = Ring_osc.build () in
       let rep, _ =
-        Analysis.frequency_variation circuit ~anchor:Ring_osc.anchor
+        Analysis.frequency_variation ~backend circuit ~anchor:Ring_osc.anchor
           ~f_guess:(Ring_osc.f_guess Ring_osc.default_params)
       in
       Format.printf "%a@." Report.pp rep
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a built-in benchmark circuit analysis")
-    Term.(const run $ which)
+    Term.(const run $ which $ domains_arg $ backend_arg)
 
 let main =
   Cmd.group

@@ -24,6 +24,27 @@ let build ?(params = default_params) () =
   done;
   Builder.finish b
 
+let testbench ?(params = default_params) ?(ripple = 0.02) ?(freq = 1e6)
+    ?(c_tap = 1e-12) ?(c_tol = 0.01) () =
+  let p = params in
+  if p.codes < 2 then invalid_arg "Dac_string.testbench";
+  let b = Builder.create () in
+  Builder.vsource b "VREF" "vref" "0"
+    (Wave.Sin
+       { Wave.offset = p.vref; ampl = ripple *. p.vref; freq; phase_deg = 0.0 });
+  let node_of k = if k = 0 then "0" else if k = p.codes then "vref" else tap k in
+  for k = 1 to p.codes do
+    Builder.resistor ~tol:p.r_tol b
+      (Printf.sprintf "R%d" k)
+      (node_of k)
+      (node_of (k - 1))
+      p.r_unit
+  done;
+  for k = 1 to p.codes - 1 do
+    Builder.capacitor ~tol:c_tol b (Printf.sprintf "C%d" k) (tap k) "0" c_tap
+  done;
+  Builder.finish b
+
 let ideal_tap_voltage p k =
   p.vref *. float_of_int k /. float_of_int p.codes
 

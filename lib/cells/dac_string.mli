@@ -17,6 +17,15 @@ val default_params : params
 
 val build : ?params:params -> unit -> Circuit.t
 
+val testbench :
+  ?params:params -> ?ripple:float -> ?freq:float -> ?c_tap:float ->
+  ?c_tol:float -> unit -> Circuit.t
+(** Periodically driven variant for the PSS/LPTV benchmarks: VREF gets a
+    sine ripple ([ripple]·vref at [freq]) and every tap a mismatched
+    capacitor to ground, so MNA size grows linearly with [codes] while
+    the circuit stays meaningful for pseudo-noise analysis.  The
+    natural period is [1/freq]. *)
+
 val tap : int -> string
 (** Node name of tap [k]. *)
 

@@ -46,6 +46,23 @@ let branch_row t name =
   | Some b -> num_nodes t + b
   | None -> invalid_arg (Printf.sprintf "Circuit.branch_row: %s has no branch" name)
 
+let row_name t row =
+  let n = num_nodes t in
+  if row < 0 || row >= size t then Printf.sprintf "row %d" row
+  else if row < n then Printf.sprintf "v(%s)" t.node_names.(row)
+  else begin
+    let b = row - n in
+    let owner = ref None in
+    Array.iter
+      (fun d ->
+        if !owner = None && Device.branch d = Some b then
+          owner := Some (Device.name d))
+      t.devices;
+    match !owner with
+    | Some name -> Printf.sprintf "i(%s)" name
+    | None -> Printf.sprintf "i(branch %d)" b
+  end
+
 type mismatch_kind = Delta_vt | Delta_beta | Delta_r | Delta_c | Delta_is
 
 type mismatch_param = {

@@ -35,6 +35,11 @@ val branch_row : t -> string -> int
 val device_index : t -> string -> int
 (** Index of a named device in [devices].  Raises [Not_found]. *)
 
+val row_name : t -> int -> string
+(** Human-readable name of an MNA unknown — ["v(out)"] for a node
+    voltage row, ["i(V1)"] for a branch current row.  Used to map a
+    singular-matrix row index back to the circuit for diagnostics. *)
+
 (** {2 Mismatch parameters} *)
 
 type mismatch_kind = Delta_vt | Delta_beta | Delta_r | Delta_c | Delta_is

@@ -8,17 +8,15 @@ let mosfet_op (m : Device.mosfet_instance) vd vg vs =
 
 let node_voltage x id = if id = 0 then 0.0 else x.(id - 1)
 
-let c_matrix circuit =
+let stamp_c circuit ~add =
   let n = Circuit.num_nodes circuit in
-  let size = Circuit.size circuit in
-  let c = Mat.create size size in
-  let stamp_two_terminal p n value =
-    let rp = row_of_node p and rn = row_of_node n in
-    if rp >= 0 then Mat.add_to c rp rp value;
-    if rn >= 0 then Mat.add_to c rn rn value;
+  let stamp_two_terminal p nn value =
+    let rp = row_of_node p and rn = row_of_node nn in
+    if rp >= 0 then add rp rp value;
+    if rn >= 0 then add rn rn value;
     if rp >= 0 && rn >= 0 then begin
-      Mat.add_to c rp rn (-.value);
-      Mat.add_to c rn rp (-.value)
+      add rp rn (-.value);
+      add rn rp (-.value)
     end
   in
   Array.iter
@@ -27,7 +25,7 @@ let c_matrix circuit =
       | Device.Capacitor { p; n = nn; c = cap; _ } -> stamp_two_terminal p nn cap
       | Device.Inductor { l; branch; _ } ->
         let br = n + branch in
-        Mat.add_to c br br (-.l)
+        add br br (-.l)
       | Device.Mosfet { d = nd; g; s; b; inst; _ } ->
         let half_gate = 0.5 *. Mosfet.gate_cap inst.model ~w:inst.w ~l:inst.l in
         let cov = inst.model.Mosfet.cov *. inst.w in
@@ -39,8 +37,23 @@ let c_matrix circuit =
       | Device.Resistor _ | Device.Vsource _ | Device.Isource _
       | Device.Vcvs _ | Device.Vccs _ | Device.Cccs _ | Device.Ccvs _
       | Device.Diode _ | Device.Bjt _ -> ())
-    (Circuit.devices circuit);
+    (Circuit.devices circuit)
+
+let c_matrix circuit =
+  let size = Circuit.size circuit in
+  let c = Mat.create size size in
+  stamp_c circuit ~add:(Mat.add_to c);
   c
+
+type jac_sink = {
+  js_clear : unit -> unit;
+  js_add : int -> int -> float -> unit;
+}
+
+let dense_sink m =
+  { js_clear = (fun () -> Mat.fill m 0.0); js_add = Mat.add_to m }
+
+let csr_sink c = { js_clear = (fun () -> Csr.clear c); js_add = Csr.add c }
 
 (* diode current with exponent limiting to keep Newton finite *)
 let diode_iv is_sat nf v =
@@ -60,12 +73,14 @@ let diode_iv is_sat nf v =
 let eval circuit ~t ?(gmin = 0.0) ?(src_scale = 1.0) ~x ~g ~jac () =
   let n = Circuit.num_nodes circuit in
   Vec.fill g 0.0;
-  (match jac with Some j -> Mat.fill j 0.0 | None -> ());
+  (match jac with Some s -> s.js_clear () | None -> ());
   let v = node_voltage x in
   let addg row value = if row >= 0 then g.(row) <- g.(row) +. value in
-  let addj row col value =
-    if row >= 0 && col >= 0 then
-      match jac with Some j -> Mat.add_to j row col value | None -> ()
+  let addj =
+    match jac with
+    | Some s ->
+      fun row col value -> if row >= 0 && col >= 0 then s.js_add row col value
+    | None -> fun _ _ _ -> ()
   in
   let branch_row b = n + b in
   Array.iter
@@ -193,8 +208,31 @@ let eval circuit ~t ?(gmin = 0.0) ?(src_scale = 1.0) ~x ~g ~jac () =
   if gmin > 0.0 then
     for row = 0 to n - 1 do
       g.(row) <- g.(row) +. (gmin *. x.(row));
-      match jac with Some j -> Mat.add_to j row row gmin | None -> ()
+      addj row row gmin
     done
+
+(* The MNA pattern is fixed by topology: every [addj]/[stamp_c] call
+   site fires regardless of bias, so one evaluation at x = 0 records the
+   full structure.  The diagonal is added in full — voltage-source
+   branch rows have structurally zero diagonals, and keeping the
+   positions lets gmin homotopy and C/h stamping reuse the pattern. *)
+let pattern circuit =
+  let size = Circuit.size circuit in
+  let coo = Coo.create ~capacity:(16 * Stdlib.max size 1) size size in
+  let x = Array.make size 0.0 in
+  let g = Array.make size 0.0 in
+  let sink =
+    {
+      js_clear = (fun () -> ());
+      js_add = (fun row col _ -> Coo.add coo row col 0.0);
+    }
+  in
+  eval circuit ~t:0.0 ~x ~g ~jac:(Some sink) ();
+  stamp_c circuit ~add:(fun row col _ -> Coo.add coo row col 0.0);
+  for row = 0 to size - 1 do
+    Coo.add coo row row 0.0
+  done;
+  Coo.to_csr coo
 
 let injection circuit (p : Circuit.mismatch_param) ~x ?xdot () =
   let v = node_voltage x in

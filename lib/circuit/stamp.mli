@@ -8,9 +8,31 @@
 
 val c_matrix : Circuit.t -> Mat.t
 
+val stamp_c : Circuit.t -> add:(int -> int -> float -> unit) -> unit
+(** Stamp the constant C matrix through a callback — the backends build
+    dense or sparse storage from the same traversal ({!c_matrix} is
+    [stamp_c] into a fresh [Mat.t]). *)
+
+(** Where Jacobian stamps go.  The dense sink writes into a [Mat.t]
+    exactly as the historical code did (bit-identical); the sparse sink
+    accumulates into a fixed {!Csr.t} pattern from {!pattern}. *)
+type jac_sink = {
+  js_clear : unit -> unit;
+  js_add : int -> int -> float -> unit;
+}
+
+val dense_sink : Mat.t -> jac_sink
+val csr_sink : Csr.t -> jac_sink
+
+val pattern : Circuit.t -> Csr.t
+(** The structural union of the Jacobian, the C matrix, and the full
+    diagonal, with values zeroed.  Bias-independent: every stamp
+    position fires at any [x], so the pattern is built once per
+    circuit and reused for all sparse factorizations. *)
+
 val eval :
   Circuit.t -> t:float -> ?gmin:float -> ?src_scale:float -> x:Vec.t ->
-  g:Vec.t -> jac:Mat.t option -> unit -> unit
+  g:Vec.t -> jac:jac_sink option -> unit -> unit
 (** Evaluate the residual [g(x, t)] (overwriting [g]) and, when [jac] is
     given, the Jacobian [∂g/∂x] (overwriting it).
 

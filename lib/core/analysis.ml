@@ -11,9 +11,9 @@ let timed f =
   (y, Unix.gettimeofday () -. t0)
 
 let prepare ?(steps = 200) ?(f_offset = 1.0) ?warmup_periods ?(domains = 1)
-    circuit ~period =
-  let pss = Pss.solve ~steps ?warmup_periods circuit ~period in
-  let lptv = Lptv.build ~domains pss ~f_offset in
+    ?backend circuit ~period =
+  let pss = Pss.solve ~steps ?warmup_periods ?backend circuit ~period in
+  let lptv = Lptv.build ~domains ?backend pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
   { pss; lptv; sources; domains }
 
@@ -128,19 +128,19 @@ let delay_variation_psd ctx ~output =
    sideband's complex Fourier-coefficient perturbation has magnitude
    |y₁| = A_c·Δf/(4·f_m).  Inverting: σ_f = 4·f_m·√P₁/A_c with
    P₁ = Σ|y₁,i|²σ_i². *)
-let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) (osc : Pss_osc.t)
-    ~output =
+let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend
+    (osc : Pss_osc.t) ~output =
   let pss = osc.Pss_osc.pss in
-  let lptv = Lptv.build ~domains pss ~f_offset in
+  let lptv = Lptv.build ~domains ?backend pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
   let sb = Pnoise.analyze ~domains lptv ~output ~harmonic:1 ~sources in
   let amplitude = Pss.amplitude pss output in
   4.0 *. f_offset *. sqrt (Float.max 0.0 sb.Pnoise.total_psd) /. amplitude
 
-let frequency_variation ?(steps = 200) circuit ~anchor ~f_guess =
+let frequency_variation ?(steps = 200) ?backend circuit ~anchor ~f_guess =
   let (osc, rep), runtime =
     timed (fun () ->
-        let osc = Pss_osc.solve ~steps circuit ~anchor ~f_guess in
+        let osc = Pss_osc.solve ~steps ?backend circuit ~anchor ~f_guess in
         (osc, Period_sens.analyze osc))
   in
   let items =

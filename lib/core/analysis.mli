@@ -14,12 +14,15 @@ type pss_context = {
 }
 
 val prepare : ?steps:int -> ?f_offset:float -> ?warmup_periods:int ->
-  ?domains:int -> Circuit.t -> period:float -> pss_context
+  ?domains:int -> ?backend:Linsys.backend -> Circuit.t -> period:float ->
+  pss_context
 (** Solve the driven PSS and build the LPTV context with the mismatch
     pseudo-noise sources (offset frequency default 1 Hz).  [domains]
     (default 1) parallelizes the LPTV build and the subsequent PNOISE
     readings over that many OCaml domains; results are bit-identical
-    for any value (docs/parallelism.md). *)
+    for any value (docs/parallelism.md).  [backend] selects the linear
+    solver (dense reference / sparse / size-based auto, docs/solver.md)
+    for both the PSS sweep and the LPTV step systems. *)
 
 val dc_variation : pss_context -> output:string -> Report.t
 (** §V-A: variation of the DC (cycle-average) component of a node —
@@ -45,8 +48,8 @@ val delay_variation_psd :
     {!delay_variation}. *)
 
 val frequency_variation :
-  ?steps:int -> Circuit.t -> anchor:string -> f_guess:float ->
-  Report.t * Pss_osc.t
+  ?steps:int -> ?backend:Linsys.backend -> Circuit.t -> anchor:string ->
+  f_guess:float -> Report.t * Pss_osc.t
 (** §V-C: oscillator frequency variation via the adjoint period
     sensitivity (the well-conditioned form of eq. (9)). *)
 
@@ -55,7 +58,8 @@ val crossing_time : pss_context -> output:string -> crossing:crossing -> float
     for Monte-Carlo comparisons). *)
 
 val frequency_variation_psd :
-  ?f_offset:float -> ?domains:int -> Pss_osc.t -> output:string -> float
+  ?f_offset:float -> ?domains:int -> ?backend:Linsys.backend -> Pss_osc.t ->
+  output:string -> float
 (** The paper's literal eq. (9): read σ_f from the oscillator's
     passband pseudo-noise PSD at [f_offset] from the carrier.
 

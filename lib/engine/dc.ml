@@ -10,18 +10,37 @@ let default_options =
 
 exception No_convergence of string
 
-let attempt circuit ~options ~t ~gmin ~src_scale ~x0 =
-  let eval ~x ~g ~jac =
-    Stamp.eval circuit ~t ~gmin ~src_scale ~x ~g ~jac:(Some jac) ()
+let attempt circuit ~sys ~singular ~options ~t ~gmin ~src_scale ~x0 =
+  let eval ~x ~g =
+    Stamp.eval circuit ~t ~gmin ~src_scale ~x ~g ~jac:(Some sys.Linsys.sink) ()
   in
-  Newton.solve ~eval ~x0 ~max_iter:options.max_iter ~abstol:options.abstol
-    ~xtol:options.xtol ~max_step:0.5 ()
+  let r =
+    Newton.solve ~eval ~sys ~x0 ~max_iter:options.max_iter
+      ~abstol:options.abstol ~xtol:options.xtol ~max_step:0.5 ()
+  in
+  (match r.Newton.singular_row with
+   | Some k -> singular := Some k
+   | None -> ());
+  r
 
-let solve_at ?(options = default_options) ?x0 ~t circuit =
+let fail circuit singular what =
+  let detail =
+    match !singular with
+    | Some k ->
+      Printf.sprintf "%s (singular matrix at %s)" what
+        (Circuit.row_name circuit k)
+    | None -> what
+  in
+  raise (No_convergence detail)
+
+let solve_at ?(options = default_options) ?backend ?x0 ~t circuit =
   let n = Circuit.size circuit in
+  let sys = Linsys.make ?backend circuit in
+  let singular = ref None in
+  let attempt = attempt circuit ~sys ~singular ~options ~t in
   let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
   (* 1. plain Newton with just the residual gmin *)
-  let r = attempt circuit ~options ~t ~gmin:options.gmin_final ~src_scale:1.0 ~x0 in
+  let r = attempt ~gmin:options.gmin_final ~src_scale:1.0 ~x0 in
   if r.Newton.converged then r.Newton.x
   else begin
     (* 2. gmin stepping: decades from 1e-2 down *)
@@ -29,7 +48,7 @@ let solve_at ?(options = default_options) ?x0 ~t circuit =
     let ok = ref true in
     let gmin = ref 1e-2 in
     while !ok && !gmin > options.gmin_final *. 1.001 do
-      let r = attempt circuit ~options ~t ~gmin:!gmin ~src_scale:1.0 ~x0:!x in
+      let r = attempt ~gmin:!gmin ~src_scale:1.0 ~x0:!x in
       if r.Newton.converged then begin
         x := r.Newton.x;
         gmin := Float.max (!gmin /. 10.0) options.gmin_final
@@ -37,10 +56,9 @@ let solve_at ?(options = default_options) ?x0 ~t circuit =
       else ok := false
     done;
     if !ok then begin
-      let r =
-        attempt circuit ~options ~t ~gmin:options.gmin_final ~src_scale:1.0 ~x0:!x
-      in
-      if r.Newton.converged then r.Newton.x else raise (No_convergence "gmin final")
+      let r = attempt ~gmin:options.gmin_final ~src_scale:1.0 ~x0:!x in
+      if r.Newton.converged then r.Newton.x
+      else fail circuit singular "gmin final"
     end
     else begin
       (* 3. source stepping from 0 to 1 with a soft gmin *)
@@ -49,22 +67,18 @@ let solve_at ?(options = default_options) ?x0 ~t circuit =
       (try
          for k = 1 to steps do
            let scale = float_of_int k /. float_of_int steps in
-           let r =
-             attempt circuit ~options ~t ~gmin:1e-9 ~src_scale:scale ~x0:!x
-           in
+           let r = attempt ~gmin:1e-9 ~src_scale:scale ~x0:!x in
            if r.Newton.converged then x := r.Newton.x
            else
-             raise
-               (No_convergence
-                  (Printf.sprintf "source stepping stalled at scale %.2f" scale))
+             fail circuit singular
+               (Printf.sprintf "source stepping stalled at scale %.2f" scale)
          done
        with No_convergence _ as e -> raise e);
-      let r =
-        attempt circuit ~options ~t ~gmin:options.gmin_final ~src_scale:1.0 ~x0:!x
-      in
+      let r = attempt ~gmin:options.gmin_final ~src_scale:1.0 ~x0:!x in
       if r.Newton.converged then r.Newton.x
-      else raise (No_convergence "DC operating point")
+      else fail circuit singular "DC operating point"
     end
   end
 
-let solve ?options ?x0 circuit = solve_at ?options ?x0 ~t:0.0 circuit
+let solve ?options ?backend ?x0 circuit =
+  solve_at ?options ?backend ?x0 ~t:0.0 circuit

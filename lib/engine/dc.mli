@@ -14,10 +14,16 @@ val default_options : options
 
 exception No_convergence of string
 
-val solve : ?options:options -> ?x0:Vec.t -> Circuit.t -> Vec.t
+val solve :
+  ?options:options -> ?backend:Linsys.backend -> ?x0:Vec.t -> Circuit.t ->
+  Vec.t
 (** Operating point at t = 0 with all sources at their DC value.
-    Raises {!No_convergence} when every homotopy fails. *)
+    Raises {!No_convergence} when every homotopy fails; the message
+    names the offending node/branch when a factorization found a
+    structurally singular row. *)
 
-val solve_at : ?options:options -> ?x0:Vec.t -> t:float -> Circuit.t -> Vec.t
+val solve_at :
+  ?options:options -> ?backend:Linsys.backend -> ?x0:Vec.t -> t:float ->
+  Circuit.t -> Vec.t
 (** Operating point with sources evaluated at time [t] (used to
     initialize transient runs that start mid-waveform). *)

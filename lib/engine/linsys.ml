@@ -1,0 +1,111 @@
+type backend = Dense | Sparse | Auto
+
+(* All seed circuits sit well below this (largest is 34 unknowns), so
+   Auto keeps them on the bit-exact dense path; above it the O(n³)
+   factorizations start to dominate and sparse wins. *)
+let auto_threshold = 64
+
+let choose backend n =
+  match backend with
+  | Dense -> Dense
+  | Sparse -> Sparse
+  | Auto -> if n >= auto_threshold then Sparse else Dense
+
+let backend_of_string = function
+  | "dense" -> Some Dense
+  | "sparse" -> Some Sparse
+  | "auto" -> Some Auto
+  | _ -> None
+
+let backend_to_string = function
+  | Dense -> "dense"
+  | Sparse -> "sparse"
+  | Auto -> "auto"
+
+exception Singular_row of int
+
+type repr =
+  | Rdense of Mat.t
+  | Rsparse of rsparse
+
+and rsparse = {
+  pat : Csr.t;
+  mutable plan : Splu.plan option;
+}
+
+type rsys = { size : int; repr : repr; sink : Stamp.jac_sink }
+
+let make ?(backend = Auto) circuit =
+  let n = Circuit.size circuit in
+  match choose backend n with
+  | Sparse ->
+    let pat = Stamp.pattern circuit in
+    { size = n; repr = Rsparse { pat; plan = None }; sink = Stamp.csr_sink pat }
+  | Dense | Auto ->
+    let m = Mat.create n n in
+    { size = n; repr = Rdense m; sink = Stamp.dense_sink m }
+
+type rfact = Fdense of Lu.t | Fsparse of Splu.t
+
+let factorize sys =
+  match sys.repr with
+  | Rdense m -> begin
+    (* dense pivoting never permutes columns, so the failing elimination
+       step k is the original unknown index *)
+    match Lu.factorize m with
+    | lu -> Fdense lu
+    | exception Lu.Singular k -> raise (Singular_row k)
+  end
+  | Rsparse s -> begin
+    let replan () =
+      match Splu.plan s.pat with
+      | p ->
+        s.plan <- Some p;
+        p
+      | exception Splu.Singular k -> raise (Singular_row k)
+    in
+    match s.plan with
+    | None -> begin
+      let p = replan () in
+      match Splu.factorize p s.pat with
+      | f -> Fsparse f
+      | exception Splu.Singular k -> raise (Singular_row k)
+    end
+    | Some p -> begin
+      match Splu.factorize p s.pat with
+      | f -> Fsparse f
+      | exception Splu.Singular _ -> begin
+        (* the recorded pivot order went stale; re-plan on the current
+           values and retry once *)
+        let p = replan () in
+        match Splu.factorize p s.pat with
+        | f -> Fsparse f
+        | exception Splu.Singular k -> raise (Singular_row k)
+      end
+    end
+  end
+
+let solve fact b =
+  match fact with Fdense lu -> Lu.solve lu b | Fsparse f -> Splu.solve f b
+
+let solve_inplace fact b =
+  match fact with
+  | Fdense lu -> Lu.solve_inplace lu b
+  | Fsparse f -> Splu.solve_inplace f ~scratch:(Array.make (Splu.dim f) 0.0) b
+
+let solve_transpose fact b =
+  match fact with
+  | Fdense lu -> Lu.solve_transpose lu b
+  | Fsparse f -> Splu.solve_transpose f b
+
+type rmat = Mdense of Mat.t | Msparse of Csr.t
+
+let cmat_of sys m =
+  match sys.repr with
+  | Rdense _ -> Mdense m
+  | Rsparse _ -> Msparse (Csr.of_dense m)
+
+let rmat_mul_vec_into cm x y =
+  match cm with
+  | Mdense m -> Mat.mul_vec_into m x y
+  | Msparse c -> Csr.mul_vec_into c x y

@@ -1,0 +1,62 @@
+(** Pluggable linear-solver backend for the MNA engines.
+
+    Every engine bottoms out in "stamp a Jacobian-shaped matrix,
+    factorize it, solve against it".  [Linsys] makes that storage
+    choice — dense [Mat]/[Lu] (the bit-exact historical reference) or
+    the sparse [Csr]/[Splu] stack — a per-analysis parameter instead of
+    a hard-wired type.  [Auto] picks dense below {!auto_threshold}
+    unknowns, so the seed circuits keep their exact dense arithmetic
+    while large circuits get O(nnz·fill) factorization.  See
+    docs/solver.md. *)
+
+type backend = Dense | Sparse | Auto
+
+val auto_threshold : int
+(** Size at/above which [Auto] switches to sparse (64). *)
+
+val choose : backend -> int -> backend
+(** Resolve [Auto] against a system size; returns [Dense] or
+    [Sparse]. *)
+
+val backend_of_string : string -> backend option
+val backend_to_string : backend -> string
+
+exception Singular_row of int
+(** Factorization failure, carrying the original MNA unknown index so
+    callers can name the floating node via {!Circuit.row_name}. *)
+
+(** A stampable system matrix: values are rewritten through [sink]
+    every Newton iteration / time step, the structure never changes. *)
+type repr =
+  | Rdense of Mat.t
+  | Rsparse of rsparse
+
+and rsparse = {
+  pat : Csr.t; (* Stamp.pattern structure; v holds the current values *)
+  mutable plan : Splu.plan option; (* built lazily from first values *)
+}
+
+type rsys = { size : int; repr : repr; sink : Stamp.jac_sink }
+
+val make : ?backend:backend -> Circuit.t -> rsys
+(** Build the system storage for a circuit (default [Auto]). *)
+
+(** A factorization, solvable from any number of domains
+    concurrently. *)
+type rfact = Fdense of Lu.t | Fsparse of Splu.t
+
+val factorize : rsys -> rfact
+(** Factorize the current values.  Sparse: plans on first call; if a
+    replay hits a dead pivot (values drifted far from the planning
+    point) it re-plans once before giving up.  Raises
+    {!Singular_row}. *)
+
+val solve : rfact -> Vec.t -> Vec.t
+val solve_inplace : rfact -> Vec.t -> unit
+val solve_transpose : rfact -> Vec.t -> Vec.t
+
+(** The constant C matrix in the representation matching the system. *)
+type rmat = Mdense of Mat.t | Msparse of Csr.t
+
+val cmat_of : rsys -> Mat.t -> rmat
+val rmat_mul_vec_into : rmat -> Vec.t -> Vec.t -> unit

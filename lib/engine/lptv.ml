@@ -1,3 +1,13 @@
+(* Per-step solver bank: M_k factorizations, k = 1..m at index k-1. *)
+type step_solver =
+  | Sdense of Clu.t array
+  | Ssparse of Csplu.t array
+
+(* The C/h multiply in the recurrences, in the backend's storage. *)
+type cmul =
+  | Cm_dense of Mat.t
+  | Cm_sparse of Csr.t
+
 type t = {
   pss : Pss.t;
   f_offset : float;
@@ -5,9 +15,9 @@ type t = {
   n : int;
   m : int; (* grid steps per period *)
   h : float;
-  c_over_h : Mat.t;
-  clus : Clu.t array; (* clus.(k-1) factorizes M_k, k = 1..m *)
-  wrap_lu : Clu.t;    (* factorization of I - Φ(ω) *)
+  cmul : cmul;
+  solvers : step_solver;
+  wrap_lu : Clu.t; (* factorization of I - Φ(ω); Φ is dense by nature *)
 }
 
 (* Scratch buffers for the allocation-free apply/solve kernels.  One
@@ -19,6 +29,7 @@ type ws = {
   im_out : Vec.t;
   ct1 : Cvec.t; (* per-step solve rhs inside a_apply *)
   ct2 : Cvec.t; (* transpose-solve scratch / second intermediate *)
+  ct3 : Cvec.t; (* sparse forward-solve scratch *)
 }
 
 let make_ws n =
@@ -29,75 +40,147 @@ let make_ws n =
     im_out = Vec.create n;
     ct1 = Cvec.create n;
     ct2 = Cvec.create n;
+    ct3 = Cvec.create n;
   }
 
-(* dst <- mat·v, complex v through a real matrix; dst may alias v *)
-let real_mat_apply_into ws mat (v : Cvec.t) (dst : Cvec.t) =
+(* dst <- (C/h)·v, complex v through the real matrix; dst may alias v *)
+let cmul_apply_into ws cm (v : Cvec.t) (dst : Cvec.t) =
   let n = Array.length v in
   for i = 0 to n - 1 do
     let z = Array.unsafe_get v i in
     Array.unsafe_set ws.re_in i z.Cx.re;
     Array.unsafe_set ws.im_in i z.Cx.im
   done;
-  Mat.mul_vec_into mat ws.re_in ws.re_out;
-  Mat.mul_vec_into mat ws.im_in ws.im_out;
+  (match cm with
+   | Cm_dense mat ->
+     Mat.mul_vec_into mat ws.re_in ws.re_out;
+     Mat.mul_vec_into mat ws.im_in ws.im_out
+   | Cm_sparse c ->
+     Csr.mul_vec_into c ws.re_in ws.re_out;
+     Csr.mul_vec_into c ws.im_in ws.im_out);
   for i = 0 to n - 1 do
     Array.unsafe_set dst i
       (Cx.mk (Array.unsafe_get ws.re_out i) (Array.unsafe_get ws.im_out i))
   done
 
-(* dst <- matᵀ·v; dst may alias v *)
-let real_mat_tapply_into ws mat (v : Cvec.t) (dst : Cvec.t) =
+(* dst <- (C/h)ᵀ·v; dst may alias v *)
+let cmul_tapply_into ws cm (v : Cvec.t) (dst : Cvec.t) =
   let n = Array.length v in
   for i = 0 to n - 1 do
     let z = Array.unsafe_get v i in
     Array.unsafe_set ws.re_in i z.Cx.re;
     Array.unsafe_set ws.im_in i z.Cx.im
   done;
-  Mat.tmul_vec_into mat ws.re_in ws.re_out;
-  Mat.tmul_vec_into mat ws.im_in ws.im_out;
+  (match cm with
+   | Cm_dense mat ->
+     Mat.tmul_vec_into mat ws.re_in ws.re_out;
+     Mat.tmul_vec_into mat ws.im_in ws.im_out
+   | Cm_sparse c ->
+     Csr.tmul_vec_into c ws.re_in ws.re_out;
+     Csr.tmul_vec_into c ws.im_in ws.im_out);
   for i = 0 to n - 1 do
     Array.unsafe_set dst i
       (Cx.mk (Array.unsafe_get ws.re_out i) (Array.unsafe_get ws.im_out i))
   done
+
+(* dst <- M_k⁻¹ b; b is consumed from ws.ct1 by the callers, dst may
+   alias the caller's vector but not ws.ct1/ws.ct3 *)
+let solve_step_into ws solvers ~k b dst =
+  match solvers with
+  | Sdense clus -> Clu.solve_into clus.(k - 1) b dst
+  | Ssparse fs -> Csplu.solve_into fs.(k - 1) ~scratch:ws.ct3 b dst
+
+let solve_step_transpose_into ws solvers ~k b dst =
+  match solvers with
+  | Sdense clus -> Clu.solve_transpose_into clus.(k - 1) ~scratch:ws.ct2 b dst
+  | Ssparse fs -> Csplu.solve_transpose_into fs.(k - 1) ~scratch:ws.ct2 b dst
 
 (* A_{k-1} p = M_k⁻¹ (C/h) p   (maps p_{k-1} to the homogeneous part of p_k);
    dst may alias p but not ws.ct1 *)
-let a_apply_into ws ~clus ~c_over_h ~k p dst =
-  real_mat_apply_into ws c_over_h p ws.ct1;
-  Clu.solve_into clus.(k - 1) ws.ct1 dst
+let a_apply_into ws ~solvers ~cmul ~k p dst =
+  cmul_apply_into ws cmul p ws.ct1;
+  solve_step_into ws solvers ~k ws.ct1 dst
 
 (* A_{k-1}ᵀ w = (C/h)ᵀ M_k⁻ᵀ w; dst may alias w but not ws.ct1/ws.ct2 *)
-let a_transpose_apply_into ws ~clus ~c_over_h ~k w dst =
-  Clu.solve_transpose_into clus.(k - 1) ~scratch:ws.ct2 w ws.ct1;
-  real_mat_tapply_into ws c_over_h ws.ct1 dst
+let a_transpose_apply_into ws ~solvers ~cmul ~k w dst =
+  solve_step_transpose_into ws solvers ~k w ws.ct1;
+  cmul_tapply_into ws cmul ws.ct1 dst
 
-let build ?(domains = 1) (pss : Pss.t) ~f_offset =
+let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
   let circuit = pss.Pss.circuit in
   let n = Circuit.size circuit in
   let m = pss.Pss.steps in
   let h = pss.Pss.period /. float_of_int m in
   let omega = 2.0 *. Float.pi *. f_offset in
   let c_over_h = Mat.scale (1.0 /. h) pss.Pss.c_mat in
+  let backend = Linsys.choose (Option.value backend ~default:Linsys.Auto) n in
   Domain_pool.with_pool domains @@ fun pool ->
-  (* factorize M_k = C(1/h + jω) + G(t_k) for k = 1..m — the m
-     factorizations are independent; each lane stamps into its own
-     g/jac workspace (a shared stamp buffer would be a data race) *)
-  let clus = Array.make m None in
-  Domain_pool.parallel_for_ws pool m
-    ~init:(fun () -> (Vec.create n, Mat.create n n))
-    (fun (g_buf, jac) i ->
-      let k = i + 1 in
-      Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
-        ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some jac) ();
-      let mk =
-        Cmat.init n n (fun r c ->
-            Cx.mk
-              (Mat.get jac r c +. Mat.get c_over_h r c)
-              (omega *. Mat.get pss.Pss.c_mat r c))
+  let cmul, solvers =
+    match backend with
+    | Linsys.Dense | Linsys.Auto ->
+      (* factorize M_k = C(1/h + jω) + G(t_k) for k = 1..m — the m
+         factorizations are independent; each lane stamps into its own
+         g/jac workspace (a shared stamp buffer would be a data race) *)
+      let clus = Array.make m None in
+      Domain_pool.parallel_for_ws pool m
+        ~init:(fun () -> (Vec.create n, Mat.create n n))
+        (fun (g_buf, jac) i ->
+          let k = i + 1 in
+          Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
+            ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some (Stamp.dense_sink jac))
+            ();
+          let mk =
+            Cmat.init n n (fun r c ->
+                Cx.mk
+                  (Mat.get jac r c +. Mat.get c_over_h r c)
+                  (omega *. Mat.get pss.Pss.c_mat r c))
+          in
+          clus.(i) <- Some (Clu.factorize mk));
+      let clus =
+        Array.map (function Some c -> c | None -> assert false) clus
       in
-      clus.(i) <- Some (Clu.factorize mk));
-  let clus = Array.map (function Some c -> c | None -> assert false) clus in
+      (Cm_dense c_over_h, Sdense clus)
+    | Linsys.Sparse ->
+      let pat = Stamp.pattern circuit in
+      let nnz = Csr.nnz pat in
+      (* C values aligned position-for-position with the pattern *)
+      let c_vals = Array.make nnz 0.0 in
+      Stamp.stamp_c circuit ~add:(fun i j v ->
+          let p = Csr.index pat i j in
+          c_vals.(p) <- c_vals.(p) +. v);
+      let zvals_at gcsr zvals =
+        let gv = gcsr.Csr.v in
+        for p = 0 to nnz - 1 do
+          zvals.(p) <-
+            Cx.mk (gv.(p) +. (c_vals.(p) /. h)) (omega *. c_vals.(p))
+        done
+      in
+      let stamp_into g_buf gcsr k =
+        Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
+          ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some (Stamp.csr_sink gcsr)) ()
+      in
+      (* one symbolic plan, built serially on the k = 1 values, shared
+         read-only by every lane *)
+      let plan =
+        let g_buf = Vec.create n in
+        let gcsr = Csr.copy pat in
+        let zvals = Array.make nnz Cx.zero in
+        stamp_into g_buf gcsr 1;
+        zvals_at gcsr zvals;
+        Csplu.plan pat zvals
+      in
+      let fs = Array.make m None in
+      Domain_pool.parallel_for_ws pool m
+        ~init:(fun () ->
+          (Vec.create n, Csr.copy pat, Array.make nnz Cx.zero))
+        (fun (g_buf, gcsr, zvals) i ->
+          let k = i + 1 in
+          stamp_into g_buf gcsr k;
+          zvals_at gcsr zvals;
+          fs.(i) <- Some (Csplu.factorize plan pat zvals));
+      let fs = Array.map (function Some f -> f | None -> assert false) fs in
+      (Cm_sparse (Csr.of_dense c_over_h), Ssparse fs)
+  in
   (* Φ(ω) column by column (independent), then factorize I - Φ *)
   let phi = Cmat.create n n in
   Domain_pool.parallel_for_ws pool n
@@ -106,13 +189,13 @@ let build ?(domains = 1) (pss : Pss.t) ~f_offset =
       Cvec.fill v Cx.zero;
       v.(j) <- Cx.one;
       for k = 1 to m do
-        a_apply_into ws ~clus ~c_over_h ~k v v
+        a_apply_into ws ~solvers ~cmul ~k v v
       done;
       for i = 0 to n - 1 do
         Cmat.set phi i j v.(i)
       done);
   let wrap = Cmat.sub (Cmat.identity n) phi in
-  { pss; f_offset; omega; n; m; h; c_over_h; clus;
+  { pss; f_offset; omega; n; m; h; cmul; solvers;
     wrap_lu = Clu.factorize wrap }
 
 let pss t = t.pss
@@ -137,12 +220,15 @@ let solve_source t inj =
   let forced =
     Array.init t.m (fun i ->
         let b = rhs_of t ~k:(i + 1) inj in
-        Clu.solve_inplace t.clus.(i) b;
-        b)
+        match t.solvers with
+        | Sdense clus ->
+          Clu.solve_inplace clus.(i) b;
+          b
+        | Ssparse fs -> Csplu.solve fs.(i) b)
   in
   let q = Cvec.create t.n in
   for k = 1 to t.m do
-    a_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k q q;
+    a_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k q q;
     Cvec.add_inplace q forced.(k - 1)
   done;
   let p0 = Clu.solve t.wrap_lu q in
@@ -151,7 +237,7 @@ let solve_source t inj =
     (* p_k = A_{k-1} p_{k-1} + forced_k; the forced vector is dead after
        this step and doubles as p_k's storage *)
     let pk = forced.(k - 1) in
-    a_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k p.(k - 1) ws.ct2;
+    a_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k p.(k - 1) ws.ct2;
     Cvec.add_inplace pk ws.ct2;
     p.(k) <- pk
   done;
@@ -168,8 +254,8 @@ let harmonic_of_response t p ~row ~harmonic =
 type functional = Cvec.t array
 
 (* Backward pass: given c_k (k = 1..m) output weights, find λ_k with
-     λ_k = c_k + A_kᵀ λ_{k+1}   (k = 1..m-1, A_k uses clus.(k))
-     λ_m = c_m + A_0ᵀ λ_1       (cyclic, A_0 uses clus.(0))
+     λ_k = c_k + A_kᵀ λ_{k+1}   (k = 1..m-1, A_k uses solvers.(k))
+     λ_m = c_m + A_0ᵀ λ_1       (cyclic, A_0 uses solvers.(0))
    then λ̃_k = M_k⁻ᵀ λ_k is ∂y/∂b_k.
 
    [c_add k v] adds the output weight c_k into [v] — sparse functionals
@@ -179,8 +265,8 @@ let adjoint_general t (c_add : int -> Cvec.t -> unit) : functional =
   let lam = Array.init (t.m + 1) (fun _ -> Cvec.create t.n) in
   let backward () =
     for k = t.m - 1 downto 1 do
-      (* A_k maps p_k -> p_{k+1}, built from clus.(k) (i.e. M_{k+1}) *)
-      a_transpose_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k:(k + 1)
+      (* A_k maps p_k -> p_{k+1}, built from solvers.(k) (i.e. M_{k+1}) *)
+      a_transpose_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k:(k + 1)
         lam.(k + 1) lam.(k);
       c_add k lam.(k)
     done
@@ -189,11 +275,14 @@ let adjoint_general t (c_add : int -> Cvec.t -> unit) : functional =
   backward ();
   (* (I - Φᵀ) λ_m = c_m + A_0ᵀ d_1 *)
   let rhs = Cvec.create t.n in
-  a_transpose_apply_into ws ~clus:t.clus ~c_over_h:t.c_over_h ~k:1 lam.(1) rhs;
+  a_transpose_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k:1 lam.(1) rhs;
   c_add t.m rhs;
   Clu.solve_transpose_into t.wrap_lu ~scratch:ws.ct2 rhs lam.(t.m);
   backward ();
-  Array.init t.m (fun i -> Clu.solve_transpose t.clus.(i) lam.(i + 1))
+  Array.init t.m (fun i ->
+      match t.solvers with
+      | Sdense clus -> Clu.solve_transpose clus.(i) lam.(i + 1)
+      | Ssparse fs -> Csplu.solve_transpose fs.(i) lam.(i + 1))
 
 let adjoint_harmonic t ~row ~harmonic =
   let weight = 1.0 /. float_of_int t.m in

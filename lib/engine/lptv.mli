@@ -24,14 +24,19 @@
 
 type t
 
-val build : ?domains:int -> Pss.t -> f_offset:float -> t
+val build : ?domains:int -> ?backend:Linsys.backend -> Pss.t ->
+  f_offset:float -> t
 (** Linearize around the PSS and factorize all [M_k] plus the periodic
     wrap matrix [I - Φ(ω)].  [f_offset] is the input offset frequency
     (1 Hz for the pseudo-noise mismatch reading).
 
     [domains] (default 1) runs the per-step factorizations and the
     monodromy columns on a {!Domain_pool} of that many lanes.  Results
-    are bit-identical for any [domains] — see docs/parallelism.md. *)
+    are bit-identical for any [domains] — see docs/parallelism.md.
+
+    [backend] selects dense [Clu] or sparse [Csplu] step solvers (one
+    shared symbolic plan, per-lane numeric workspaces); the wrap matrix
+    [I - Φ] is dense either way.  Default {!Linsys.Auto}. *)
 
 val pss : t -> Pss.t
 val steps : t -> int

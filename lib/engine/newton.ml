@@ -3,40 +3,42 @@ type result = {
   iterations : int;
   converged : bool;
   residual_norm : float;
-  last_lu : Lu.t option;
+  last_fact : Linsys.rfact option;
+  singular_row : int option;
 }
 
 exception No_convergence of string
 
-let solve ~eval ~x0 ?(max_iter = 80) ?(abstol = 1e-9) ?(xtol = 1e-9)
+let solve ~eval ~sys ~x0 ?(max_iter = 80) ?(abstol = 1e-9) ?(xtol = 1e-9)
     ?(max_step = 1.0) () =
   let n = Vec.dim x0 in
   let x = Vec.copy x0 in
   let g = Vec.create n in
-  let jac = Mat.create n n in
-  let fail iter gnorm last_lu =
-    { x; iterations = iter; converged = false; residual_norm = gnorm; last_lu }
+  let fail ?singular iter gnorm last_fact =
+    { x; iterations = iter; converged = false; residual_norm = gnorm;
+      last_fact; singular_row = singular }
   in
-  let rec iterate iter last_lu =
-    eval ~x ~g ~jac;
+  let rec iterate iter last_fact =
+    eval ~x ~g;
     let gnorm = Vec.norm_inf g in
-    if not (Float.is_finite gnorm) then fail iter gnorm last_lu
+    if not (Float.is_finite gnorm) then fail iter gnorm last_fact
     else begin
-      match Lu.factorize jac with
-      | exception Lu.Singular _ -> fail iter gnorm last_lu
-      | lu ->
-        let dx = Lu.solve lu (Vec.scale (-1.0) g) in
+      match Linsys.factorize sys with
+      | exception Linsys.Singular_row k -> fail ~singular:k iter gnorm last_fact
+      | fact ->
+        let dx = Linsys.solve fact (Vec.scale (-1.0) g) in
         let raw_step = Vec.norm_inf dx in
-        if not (Float.is_finite raw_step) then fail iter gnorm (Some lu)
+        if not (Float.is_finite raw_step) then fail iter gnorm (Some fact)
         else begin
           let damp = if raw_step > max_step then max_step /. raw_step else 1.0 in
           Vec.axpy damp dx x;
           let step = raw_step *. damp in
           if gnorm <= abstol && step <= xtol then
             { x; iterations = iter + 1; converged = true;
-              residual_norm = gnorm; last_lu = Some lu }
-          else if iter + 1 >= max_iter then fail (iter + 1) gnorm (Some lu)
-          else iterate (iter + 1) (Some lu)
+              residual_norm = gnorm; last_fact = Some fact;
+              singular_row = None }
+          else if iter + 1 >= max_iter then fail (iter + 1) gnorm (Some fact)
+          else iterate (iter + 1) (Some fact)
         end
     end
   in

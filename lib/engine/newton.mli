@@ -1,4 +1,4 @@
-(** Damped Newton–Raphson on dense systems.
+(** Damped Newton–Raphson over a {!Linsys} backend.
 
     Shared by the DC solver and the per-step transient solves. *)
 
@@ -7,15 +7,19 @@ type result = {
   iterations : int;
   converged : bool;
   residual_norm : float;
-  last_lu : Lu.t option;
+  last_fact : Linsys.rfact option;
       (** factorization of the Jacobian at the solution, reusable by
           variational/monodromy propagation *)
+  singular_row : int option;
+      (** when the Jacobian factorization failed, the original MNA
+          unknown index it died on — see {!Circuit.row_name} *)
 }
 
 exception No_convergence of string
 
 val solve :
-  eval:(x:Vec.t -> g:Vec.t -> jac:Mat.t -> unit) ->
+  eval:(x:Vec.t -> g:Vec.t -> unit) ->
+  sys:Linsys.rsys ->
   x0:Vec.t ->
   ?max_iter:int ->
   ?abstol:float ->
@@ -23,7 +27,8 @@ val solve :
   ?max_step:float ->
   unit ->
   result
-(** [eval] fills the residual and Jacobian at [x].  [max_step] clamps
-    the infinity-norm of each Newton update (voltage limiting); default
-    1.0.  Returns with [converged = false] rather than raising so
-    callers can retry with homotopy. *)
+(** [eval] fills the residual at [x] and stamps the Jacobian through
+    [sys.sink] (the sink is cleared and factorized here).  [max_step]
+    clamps the infinity-norm of each Newton update (voltage limiting);
+    default 1.0.  Returns with [converged = false] rather than raising
+    so callers can retry with homotopy. *)

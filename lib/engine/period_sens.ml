@@ -40,12 +40,12 @@ let period_sensitivities (osc : Pss_osc.t) =
      λ_k = M_k⁻ᵀ w_k *)
   let lambdas = Array.make (m + 1) [||] in
   let w = ref y in
-  lambdas.(m) <- Lu.solve_transpose pss.Pss.step_lus.(m - 1) !w;
+  lambdas.(m) <- Linsys.solve_transpose pss.Pss.step_facts.(m - 1) !w;
   for k = m - 1 downto 1 do
-    (* A_k uses M_{k+1} = step_lus.(k) *)
-    let tmp = Lu.solve_transpose pss.Pss.step_lus.(k) !w in
+    (* A_k uses M_{k+1} = step_facts.(k) *)
+    let tmp = Linsys.solve_transpose pss.Pss.step_facts.(k) !w in
     w := Mat.tmul_vec c_over_h tmp;
-    lambdas.(k) <- Lu.solve_transpose pss.Pss.step_lus.(k - 1) !w
+    lambdas.(k) <- Linsys.solve_transpose pss.Pss.step_facts.(k - 1) !w
   done;
   let params = Circuit.mismatch_params circuit in
   Array.map

@@ -5,7 +5,8 @@ type t = {
   times : float array;
   states : Vec.t array;
   c_mat : Mat.t;
-  step_lus : Lu.t array;
+  sys : Linsys.rsys;
+  step_facts : Linsys.rfact array;
   monodromy : Mat.t;
   iterations : int;
   residual : float;
@@ -13,19 +14,21 @@ type t = {
 
 exception No_convergence of string
 
-(* Integrate one period with BE from x0; record states and per-step LU
+(* Integrate one period with BE from x0; record states and per-step
    factorizations; optionally accumulate the monodromy matrix. *)
-let sweep ~circuit ~c_mat ~tran_options ~t0 ~period ~steps ~x0 ~want_monodromy =
+let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0
+    ~want_monodromy =
   let n = Vec.dim x0 in
   let h = period /. float_of_int steps in
+  let c_rmat = Linsys.cmat_of sys c_mat in
   let times = Array.init (steps + 1) (fun k -> t0 +. (h *. float_of_int k)) in
   let states = Array.make (steps + 1) x0 in
-  let lus = Array.make steps None in
+  let facts = Array.make steps None in
   let mono = if want_monodromy then Some (Mat.identity n) else None in
   for k = 0 to steps - 1 do
     let r =
-      Tran.step ~options:tran_options ~circuit ~c_mat ~x_prev:states.(k)
-        ~t_prev:times.(k) ~t_next:times.(k + 1) ()
+      Tran.step ~options:tran_options ~circuit ~sys ~c_mat:c_rmat
+        ~x_prev:states.(k) ~t_prev:times.(k) ~t_next:times.(k + 1) ()
     in
     if not r.Newton.converged then
       raise
@@ -33,12 +36,12 @@ let sweep ~circuit ~c_mat ~tran_options ~t0 ~period ~steps ~x0 ~want_monodromy =
            (Printf.sprintf "PSS sweep: step at t=%.4g did not converge"
               times.(k + 1)));
     states.(k + 1) <- r.Newton.x;
-    let lu =
-      match r.Newton.last_lu with
-      | Some lu -> lu
+    let fact =
+      match r.Newton.last_fact with
+      | Some f -> f
       | None -> raise (No_convergence "PSS sweep: no step factorization")
     in
-    lus.(k) <- Some lu;
+    facts.(k) <- Some fact;
     match mono with
     | None -> ()
     | Some m ->
@@ -46,30 +49,31 @@ let sweep ~circuit ~c_mat ~tran_options ~t0 ~period ~steps ~x0 ~want_monodromy =
       for j = 0 to n - 1 do
         let col = Mat.col m j in
         let rhs = Vec.scale (1.0 /. h) (Mat.mul_vec c_mat col) in
-        Lu.solve_inplace lu rhs;
+        Linsys.solve_inplace fact rhs;
         for i = 0 to n - 1 do
           Mat.set m i j rhs.(i)
         done
       done
   done;
-  let lus =
-    Array.map (function Some lu -> lu | None -> assert false) lus
+  let facts =
+    Array.map (function Some f -> f | None -> assert false) facts
   in
-  (times, states, lus, mono)
+  (times, states, facts, mono)
 
-let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?x0
+let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
     ?(warmup_periods = 2) circuit ~period =
   let c_mat = Stamp.c_matrix circuit in
+  let sys = Linsys.make ?backend circuit in
   let tran_options = Tran.default_options in
   let x_init =
     match x0 with
     | Some x -> Vec.copy x
     | None ->
-      let dc = Dc.solve circuit in
+      let dc = Dc.solve ?backend circuit in
       if warmup_periods <= 0 then dc
       else begin
         let w =
-          Tran.run ~x0:dc ~record:false circuit ~tstart:0.0
+          Tran.run ?backend ~x0:dc ~record:false circuit ~tstart:0.0
             ~tstop:(period *. float_of_int warmup_periods)
             ~dt:(period /. float_of_int steps)
             ()
@@ -80,8 +84,8 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?x0
   let n = Vec.dim x_init in
   let x0 = ref x_init in
   let rec iterate iter =
-    let times, states, lus, mono =
-      sweep ~circuit ~c_mat ~tran_options ~t0:0.0 ~period ~steps ~x0:!x0
+    let times, states, facts, mono =
+      sweep ~circuit ~sys ~c_mat ~tran_options ~t0:0.0 ~period ~steps ~x0:!x0
         ~want_monodromy:true
     in
     let mono = match mono with Some m -> m | None -> assert false in
@@ -89,7 +93,7 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?x0
     let rnorm = Vec.norm_inf r in
     if rnorm < tol then
       {
-        circuit; period; steps; times; states; c_mat; step_lus = lus;
+        circuit; period; steps; times; states; c_mat; sys; step_facts = facts;
         monodromy = mono; iterations = iter; residual = rnorm;
       }
     else if iter >= max_iter then

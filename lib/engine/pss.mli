@@ -15,7 +15,9 @@ type t = {
   times : float array;  (** length steps+1 *)
   states : Vec.t array; (** length steps+1; [states.(steps) ≈ states.(0)] *)
   c_mat : Mat.t;
-  step_lus : Lu.t array; (** length steps; LU of C/h + G at step k+1 *)
+  sys : Linsys.rsys;    (** step-matrix storage the factorizations share *)
+  step_facts : Linsys.rfact array;
+      (** length steps; factorization of C/h + G at step k+1 *)
   monodromy : Mat.t;
   iterations : int;
   residual : float;
@@ -24,17 +26,17 @@ type t = {
 exception No_convergence of string
 
 val sweep :
-  circuit:Circuit.t -> c_mat:Mat.t -> tran_options:Tran.options ->
-  t0:float -> period:float -> steps:int -> x0:Vec.t ->
-  want_monodromy:bool ->
-  float array * Vec.t array * Lu.t array * Mat.t option
+  circuit:Circuit.t -> sys:Linsys.rsys -> c_mat:Mat.t ->
+  tran_options:Tran.options -> t0:float -> period:float -> steps:int ->
+  x0:Vec.t -> want_monodromy:bool ->
+  float array * Vec.t array * Linsys.rfact array * Mat.t option
 (** One backward-Euler pass over a period: grid times, states, per-step
-    LU factorizations and (optionally) the monodromy matrix.  Exposed
-    for the oscillator shooting solver. *)
+    factorizations and (optionally) the monodromy matrix.  Exposed for
+    the oscillator shooting solver. *)
 
 val solve :
-  ?steps:int -> ?max_iter:int -> ?tol:float -> ?x0:Vec.t ->
-  ?warmup_periods:int -> Circuit.t -> period:float -> t
+  ?steps:int -> ?max_iter:int -> ?tol:float -> ?backend:Linsys.backend ->
+  ?x0:Vec.t -> ?warmup_periods:int -> Circuit.t -> period:float -> t
 (** [solve c ~period] computes the PSS.  The initial guess is the DC
     point integrated for [warmup_periods] (default 2) periods.
     [steps] defaults to 200. *)

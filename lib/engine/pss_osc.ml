@@ -9,8 +9,8 @@ exception No_convergence of string
 
 (* free-running transient from a slightly perturbed DC point; returns
    (x at a rising anchor crossing, period estimate) *)
-let warmup circuit ~anchor ~f_guess ~settle_periods ~steps =
-  let dc = Dc.solve circuit in
+let warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps =
+  let dc = Dc.solve ?backend circuit in
   (* kick the anchor node so a symmetric metastable start still
      oscillates *)
   let x0 = Vec.copy dc in
@@ -19,7 +19,8 @@ let warmup circuit ~anchor ~f_guess ~settle_periods ~steps =
   let t_guess = 1.0 /. f_guess in
   let dt = t_guess /. float_of_int steps in
   let w =
-    Tran.run ~x0 circuit ~tstart:0.0 ~tstop:(settle_periods *. t_guess) ~dt ()
+    Tran.run ?backend ~x0 circuit ~tstart:0.0
+      ~tstop:(settle_periods *. t_guess) ~dt ()
   in
   let v = Waveform.signal w anchor in
   let vmin = Array.fold_left Float.min v.(0) v in
@@ -44,9 +45,12 @@ let warmup circuit ~anchor ~f_guess ~settle_periods ~steps =
   (Vec.copy w.Waveform.states.(!idx), period)
 
 let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
-    circuit ~anchor ~f_guess =
+    ?backend circuit ~anchor ~f_guess =
   let c_mat = Stamp.c_matrix circuit in
-  let x_start, period0 = warmup circuit ~anchor ~f_guess ~settle_periods ~steps in
+  let sys = Linsys.make ?backend circuit in
+  let x_start, period0 =
+    warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps
+  in
   let n = Vec.dim x_start in
   let anchor_row = Circuit.node_row circuit anchor in
   let anchor_value = x_start.(anchor_row) in
@@ -55,10 +59,10 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
   let rec iterate iter =
     if iter > max_iter then
       raise (No_convergence "oscillator shooting: too many iterations");
-    let times, states, lus, mono =
+    let times, states, facts, mono =
       try
-        Pss.sweep ~circuit ~c_mat ~tran_options:Tran.default_options ~t0:0.0
-          ~period:!period ~steps ~x0:!x0 ~want_monodromy:true
+        Pss.sweep ~circuit ~sys ~c_mat ~tran_options:Tran.default_options
+          ~t0:0.0 ~period:!period ~steps ~x0:!x0 ~want_monodromy:true
       with Pss.No_convergence m -> raise (No_convergence m)
     in
     let mono = match mono with Some m -> m | None -> assert false in
@@ -68,8 +72,9 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
     if rnorm < tol then begin
       let pss =
         {
-          Pss.circuit; period = !period; steps; times; states; c_mat;
-          step_lus = lus; monodromy = mono; iterations = iter; residual = rnorm;
+          Pss.circuit; period = !period; steps; times; states; c_mat; sys;
+          step_facts = facts; monodromy = mono; iterations = iter;
+          residual = rnorm;
         }
       in
       { pss; frequency = 1.0 /. !period; anchor_row; anchor_value }

@@ -10,16 +10,19 @@ type report = {
   contributions : contribution array;
 }
 
-let sensitivities ?x_op circuit ~output =
-  let x_op = match x_op with Some x -> x | None -> Dc.solve circuit in
+let sensitivities ?x_op ?backend circuit ~output =
+  let x_op =
+    match x_op with Some x -> x | None -> Dc.solve ?backend circuit
+  in
   let n = Circuit.size circuit in
   let g = Vec.create n in
-  let jac = Mat.create n n in
+  let sys = Linsys.make ?backend circuit in
   (* keep a tiny gmin so purely capacitive nodes stay nonsingular *)
-  Stamp.eval circuit ~t:0.0 ~gmin:1e-12 ~x:x_op ~g ~jac:(Some jac) ();
-  let lu = Lu.factorize jac in
+  Stamp.eval circuit ~t:0.0 ~gmin:1e-12 ~x:x_op ~g ~jac:(Some sys.Linsys.sink)
+    ();
+  let fact = Linsys.factorize sys in
   let e = Vec.basis n (Circuit.node_row circuit output) in
-  let lambda = Lu.solve_transpose lu e in
+  let lambda = Linsys.solve_transpose fact e in
   let params = Circuit.mismatch_params circuit in
   Array.map
     (fun p ->
@@ -29,8 +32,8 @@ let sensitivities ?x_op circuit ~output =
       (p, s))
     params
 
-let dc_match ?x_op circuit ~output =
-  let sens = sensitivities ?x_op circuit ~output in
+let dc_match ?x_op ?backend circuit ~output =
+  let sens = sensitivities ?x_op ?backend circuit ~output in
   let contributions =
     Array.map
       (fun ((p : Circuit.mismatch_param), s) ->

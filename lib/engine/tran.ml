@@ -24,7 +24,8 @@ exception Step_failed of float
 (* residual of one implicit step:
    BE:   C(x - x_prev)/h + g(x, t_next) = 0
    trap: C(x - x_prev)/h + (g(x, t_next) + g_prev)/2 = 0 *)
-let step ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next ?(forcing = []) () =
+let step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next
+    ?(forcing = []) () =
   let h = t_next -. t_prev in
   let n = Vec.dim x_prev in
   let g_prev =
@@ -35,55 +36,81 @@ let step ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next ?(forcing = []) () =
       Stamp.eval circuit ~t:t_prev ~gmin:options.gmin ~x:x_prev ~g ~jac:None ();
       Some g
   in
-  let eval ~x ~g ~jac =
-    Stamp.eval circuit ~t:t_next ~gmin:options.gmin ~x ~g ~jac:(Some jac) ();
+  let eval ~x ~g =
+    Stamp.eval circuit ~t:t_next ~gmin:options.gmin ~x ~g
+      ~jac:(Some sys.Linsys.sink) ();
     (match g_prev, options.scheme with
      | Some gp, Trapezoidal ->
        for i = 0 to n - 1 do
          g.(i) <- 0.5 *. (g.(i) +. gp.(i))
        done;
        (* halve the resistive Jacobian too *)
-       for i = 0 to n - 1 do
-         for j = 0 to n - 1 do
-           Mat.set jac i j (0.5 *. Mat.get jac i j)
-         done
-       done
+       (match sys.Linsys.repr with
+        | Linsys.Rdense jac ->
+          for i = 0 to n - 1 do
+            for j = 0 to n - 1 do
+              Mat.set jac i j (0.5 *. Mat.get jac i j)
+            done
+          done
+        | Linsys.Rsparse { pat; _ } ->
+          let v = pat.Csr.v in
+          for p = 0 to Array.length v - 1 do
+            v.(p) <- 0.5 *. v.(p)
+          done)
      | _, Backward_euler | None, Trapezoidal -> ());
     List.iter (fun (row, value) -> g.(row) <- g.(row) +. value) forcing;
     (* add C·(x - x_prev)/h and C/h *)
-    let dx = Vec.sub x x_prev in
-    let cdx = Mat.mul_vec c_mat dx in
-    for i = 0 to n - 1 do
-      g.(i) <- g.(i) +. (cdx.(i) /. h);
-      for j = 0 to n - 1 do
-        Mat.add_to jac i j (Mat.get c_mat i j /. h)
+    match sys.Linsys.repr, c_mat with
+    | Linsys.Rdense jac, Linsys.Mdense cm ->
+      let dx = Vec.sub x x_prev in
+      let cdx = Mat.mul_vec cm dx in
+      for i = 0 to n - 1 do
+        g.(i) <- g.(i) +. (cdx.(i) /. h);
+        for j = 0 to n - 1 do
+          Mat.add_to jac i j (Mat.get cm i j /. h)
+        done
       done
-    done
+    | Linsys.Rsparse { pat; _ }, Linsys.Msparse cm ->
+      let dx = Vec.sub x x_prev in
+      let cdx = Csr.mul_vec cm dx in
+      for i = 0 to n - 1 do
+        g.(i) <- g.(i) +. (cdx.(i) /. h)
+      done;
+      let rp = cm.Csr.rp and ci = cm.Csr.ci and v = cm.Csr.v in
+      for i = 0 to Csr.rows cm - 1 do
+        for p = rp.(i) to rp.(i + 1) - 1 do
+          Csr.add pat i ci.(p) (v.(p) /. h)
+        done
+      done
+    | _ -> invalid_arg "Tran.step: c_mat representation mismatch"
   in
-  Newton.solve ~eval ~x0:x_prev ~max_iter:options.max_newton
+  Newton.solve ~eval ~sys ~x0:x_prev ~max_iter:options.max_newton
     ~abstol:options.abstol ~xtol:options.xtol ~max_step:1.0 ()
 
 (* advance from (t_prev, x_prev) to t_next, halving on Newton failure *)
-let rec advance ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next ~depth =
-  let r = step ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next () in
+let rec advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ~depth =
+  let r = step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next () in
   if r.Newton.converged then r.Newton.x
   else if depth >= options.max_halvings then raise (Step_failed t_next)
   else begin
     let t_mid = 0.5 *. (t_prev +. t_next) in
     let x_mid =
-      advance ~options ~circuit ~c_mat ~x_prev ~t_prev ~t_next:t_mid
+      advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next:t_mid
         ~depth:(depth + 1)
     in
-    advance ~options ~circuit ~c_mat ~x_prev:x_mid ~t_prev:t_mid ~t_next
+    advance ~options ~circuit ~sys ~c_mat ~x_prev:x_mid ~t_prev:t_mid ~t_next
       ~depth:(depth + 1)
   end
 
-let run ?(options = default_options) ?x0 ?(record = true) circuit ~tstart
-    ~tstop ~dt () =
+let run ?(options = default_options) ?backend ?x0 ?(record = true) circuit
+    ~tstart ~tstop ~dt () =
   if dt <= 0.0 || tstop <= tstart then invalid_arg "Tran.run: bad time grid";
-  let c_mat = Stamp.c_matrix circuit in
+  let sys = Linsys.make ?backend circuit in
+  let c_mat = Linsys.cmat_of sys (Stamp.c_matrix circuit) in
   let x0 =
-    match x0 with Some x -> Vec.copy x | None -> Dc.solve_at ~t:tstart circuit
+    match x0 with
+    | Some x -> Vec.copy x
+    | None -> Dc.solve_at ?backend ~t:tstart circuit
   in
   let steps = int_of_float (Float.ceil ((tstop -. tstart) /. dt -. 1e-9)) in
   let times = ref [ tstart ] in
@@ -93,7 +120,8 @@ let run ?(options = default_options) ?x0 ?(record = true) circuit ~tstart
   for k = 1 to steps do
     let t_next = Float.min (tstart +. (float_of_int k *. dt)) tstop in
     let x_next =
-      advance ~options ~circuit ~c_mat ~x_prev:!x ~t_prev:!t ~t_next ~depth:0
+      advance ~options ~circuit ~sys ~c_mat ~x_prev:!x ~t_prev:!t ~t_next
+        ~depth:0
     in
     x := x_next;
     t := t_next;

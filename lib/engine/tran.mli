@@ -23,18 +23,19 @@ exception Step_failed of float
 (** Raised with the failing time when step halving bottoms out. *)
 
 val run :
-  ?options:options -> ?x0:Vec.t -> ?record:bool -> Circuit.t ->
-  tstart:float -> tstop:float -> dt:float -> unit -> Waveform.t
+  ?options:options -> ?backend:Linsys.backend -> ?x0:Vec.t -> ?record:bool ->
+  Circuit.t -> tstart:float -> tstop:float -> dt:float -> unit -> Waveform.t
 (** [run c ~tstart ~tstop ~dt ()] integrates and records every accepted
     base step (sub-steps from halving are not recorded).  [record:false]
     keeps only the first and last states (fast settling runs). *)
 
 val step :
-  options:options -> circuit:Circuit.t -> c_mat:Mat.t -> x_prev:Vec.t ->
-  t_prev:float -> t_next:float -> ?forcing:(int * float) list -> unit ->
-  Newton.result
+  options:options -> circuit:Circuit.t -> sys:Linsys.rsys ->
+  c_mat:Linsys.rmat -> x_prev:Vec.t -> t_prev:float -> t_next:float ->
+  ?forcing:(int * float) list -> unit -> Newton.result
 (** One implicit integration step (exposed for the shooting solvers,
     which also need the Jacobian factorization at the solution).
-    [forcing] adds a sparse constant term to the step residual — the
-    hook the transient-noise analysis injects its per-step noise
-    currents through. *)
+    [sys] holds the step-matrix storage (build once with {!Linsys.make},
+    pair with [c_mat] from {!Linsys.cmat_of}).  [forcing] adds a sparse
+    constant term to the step residual — the hook the transient-noise
+    analysis injects its per-step noise currents through. *)

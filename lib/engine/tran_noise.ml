@@ -1,10 +1,13 @@
-let run ?(seed = 1) ?temp ?(options = Tran.default_options) ?x0 circuit ~tstart
-    ~tstop ~dt () =
+let run ?(seed = 1) ?temp ?(options = Tran.default_options) ?backend ?x0
+    circuit ~tstart ~tstop ~dt () =
   if dt <= 0.0 || tstop <= tstart then invalid_arg "Tran_noise.run";
   let rng = Rng.create seed in
-  let c_mat = Stamp.c_matrix circuit in
+  let sys = Linsys.make ?backend circuit in
+  let c_mat = Linsys.cmat_of sys (Stamp.c_matrix circuit) in
   let x0 =
-    match x0 with Some x -> Vec.copy x | None -> Dc.solve_at ~t:tstart circuit
+    match x0 with
+    | Some x -> Vec.copy x
+    | None -> Dc.solve_at ?backend ~t:tstart circuit
   in
   let steps = int_of_float (Float.ceil ((tstop -. tstart) /. dt -. 1e-9)) in
   let times = Array.make (steps + 1) tstart in
@@ -25,8 +28,8 @@ let run ?(seed = 1) ?temp ?(options = Tran.default_options) ?x0 circuit ~tstart
         sources
     in
     let r =
-      Tran.step ~options ~circuit ~c_mat ~x_prev:!x ~t_prev:(t_next -. dt)
-        ~t_next ~forcing ()
+      Tran.step ~options ~circuit ~sys ~c_mat ~x_prev:!x
+        ~t_prev:(t_next -. dt) ~t_next ~forcing ()
     in
     if not r.Newton.converged then raise (Tran.Step_failed t_next);
     x := r.Newton.x;

@@ -1,0 +1,104 @@
+type t = {
+  r : int;
+  c : int;
+  mutable n : int;
+  mutable ri : int array;
+  mutable ci : int array;
+  mutable v : float array;
+}
+
+let create ?(capacity = 16) r c =
+  if r < 0 || c < 0 then invalid_arg "Coo.create";
+  let capacity = Stdlib.max capacity 1 in
+  {
+    r;
+    c;
+    n = 0;
+    ri = Array.make capacity 0;
+    ci = Array.make capacity 0;
+    v = Array.make capacity 0.0;
+  }
+
+let rows t = t.r
+let cols t = t.c
+let entries t = t.n
+let clear t = t.n <- 0
+
+let grow t =
+  let cap = Array.length t.ri in
+  let cap' = 2 * cap in
+  let ri = Array.make cap' 0 and ci = Array.make cap' 0 in
+  let v = Array.make cap' 0.0 in
+  Array.blit t.ri 0 ri 0 t.n;
+  Array.blit t.ci 0 ci 0 t.n;
+  Array.blit t.v 0 v 0 t.n;
+  t.ri <- ri;
+  t.ci <- ci;
+  t.v <- v
+
+let add t i j x =
+  if i < 0 || i >= t.r || j < 0 || j >= t.c then invalid_arg "Coo.add";
+  if t.n = Array.length t.ri then grow t;
+  t.ri.(t.n) <- i;
+  t.ci.(t.n) <- j;
+  t.v.(t.n) <- x;
+  t.n <- t.n + 1
+
+let iter t f =
+  for k = 0 to t.n - 1 do
+    f t.ri.(k) t.ci.(k) t.v.(k)
+  done
+
+let to_csr t =
+  (* counting sort by row, then per-row sort by column and merge
+     duplicates by summation *)
+  let counts = Array.make (t.r + 1) 0 in
+  for k = 0 to t.n - 1 do
+    counts.(t.ri.(k) + 1) <- counts.(t.ri.(k) + 1) + 1
+  done;
+  for i = 1 to t.r do
+    counts.(i) <- counts.(i) + counts.(i - 1)
+  done;
+  let next = Array.copy counts in
+  let ci = Array.make (Stdlib.max t.n 1) 0 in
+  let v = Array.make (Stdlib.max t.n 1) 0.0 in
+  for k = 0 to t.n - 1 do
+    let p = next.(t.ri.(k)) in
+    ci.(p) <- t.ci.(k);
+    v.(p) <- t.v.(k);
+    next.(t.ri.(k)) <- p + 1
+  done;
+  (* sort each row segment by column (insertion sort: rows are short),
+     then compact duplicates *)
+  let rp = Array.make (t.r + 1) 0 in
+  let w = ref 0 in
+  for i = 0 to t.r - 1 do
+    rp.(i) <- !w;
+    let lo = counts.(i) and hi = counts.(i + 1) in
+    for k = lo + 1 to hi - 1 do
+      let cj = ci.(k) and vj = v.(k) in
+      let p = ref k in
+      while !p > lo && ci.(!p - 1) > cj do
+        ci.(!p) <- ci.(!p - 1);
+        v.(!p) <- v.(!p - 1);
+        decr p
+      done;
+      ci.(!p) <- cj;
+      v.(!p) <- vj
+    done;
+    let k = ref lo in
+    while !k < hi do
+      let cj = ci.(!k) in
+      let s = ref 0.0 in
+      while !k < hi && ci.(!k) = cj do
+        s := !s +. v.(!k);
+        incr k
+      done;
+      ci.(!w) <- cj;
+      v.(!w) <- !s;
+      incr w
+    done
+  done;
+  rp.(t.r) <- !w;
+  Csr.make_unsafe ~rows:t.r ~cols:t.c ~rp ~ci:(Array.sub ci 0 !w)
+    ~v:(Array.sub v 0 !w)

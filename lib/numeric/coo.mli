@@ -1,0 +1,33 @@
+(** Triplet (coordinate) sparse-matrix assembler.
+
+    A [Coo.t] is an append-only list of (row, col, value) triplets —
+    the natural target of MNA stamping, where several devices touch the
+    same matrix position.  Duplicates are allowed and are summed when
+    the triplets are compiled to a {!Csr.t}. *)
+
+type t
+
+val create : ?capacity:int -> int -> int -> t
+(** [create rows cols] is an empty assembler for a [rows]×[cols]
+    matrix.  [capacity] pre-sizes the triplet storage. *)
+
+val rows : t -> int
+val cols : t -> int
+
+val entries : t -> int
+(** Number of raw triplets added so far (before duplicate merging). *)
+
+val add : t -> int -> int -> float -> unit
+(** [add t i j v] appends the triplet (i, j, v).  Out-of-range indices
+    raise [Invalid_argument]. *)
+
+val clear : t -> unit
+(** Drop all triplets, keeping the storage. *)
+
+val iter : t -> (int -> int -> float -> unit) -> unit
+(** Iterate the raw triplets in insertion order. *)
+
+val to_csr : t -> Csr.t
+(** Compile to compressed-sparse-row form.  Triplets with the same
+    (row, col) are summed; column indices within each row come out
+    sorted. *)

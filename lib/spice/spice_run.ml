@@ -1,8 +1,8 @@
-let run_analysis ppf (deck : Spice_elab.t) analysis =
+let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
   let circuit = deck.Spice_elab.circuit in
   match analysis with
   | Spice_ast.A_op ->
-    let x = Dc.solve circuit in
+    let x = Dc.solve ?backend circuit in
     Format.fprintf ppf "@[<v>.op operating point:@,";
     for id = 1 to Circuit.num_nodes circuit do
       Format.fprintf ppf "  v(%s) = %.6g@," (Circuit.node_name circuit id)
@@ -10,9 +10,10 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
     done;
     Format.fprintf ppf "@]@."
   | Spice_ast.A_dc_match { output } ->
-    Format.fprintf ppf "%a@." Sens.pp_report (Sens.dc_match circuit ~output)
+    Format.fprintf ppf "%a@." Sens.pp_report
+      (Sens.dc_match ?backend circuit ~output)
   | Spice_ast.A_tran { dt; tstop; nodes } ->
-    let w = Tran.run circuit ~tstart:0.0 ~tstop ~dt () in
+    let w = Tran.run ?backend circuit ~tstart:0.0 ~tstop ~dt () in
     let nodes =
       match nodes with
       | [] ->
@@ -22,7 +23,7 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
     in
     Format.fprintf ppf "%s@." (Waveform.to_csv w ~nodes)
   | Spice_ast.A_ac { freqs; input; output } ->
-    let ac = Ac.prepare circuit in
+    let ac = Ac.prepare ?backend circuit in
     Format.fprintf ppf "@[<v>.ac %s -> %s:@," input output;
     List.iter
       (fun f ->
@@ -33,7 +34,9 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
       freqs;
     Format.fprintf ppf "@]@."
   | Spice_ast.A_noise { output; freqs } ->
-    let points = Noise_lti.analyze circuit ~output ~freqs:(Array.of_list freqs) in
+    let points =
+      Noise_lti.analyze ?backend circuit ~output ~freqs:(Array.of_list freqs)
+    in
     Format.fprintf ppf "@[<v>.noise at %s:@," output;
     Array.iter
       (fun (pt : Noise_lti.point) ->
@@ -42,7 +45,7 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
       points;
     Format.fprintf ppf "@]@."
   | Spice_ast.A_pss { period } ->
-    let pss = Pss.solve circuit ~period in
+    let pss = Pss.solve ?backend circuit ~period in
     Format.fprintf ppf
       ".pss: converged in %d shooting iterations, residual %.3g@."
       pss.Pss.iterations pss.Pss.residual;
@@ -55,10 +58,10 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
         lo hi (Pss.amplitude pss name)
     done
   | Spice_ast.A_mismatch_dc { output; period } ->
-    let ctx = Analysis.prepare circuit ~period in
+    let ctx = Analysis.prepare ~domains ?backend circuit ~period in
     Format.fprintf ppf "%a@." Report.pp (Analysis.dc_variation ctx ~output)
   | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
-    let ctx = Analysis.prepare circuit ~period in
+    let ctx = Analysis.prepare ~domains ?backend circuit ~period in
     let crossing =
       {
         Analysis.edge = (if rising then Waveform.Rising else Waveform.Falling);
@@ -69,7 +72,9 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
     Format.fprintf ppf "%a@." Report.pp
       (Analysis.delay_variation ctx ~output ~crossing)
   | Spice_ast.A_mismatch_freq { anchor; f_guess } ->
-    let rep, osc = Analysis.frequency_variation circuit ~anchor ~f_guess in
+    let rep, osc =
+      Analysis.frequency_variation ?backend circuit ~anchor ~f_guess
+    in
     Format.fprintf ppf "oscillator frequency: %.6g Hz@."
       osc.Pss_osc.frequency;
     Format.fprintf ppf "%a@." Report.pp rep
@@ -78,7 +83,7 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
     let mc =
       Monte_carlo.run ~seed ~n ~circuit
         ~measure:(fun c ->
-          let x = Dc.solve c in
+          let x = Dc.solve ?backend c in
           Array.init (Circuit.num_nodes c) (fun i -> x.(i)))
         ()
     in
@@ -91,9 +96,12 @@ let run_analysis ppf (deck : Spice_elab.t) analysis =
       mc.Monte_carlo.summaries;
     Format.fprintf ppf "@]@."
 
-let run ppf deck =
+let run ?domains ?backend ppf deck =
   if deck.Spice_elab.title <> "" then
     Format.fprintf ppf "* %s@.@." deck.Spice_elab.title;
   match deck.Spice_elab.analyses with
-  | [] -> run_analysis ppf deck Spice_ast.A_op
-  | analyses -> List.iter (fun (_ln, a) -> run_analysis ppf deck a) analyses
+  | [] -> run_analysis ?domains ?backend ppf deck Spice_ast.A_op
+  | analyses ->
+    List.iter
+      (fun (_ln, a) -> run_analysis ?domains ?backend ppf deck a)
+      analyses

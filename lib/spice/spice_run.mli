@@ -2,8 +2,13 @@
     the results — the engine behind the [varsim] CLI. *)
 
 val run_analysis :
-  Format.formatter -> Spice_elab.t -> Spice_ast.analysis -> unit
-(** Run one analysis card against the deck's circuit. *)
+  ?domains:int -> ?backend:Linsys.backend -> Format.formatter ->
+  Spice_elab.t -> Spice_ast.analysis -> unit
+(** Run one analysis card against the deck's circuit.  [domains]
+    parallelizes the LPTV/PNOISE passes; [backend] picks the linear
+    solver (dense / sparse / auto). *)
 
-val run : Format.formatter -> Spice_elab.t -> unit
+val run :
+  ?domains:int -> ?backend:Linsys.backend -> Format.formatter ->
+  Spice_elab.t -> unit
 (** Run every card in deck order.  A deck with no cards gets an [.op]. *)

@@ -218,7 +218,7 @@ let test_stamp_jacobian_fd () =
   let x = Array.init n (fun _ -> Rng.uniform_range rng 0.0 1.2) in
   let g = Vec.create n in
   let jac = Mat.create n n in
-  Stamp.eval c ~t:0.0 ~x ~g ~jac:(Some jac) ();
+  Stamp.eval c ~t:0.0 ~x ~g ~jac:(Some (Stamp.dense_sink jac)) ();
   let h = 1e-7 in
   for j = 0 to n - 1 do
     let xp = Vec.copy x and xm = Vec.copy x in
