@@ -81,12 +81,14 @@ let write_json ~path cases =
 let run ~quick =
   Util.section "PERF: parallel LPTV build + PNOISE analyze (1/2/4 domains)";
   let reps = if quick then 1 else 3 in
-  let comparator =
-    let params = Strongarm.default_params in
-    let circuit = Strongarm.testbench ~params () in
+  let params = Strongarm.default_params in
+  let comparator_circuit = Strongarm.testbench ~params () in
+  let comparator_pss =
     let steps = if quick then 120 else 400 in
-    let pss = Pss.solve ~steps circuit ~period:params.Strongarm.clk_period in
-    sweep ~reps ~circuit_name:"strongarm_comparator" ~pss
+    Pss.solve ~steps comparator_circuit ~period:params.Strongarm.clk_period
+  in
+  let comparator =
+    sweep ~reps ~circuit_name:"strongarm_comparator" ~pss:comparator_pss
       ~output:Strongarm.vos_node ~harmonic:0
   in
   let ring =
@@ -95,4 +97,16 @@ let run ~quick =
     sweep ~reps ~circuit_name:"ring_oscillator" ~pss:osc.Pss_osc.pss
       ~output:Ring_osc.anchor ~harmonic:1
   in
-  write_json ~path:"BENCH_pnoise.json" (comparator @ ring)
+  write_json ~path:"BENCH_pnoise.json" (comparator @ ring);
+  (* telemetry profile of one representative configuration (comparator,
+     widest lane count measured above), written next to the timings; the
+     already-solved PSS is reused so this only re-runs the LPTV/PNOISE
+     stage it profiles.  Skipped under --quick, which doubles as the
+     perf gate for the telemetry-disabled fast path and must stay
+     within noise of its pre-telemetry wall time. *)
+  if not quick then
+    Util.metrics_pass ~path:"BENCH_pnoise_metrics.json" (fun () ->
+        let lptv = Lptv.build ~domains:4 comparator_pss ~f_offset:1.0 in
+        let sources = Pnoise.mismatch_sources lptv in
+        Pnoise.analyze ~domains:4 lptv ~output:Strongarm.vos_node ~harmonic:0
+          ~sources)

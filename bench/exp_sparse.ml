@@ -110,4 +110,16 @@ let run ~quick =
   in
   pairs cases;
   Format.printf "  parity: sparse matches dense within 1e-9 relative@.";
-  write_json ~path:"BENCH_sparse.json" cases
+  write_json ~path:"BENCH_sparse.json" cases;
+  (* telemetry profile of the largest size on the sparse backend, so
+     fill-in and plan-replay counters ride along with the timings *)
+  let codes = List.fold_left Stdlib.max 0 sizes in
+  Util.metrics_pass ~path:"BENCH_sparse_metrics.json" (fun () ->
+      let params = { Dac_string.default_params with codes } in
+      let freq = 1e6 in
+      let circuit = Dac_string.testbench ~params ~freq () in
+      let pss = Pss.solve ~steps circuit ~period:(1.0 /. freq) in
+      let lptv = Lptv.build ~backend:Linsys.Sparse pss ~f_offset:1.0 in
+      let sources = Pnoise.mismatch_sources lptv in
+      Pnoise.analyze lptv ~output:(Dac_string.tap (codes / 2)) ~harmonic:0
+        ~sources)

@@ -22,7 +22,7 @@ let experiments =
     ("ablation", Exp_ablation.run);
     ("perf", Exp_perf.run);
     ("sparse", Exp_sparse.run);
-    ("bechamel", Bech.run);
+    ("bechamel", Bechamel_suite.run);
   ]
 
 let () =

@@ -10,6 +10,19 @@ let timed f =
   let y = f () in
   (y, Unix.gettimeofday () -. t0)
 
+(* One extra instrumented pass per experiment: the timed runs stay
+   untelemetered so the recorded timings are clean, then this re-runs a
+   representative configuration with telemetry on and writes the span
+   tree + counters next to the BENCH_*.json timings. *)
+let metrics_pass ~path f =
+  Obs.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.write_metrics path;
+      Obs.disable ();
+      Format.printf "wrote %s@." path)
+    (fun () -> ignore (Obs.root "bench" f))
+
 (* 95% CI half-width (relative) of a sigma estimated from n samples *)
 let sigma_ci_pct n = 100.0 *. Stats.sigma_relative_ci_halfwidth n
 

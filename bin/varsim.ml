@@ -5,11 +5,17 @@
      varsim op <deck.sp>         DC operating point only
      varsim dcmatch <deck.sp> -o out
      varsim mismatch <deck.sp> -o out --period 4n
+     varsim pnoise <deck.sp> -o out --period 4n [--harmonic N]
      varsim demo [comparator|logicpath|ringosc]   built-in benchmarks
 
    Global-ish options shared by the solver-heavy subcommands:
      --domains N                 OCaml domains for the LPTV/PNOISE passes
-     --backend dense|sparse|auto linear-solver backend (docs/solver.md) *)
+     --backend dense|sparse|auto linear-solver backend (docs/solver.md)
+
+   Telemetry options (docs/observability.md):
+     --metrics FILE              span tree + counters as JSON
+     --trace FILE                Chrome trace-event JSON (chrome://tracing)
+     --progress                  live top-level span progress on stderr *)
 
 open Cmdliner
 
@@ -46,55 +52,110 @@ let backend_arg =
          ~doc:"Linear-solver backend: $(b,dense), $(b,sparse) or $(b,auto) \
                (size-based choice; see docs/solver.md)")
 
+(* ------------------------------------------------------------------ *)
+(* telemetry options *)
+
+type obs_opts = {
+  metrics : string option;
+  trace : string option;
+  progress : bool;
+}
+
+let obs_term =
+  let metrics =
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE"
+           ~doc:"Write the telemetry span tree and counters as JSON to $(docv)")
+  in
+  let trace =
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE"
+           ~doc:"Write a Chrome trace-event JSON file to $(docv) (open in \
+                 chrome://tracing or Perfetto); one track per worker lane")
+  in
+  let progress =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Print live analysis progress to stderr")
+  in
+  let mk metrics trace progress = { metrics; trace; progress } in
+  Term.(const mk $ metrics $ trace $ progress)
+
+(* Run [f] under a "varsim" root span when any telemetry output was
+   requested; otherwise run it with telemetry fully disabled.  The
+   finally block writes the requested files even when the analysis
+   raises, so a non-convergence failure still leaves a usable trace. *)
+let with_obs opts f =
+  let wanted = opts.metrics <> None || opts.trace <> None || opts.progress in
+  if not wanted then f ()
+  else begin
+    Obs.enable ();
+    if opts.progress then
+      Obs.set_progress
+        (Some
+           (fun name ev ->
+             match ev with
+             | `Begin -> Printf.eprintf "varsim: %s ...\n%!" name
+             | `End dt -> Printf.eprintf "varsim: %s done (%.3f s)\n%!" name dt));
+    Fun.protect
+      ~finally:(fun () ->
+        Option.iter Obs.write_metrics opts.metrics;
+        Option.iter Obs.write_trace opts.trace;
+        Obs.set_progress None;
+        Obs.disable ())
+      (fun () -> Obs.root "varsim" f)
+  end
+
 let handle = function
   | Ok () -> `Ok ()
   | Error msg -> `Error (false, msg)
 
 let run_cmd =
-  let run path domains backend =
+  let run path domains backend obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run ~domains ~backend Format.std_formatter deck;
+         with_obs obs (fun () ->
+             Spice_run.run ~domains ~backend Format.std_formatter deck);
          Ok ())
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run every analysis card in a netlist deck")
-    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg))
+    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg $ obs_term))
 
 let op_cmd =
-  let run path backend =
+  let run path backend obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run_analysis ~backend Format.std_formatter deck
-           Spice_ast.A_op;
+         with_obs obs (fun () ->
+             Spice_run.run_analysis ~backend Format.std_formatter deck
+               Spice_ast.A_op);
          Ok ())
   in
   Cmd.v
     (Cmd.info "op" ~doc:"DC operating point of a deck")
-    Term.(ret (const run $ deck_arg $ backend_arg))
+    Term.(ret (const run $ deck_arg $ backend_arg $ obs_term))
 
 let output_arg =
   Arg.(required & opt (some string) None & info [ "o"; "output" ]
          ~docv:"NODE" ~doc:"Output node")
 
 let dcmatch_cmd =
-  let run path output domains backend =
+  let run path output domains backend obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
-           (Spice_ast.A_dc_match { output });
+         with_obs obs (fun () ->
+             Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
+               (Spice_ast.A_dc_match { output }));
          Ok ())
   in
   Cmd.v
     (Cmd.info "dcmatch"
        ~doc:"Classical DC match analysis (sigma of a DC node voltage)")
-    Term.(ret (const run $ deck_arg $ output_arg $ domains_arg $ backend_arg))
+    Term.(ret (const run $ deck_arg $ output_arg $ domains_arg $ backend_arg
+               $ obs_term))
 
 let period_arg =
   let period_conv =
@@ -110,13 +171,14 @@ let period_arg =
          ~doc:"PSS fundamental period (suffixes allowed, e.g. 4n)")
 
 let mismatch_cmd =
-  let run path output period domains backend =
+  let run path output period domains backend obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
-           (Spice_ast.A_mismatch_dc { output; period });
+         with_obs obs (fun () ->
+             Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
+               (Spice_ast.A_mismatch_dc { output; period }));
          Ok ())
   in
   Cmd.v
@@ -124,7 +186,38 @@ let mismatch_cmd =
        ~doc:"Pseudo-noise mismatch analysis of a DC-like performance \
              (PSS + LPTV baseband)")
     Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ domains_arg
-               $ backend_arg))
+               $ backend_arg $ obs_term))
+
+let pnoise_cmd =
+  let harmonic_arg =
+    Arg.(value & opt int 0 & info [ "harmonic" ] ~docv:"N"
+           ~doc:"Sideband harmonic index (0 = baseband)")
+  in
+  let run path output period harmonic domains backend obs =
+    handle
+      (match read_deck path with
+       | Error e -> Error e
+       | Ok deck ->
+         match
+           with_obs obs (fun () ->
+               let circuit = deck.Spice_elab.circuit in
+               let ctx = Analysis.prepare ~domains ~backend circuit ~period in
+               Pnoise.analyze ~domains ctx.Analysis.lptv ~output ~harmonic
+                 ~sources:ctx.Analysis.sources)
+         with
+         | sb ->
+           Format.printf "%a@." Pnoise.pp_sideband sb;
+           Ok ()
+         | exception Pss.No_convergence msg -> Error msg
+         | exception Dc.No_convergence msg -> Error msg
+         | exception Newton.No_convergence msg -> Error msg)
+  in
+  Cmd.v
+    (Cmd.info "pnoise"
+       ~doc:"Periodic pseudo-noise analysis: mismatch sideband PSD at an \
+             output node, with per-source contributions")
+    Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ harmonic_arg
+               $ domains_arg $ backend_arg $ obs_term))
 
 let demo_cmd =
   let demos = [ ("comparator", `Comparator); ("logicpath", `Logicpath);
@@ -133,7 +226,8 @@ let demo_cmd =
     Arg.(value & pos 0 (enum demos) `Ringosc & info [] ~docv:"DEMO"
            ~doc:"comparator | logicpath | ringosc")
   in
-  let run which domains backend =
+  let run which domains backend obs =
+    with_obs obs @@ fun () ->
     match which with
     | `Comparator ->
       let params = Strongarm.default_params in
@@ -169,13 +263,13 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a built-in benchmark circuit analysis")
-    Term.(const run $ which $ domains_arg $ backend_arg)
+    Term.(const run $ which $ domains_arg $ backend_arg $ obs_term)
 
 let main =
   Cmd.group
     (Cmd.info "varsim" ~version:"1.0.0"
        ~doc:"Transient mismatch variation analysis via pseudo-noise LPTV \
              simulation")
-    [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; demo_cmd ]
+    [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd ]
 
 let () = exit (Cmd.eval main)

@@ -12,6 +12,7 @@ let timed f =
 
 let prepare ?(steps = 200) ?(f_offset = 1.0) ?warmup_periods ?(domains = 1)
     ?backend circuit ~period =
+  Obs.span "analysis.prepare" @@ fun () ->
   let pss = Pss.solve ~steps ?warmup_periods ?backend circuit ~period in
   let lptv = Lptv.build ~domains ?backend pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
@@ -29,6 +30,7 @@ let items_of_sideband ctx (sb : Pnoise.sideband) ~to_sensitivity =
     params
 
 let dc_variation ctx ~output =
+  Obs.span "analysis.dc_variation" @@ fun () ->
   let (sb, nominal), runtime =
     timed (fun () ->
         let sb =
@@ -99,6 +101,7 @@ let crossing_time ctx ~output ~crossing =
   t_c
 
 let delay_variation ctx ~output ~crossing =
+  Obs.span "analysis.delay_variation" @@ fun () ->
   let (k_c, t_c, slope), _ = timed (fun () -> locate_crossing ctx ~output ~crossing) in
   let sb, runtime =
     timed (fun () ->
@@ -114,6 +117,7 @@ let delay_variation ctx ~output ~crossing =
     ~items ~runtime
 
 let delay_variation_psd ctx ~output =
+  Obs.span "analysis.delay_variation_psd" @@ fun () ->
   let sb =
     Pnoise.analyze ~domains:ctx.domains ctx.lptv ~output ~harmonic:1
       ~sources:ctx.sources
@@ -130,6 +134,7 @@ let delay_variation_psd ctx ~output =
    P₁ = Σ|y₁,i|²σ_i². *)
 let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend
     (osc : Pss_osc.t) ~output =
+  Obs.span "analysis.frequency_variation_psd" @@ fun () ->
   let pss = osc.Pss_osc.pss in
   let lptv = Lptv.build ~domains ?backend pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
@@ -138,6 +143,7 @@ let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend
   4.0 *. f_offset *. sqrt (Float.max 0.0 sb.Pnoise.total_psd) /. amplitude
 
 let frequency_variation ?(steps = 200) ?backend circuit ~anchor ~f_guess =
+  Obs.span "analysis.frequency_variation" @@ fun () ->
   let (osc, rep), runtime =
     timed (fun () ->
         let osc = Pss_osc.solve ~steps ?backend circuit ~anchor ~f_guess in

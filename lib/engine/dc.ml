@@ -10,7 +10,7 @@ let default_options =
 
 exception No_convergence of string
 
-let attempt circuit ~sys ~singular ~options ~t ~gmin ~src_scale ~x0 =
+let attempt circuit ~sys ~singular ~last_fail ~options ~t ~gmin ~src_scale ~x0 =
   let eval ~x ~g =
     Stamp.eval circuit ~t ~gmin ~src_scale ~x ~g ~jac:(Some sys.Linsys.sink) ()
   in
@@ -18,12 +18,13 @@ let attempt circuit ~sys ~singular ~options ~t ~gmin ~src_scale ~x0 =
     Newton.solve ~eval ~sys ~x0 ~max_iter:options.max_iter
       ~abstol:options.abstol ~xtol:options.xtol ~max_step:0.5 ()
   in
+  if not r.Newton.converged then last_fail := Some r;
   (match r.Newton.singular_row with
    | Some k -> singular := Some k
    | None -> ());
   r
 
-let fail circuit singular what =
+let fail circuit singular last_fail what =
   let detail =
     match !singular with
     | Some k ->
@@ -31,13 +32,32 @@ let fail circuit singular what =
         (Circuit.row_name circuit k)
     | None -> what
   in
+  (* attach the failing Newton record so "did not converge" names the
+     worst unknown and shows where the residual stalled *)
+  let detail =
+    match !last_fail with
+    | Some (r : Newton.result) ->
+      let where =
+        match r.Newton.worst_row with
+        | Some k -> Printf.sprintf " at %s" (Circuit.row_name circuit k)
+        | None -> ""
+      in
+      Printf.sprintf
+        "%s: %d iterations, residual %.3g%s (trajectory %s)" detail
+        r.Newton.iterations r.Newton.residual_norm where
+        (Newton.history_string r.Newton.residual_history)
+    | None -> detail
+  in
   raise (No_convergence detail)
 
 let solve_at ?(options = default_options) ?backend ?x0 ~t circuit =
+  Obs.span "dc.solve" @@ fun () ->
+  Obs.count "dc.solves" 1;
   let n = Circuit.size circuit in
   let sys = Linsys.make ?backend circuit in
   let singular = ref None in
-  let attempt = attempt circuit ~sys ~singular ~options ~t in
+  let last_fail = ref None in
+  let attempt = attempt circuit ~sys ~singular ~last_fail ~options ~t in
   let x0 = match x0 with Some x -> Vec.copy x | None -> Vec.create n in
   (* 1. plain Newton with just the residual gmin *)
   let r = attempt ~gmin:options.gmin_final ~src_scale:1.0 ~x0 in
@@ -48,6 +68,7 @@ let solve_at ?(options = default_options) ?backend ?x0 ~t circuit =
     let ok = ref true in
     let gmin = ref 1e-2 in
     while !ok && !gmin > options.gmin_final *. 1.001 do
+      Obs.count "dc.gmin_steps" 1;
       let r = attempt ~gmin:!gmin ~src_scale:1.0 ~x0:!x in
       if r.Newton.converged then begin
         x := r.Newton.x;
@@ -58,7 +79,7 @@ let solve_at ?(options = default_options) ?backend ?x0 ~t circuit =
     if !ok then begin
       let r = attempt ~gmin:options.gmin_final ~src_scale:1.0 ~x0:!x in
       if r.Newton.converged then r.Newton.x
-      else fail circuit singular "gmin final"
+      else fail circuit singular last_fail "gmin final"
     end
     else begin
       (* 3. source stepping from 0 to 1 with a soft gmin *)
@@ -66,17 +87,18 @@ let solve_at ?(options = default_options) ?backend ?x0 ~t circuit =
       let steps = 20 in
       (try
          for k = 1 to steps do
+           Obs.count "dc.source_steps" 1;
            let scale = float_of_int k /. float_of_int steps in
            let r = attempt ~gmin:1e-9 ~src_scale:scale ~x0:!x in
            if r.Newton.converged then x := r.Newton.x
            else
-             fail circuit singular
+             fail circuit singular last_fail
                (Printf.sprintf "source stepping stalled at scale %.2f" scale)
          done
        with No_convergence _ as e -> raise e);
       let r = attempt ~gmin:options.gmin_final ~src_scale:1.0 ~x0:!x in
       if r.Newton.converged then r.Newton.x
-      else fail circuit singular "DC operating point"
+      else fail circuit singular last_fail "DC operating point"
     end
   end
 

@@ -39,9 +39,11 @@ let make ?(backend = Auto) circuit =
   let n = Circuit.size circuit in
   match choose backend n with
   | Sparse ->
+    Obs.count "linsys.sys.sparse" 1;
     let pat = Stamp.pattern circuit in
     { size = n; repr = Rsparse { pat; plan = None }; sink = Stamp.csr_sink pat }
   | Dense | Auto ->
+    Obs.count "linsys.sys.dense" 1;
     let m = Mat.create n n in
     { size = n; repr = Rdense m; sink = Stamp.dense_sink m }
 
@@ -53,13 +55,26 @@ let factorize sys =
     (* dense pivoting never permutes columns, so the failing elimination
        step k is the original unknown index *)
     match Lu.factorize m with
-    | lu -> Fdense lu
+    | lu ->
+      Obs.count "linsys.fact.dense" 1;
+      Fdense lu
     | exception Lu.Singular k -> raise (Singular_row k)
   end
   | Rsparse s -> begin
+    let done_ f =
+      (* replays vs. plans tells whether the KLU-style plan reuse is
+         actually paying off; fill-in is a gauge because it is a
+         property of the current plan, not an accumulating total *)
+      if Obs.enabled () then begin
+        Obs.count "linsys.fact.sparse" 1;
+        Obs.gauge "linsys.splu.nnz_lu" (float_of_int (Splu.nnz_lu f))
+      end;
+      Fsparse f
+    in
     let replan () =
       match Splu.plan s.pat with
       | p ->
+        Obs.count "linsys.splu.plans" 1;
         s.plan <- Some p;
         p
       | exception Splu.Singular k -> raise (Singular_row k)
@@ -68,18 +83,19 @@ let factorize sys =
     | None -> begin
       let p = replan () in
       match Splu.factorize p s.pat with
-      | f -> Fsparse f
+      | f -> done_ f
       | exception Splu.Singular k -> raise (Singular_row k)
     end
     | Some p -> begin
       match Splu.factorize p s.pat with
-      | f -> Fsparse f
+      | f -> done_ f
       | exception Splu.Singular _ -> begin
         (* the recorded pivot order went stale; re-plan on the current
            values and retry once *)
+        Obs.count "linsys.splu.replans" 1;
         let p = replan () in
         match Splu.factorize p s.pat with
-        | f -> Fsparse f
+        | f -> done_ f
         | exception Splu.Singular k -> raise (Singular_row k)
       end
     end

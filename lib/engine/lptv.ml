@@ -107,22 +107,26 @@ let a_transpose_apply_into ws ~solvers ~cmul ~k w dst =
   cmul_tapply_into ws cmul ws.ct1 dst
 
 let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
+  Obs.span "lptv.build" @@ fun () ->
   let circuit = pss.Pss.circuit in
   let n = Circuit.size circuit in
   let m = pss.Pss.steps in
+  Obs.count "lptv.builds" 1;
+  Obs.count "lptv.steps" m;
   let h = pss.Pss.period /. float_of_int m in
   let omega = 2.0 *. Float.pi *. f_offset in
   let c_over_h = Mat.scale (1.0 /. h) pss.Pss.c_mat in
   let backend = Linsys.choose (Option.value backend ~default:Linsys.Auto) n in
   Domain_pool.with_pool domains @@ fun pool ->
   let cmul, solvers =
+    Obs.span "lptv.factor_steps" @@ fun () ->
     match backend with
     | Linsys.Dense | Linsys.Auto ->
       (* factorize M_k = C(1/h + jω) + G(t_k) for k = 1..m — the m
          factorizations are independent; each lane stamps into its own
          g/jac workspace (a shared stamp buffer would be a data race) *)
       let clus = Array.make m None in
-      Domain_pool.parallel_for_ws pool m
+      Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
         ~init:(fun () -> (Vec.create n, Mat.create n n))
         (fun (g_buf, jac) i ->
           let k = i + 1 in
@@ -135,6 +139,7 @@ let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
                   (Mat.get jac r c +. Mat.get c_over_h r c)
                   (omega *. Mat.get pss.Pss.c_mat r c))
           in
+          Obs.count "lptv.fact.dense" 1;
           clus.(i) <- Some (Clu.factorize mk));
       let clus =
         Array.map (function Some c -> c | None -> assert false) clus
@@ -167,33 +172,37 @@ let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
         let zvals = Array.make nnz Cx.zero in
         stamp_into g_buf gcsr 1;
         zvals_at gcsr zvals;
+        Obs.count "lptv.csplu.plans" 1;
         Csplu.plan pat zvals
       in
       let fs = Array.make m None in
-      Domain_pool.parallel_for_ws pool m
+      Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
         ~init:(fun () ->
           (Vec.create n, Csr.copy pat, Array.make nnz Cx.zero))
         (fun (g_buf, gcsr, zvals) i ->
           let k = i + 1 in
           stamp_into g_buf gcsr k;
           zvals_at gcsr zvals;
+          Obs.count "lptv.fact.sparse" 1;
           fs.(i) <- Some (Csplu.factorize plan pat zvals));
       let fs = Array.map (function Some f -> f | None -> assert false) fs in
       (Cm_sparse (Csr.of_dense c_over_h), Ssparse fs)
   in
   (* Φ(ω) column by column (independent), then factorize I - Φ *)
   let phi = Cmat.create n n in
-  Domain_pool.parallel_for_ws pool n
-    ~init:(fun () -> (make_ws n, Cvec.create n))
-    (fun (ws, v) j ->
-      Cvec.fill v Cx.zero;
-      v.(j) <- Cx.one;
-      for k = 1 to m do
-        a_apply_into ws ~solvers ~cmul ~k v v
-      done;
-      for i = 0 to n - 1 do
-        Cmat.set phi i j v.(i)
-      done);
+  Obs.span "lptv.phi" (fun () ->
+      Domain_pool.parallel_for_ws pool n ~label:"lptv.phi"
+        ~init:(fun () -> (make_ws n, Cvec.create n))
+        (fun (ws, v) j ->
+          Cvec.fill v Cx.zero;
+          v.(j) <- Cx.one;
+          for k = 1 to m do
+            a_apply_into ws ~solvers ~cmul ~k v v
+          done;
+          for i = 0 to n - 1 do
+            Cmat.set phi i j v.(i)
+          done));
+  Obs.span "lptv.wrap" @@ fun () ->
   let wrap = Cmat.sub (Cmat.identity n) phi in
   { pss; f_offset; omega; n; m; h; cmul; solvers;
     wrap_lu = Clu.factorize wrap }
@@ -214,6 +223,7 @@ let rhs_of t ~k (inj : injection) =
 let solve_source t inj =
   (* particular forcing accumulated over one period from p_0 = 0:
      q_k = A_{k-1} q_{k-1} + M_k⁻¹ b_k; then (I - Φ)·p_0 = q_m *)
+  Obs.count "lptv.source_solves" 1;
   let ws = make_ws t.n in
   (* the per-step forced vectors M_k⁻¹ b_k are shared by the wrap pass
      and the final sweep — solve each only once *)
@@ -244,6 +254,7 @@ let solve_source t inj =
   p
 
 let harmonic_of_response t p ~row ~harmonic =
+  Obs.count "lptv.harmonics" 1;
   let s = ref Cx.zero in
   for k = 1 to t.m do
     let ang = -2.0 *. Float.pi *. float_of_int (harmonic * k) /. float_of_int t.m in
@@ -261,6 +272,7 @@ type functional = Cvec.t array
    [c_add k v] adds the output weight c_k into [v] — sparse functionals
    stay allocation-free this way. *)
 let adjoint_general t (c_add : int -> Cvec.t -> unit) : functional =
+  Obs.count "lptv.adjoint_solves" 1;
   let ws = make_ws t.n in
   let lam = Array.init (t.m + 1) (fun _ -> Cvec.create t.n) in
   let backward () =
@@ -285,6 +297,7 @@ let adjoint_general t (c_add : int -> Cvec.t -> unit) : functional =
       | Ssparse fs -> Csplu.solve_transpose fs.(i) lam.(i + 1))
 
 let adjoint_harmonic t ~row ~harmonic =
+  Obs.count "lptv.harmonics" 1;
   let weight = 1.0 /. float_of_int t.m in
   adjoint_general t (fun k v ->
       let ang =

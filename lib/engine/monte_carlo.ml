@@ -24,13 +24,15 @@ let run_sample ~seed ~transform ~params ~circuit ~measure index =
   match measure perturbed with row -> Some row | exception _ -> None
 
 let run ?(seed = 42) ?(domains = 1) ?transform ~n ~circuit ~measure () =
+  Obs.span "monte_carlo.run" @@ fun () ->
+  Obs.count "monte_carlo.samples" n;
   let t_start = Unix.gettimeofday () in
   let params = Circuit.mismatch_params circuit in
   let results = Array.make n None in
   (* each lane writes only its own sample slots; the (seed, index)
      derivation makes the stream independent of the lane count *)
   Domain_pool.with_pool domains (fun pool ->
-      Domain_pool.parallel_for pool n (fun i ->
+      Domain_pool.parallel_for pool n ~label:"monte_carlo.sample" (fun i ->
           results.(i) <- run_sample ~seed ~transform ~params ~circuit ~measure i));
   let collected = Array.to_list results |> List.filter_map (fun x -> x) in
   let values = Array.of_list collected in

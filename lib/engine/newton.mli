@@ -1,12 +1,21 @@
 (** Damped Newton–Raphson over a {!Linsys} backend.
 
-    Shared by the DC solver and the per-step transient solves. *)
+    Shared by the DC solver and the per-step transient solves.
+    Telemetry: each solve adds to the ["newton.solves"],
+    ["newton.iterations"], ["newton.failures"] and
+    ["newton.damping_events"] counters when {!Obs.enabled}. *)
 
 type result = {
   x : Vec.t;
   iterations : int;
   converged : bool;
   residual_norm : float;
+  residual_history : float array;
+      (** infinity-norm residual at each iterate, oldest first — kept so
+          non-convergence can be diagnosed instead of discarded *)
+  worst_row : int option;
+      (** on failure, the unknown with the largest final residual — see
+          {!Circuit.row_name}; [None] on success *)
   last_fact : Linsys.rfact option;
       (** factorization of the Jacobian at the solution, reusable by
           variational/monodromy propagation *)
@@ -16,6 +25,10 @@ type result = {
 }
 
 exception No_convergence of string
+
+val history_string : ?max_entries:int -> float array -> string
+(** Compact ["… 1e-2 -> 3e-4 -> 2e-5"] rendering of a residual
+    trajectory (last [max_entries], default 6) for error messages. *)
 
 val solve :
   eval:(x:Vec.t -> g:Vec.t -> unit) ->

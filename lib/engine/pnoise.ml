@@ -19,9 +19,11 @@ type sideband = {
 }
 
 let mismatch_sources lptv =
+  Obs.span "pnoise.sources" @@ fun () ->
   let pss = Lptv.pss lptv in
   let circuit = pss.Pss.circuit in
   let params = Circuit.mismatch_params circuit in
+  Obs.count "pnoise.sources_stamped" (Array.length params);
   let m = Lptv.steps lptv in
   (* backward-difference state derivatives, computed once and shared by
      every ΔC source's injection closure *)
@@ -49,6 +51,7 @@ let mismatch_sources lptv =
     params
 
 let physical_sources ?temp lptv =
+  Obs.span "pnoise.sources" @@ fun () ->
   let pss = Lptv.pss lptv in
   let circuit = pss.Pss.circuit in
   (* enumerate the bias-dependent source list once per grid step and
@@ -65,6 +68,7 @@ let physical_sources ?temp lptv =
           Array.of_list
             (Stamp.noise_sources circuit ~x:pss.Pss.states.(k) ?temp ()))
   in
+  Obs.count "pnoise.sources_stamped" (Array.length per_step.(1));
   Array.mapi
     (fun idx (ns : Stamp.noise_source) ->
       let inject k =
@@ -80,9 +84,11 @@ let physical_sources ?temp lptv =
     per_step.(1)
 
 let finish ?(domains = 1) ~output ~harmonic ~f_offset ~lam ~sources () =
+  Obs.count "pnoise.transfers" (Array.length sources);
   let contributions =
     Domain_pool.with_pool domains @@ fun pool ->
-    Domain_pool.parallel_init pool (Array.length sources) (fun i ->
+    Domain_pool.parallel_init pool (Array.length sources)
+      ~label:"pnoise.transfer" (fun i ->
         let src = sources.(i) in
         let tf = Lptv.apply lam src.src_inject in
         { source = src; transfer = tf; share = Cx.abs2 tf *. src.src_psd })
@@ -91,6 +97,7 @@ let finish ?(domains = 1) ~output ~harmonic ~f_offset ~lam ~sources () =
   { output; harmonic; f_offset; total_psd = total; contributions }
 
 let analyze ?domains lptv ~output ~harmonic ~sources =
+  Obs.span "pnoise.analyze" @@ fun () ->
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let lam = Lptv.adjoint_harmonic lptv ~row ~harmonic in
@@ -98,6 +105,7 @@ let analyze ?domains lptv ~output ~harmonic ~sources =
     ~sources ()
 
 let analyze_sample ?domains lptv ~output ~k ~sources =
+  Obs.span "pnoise.analyze" @@ fun () ->
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let lam = Lptv.adjoint_sample lptv ~row ~k in
@@ -105,6 +113,7 @@ let analyze_sample ?domains lptv ~output ~k ~sources =
     ~sources ()
 
 let sigma_waveform ?(domains = 1) lptv ~output ~sources =
+  Obs.span "pnoise.sigma_waveform" @@ fun () ->
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let m = Lptv.steps lptv in
@@ -113,7 +122,8 @@ let sigma_waveform ?(domains = 1) lptv ~output ~sources =
      source order so the result is independent of the lane count *)
   let rows =
     Domain_pool.with_pool domains @@ fun pool ->
-    Domain_pool.parallel_init pool (Array.length sources) (fun i ->
+    Domain_pool.parallel_init pool (Array.length sources)
+      ~label:"pnoise.solve_source" (fun i ->
         let src = sources.(i) in
         let p = Lptv.solve_source lptv src.src_inject in
         Array.init m (fun j -> Cx.abs2 p.(j + 1).(row) *. src.src_psd))

@@ -30,11 +30,20 @@ let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0
       Tran.step ~options:tran_options ~circuit ~sys ~c_mat:c_rmat
         ~x_prev:states.(k) ~t_prev:times.(k) ~t_next:times.(k + 1) ()
     in
-    if not r.Newton.converged then
+    if not r.Newton.converged then begin
+      let where =
+        match r.Newton.worst_row with
+        | Some j -> Printf.sprintf " at %s" (Circuit.row_name circuit j)
+        | None -> ""
+      in
       raise
         (No_convergence
-           (Printf.sprintf "PSS sweep: step at t=%.4g did not converge"
-              times.(k + 1)));
+           (Printf.sprintf
+              "PSS sweep: step at t=%.4g did not converge: residual %.3g%s \
+               (trajectory %s)"
+              times.(k + 1) r.Newton.residual_norm where
+              (Newton.history_string r.Newton.residual_history)))
+    end;
     states.(k + 1) <- r.Newton.x;
     let fact =
       match r.Newton.last_fact with
@@ -62,6 +71,8 @@ let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0
 
 let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
     ?(warmup_periods = 2) circuit ~period =
+  Obs.span "pss.solve" @@ fun () ->
+  Obs.count "pss.solves" 1;
   let c_mat = Stamp.c_matrix circuit in
   let sys = Linsys.make ?backend circuit in
   let tran_options = Tran.default_options in
@@ -83,14 +94,18 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
   in
   let n = Vec.dim x_init in
   let x0 = ref x_init in
+  let rhist = ref [] in
   let rec iterate iter =
     let times, states, facts, mono =
+      Obs.span "pss.sweep" @@ fun () ->
       sweep ~circuit ~sys ~c_mat ~tran_options ~t0:0.0 ~period ~steps ~x0:!x0
         ~want_monodromy:true
     in
+    Obs.count "pss.sweep_steps" steps;
     let mono = match mono with Some m -> m | None -> assert false in
     let r = Vec.sub states.(steps) !x0 in
     let rnorm = Vec.norm_inf r in
+    rhist := rnorm :: !rhist;
     if rnorm < tol then
       {
         circuit; period; steps; times; states; c_mat; sys; step_facts = facts;
@@ -99,9 +114,13 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
     else if iter >= max_iter then
       raise
         (No_convergence
-           (Printf.sprintf "PSS shooting stalled: residual %.3g after %d iters"
-              rnorm iter))
+           (Printf.sprintf
+              "PSS shooting stalled: residual %.3g after %d iters \
+               (trajectory %s)"
+              rnorm iter
+              (Newton.history_string (Array.of_list (List.rev !rhist)))))
     else begin
+      Obs.count "pss.shooting_iterations" 1;
       (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
       let j = Mat.sub mono (Mat.identity n) in
       let delta =

@@ -46,9 +46,12 @@ let warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps =
 
 let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
     ?backend circuit ~anchor ~f_guess =
+  Obs.span "pss_osc.solve" @@ fun () ->
+  Obs.count "pss_osc.solves" 1;
   let c_mat = Stamp.c_matrix circuit in
   let sys = Linsys.make ?backend circuit in
   let x_start, period0 =
+    Obs.span "pss_osc.warmup" @@ fun () ->
     warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps
   in
   let n = Vec.dim x_start in
@@ -56,19 +59,27 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
   let anchor_value = x_start.(anchor_row) in
   let x0 = ref x_start in
   let period = ref period0 in
+  let rhist = ref [] in
   let rec iterate iter =
     if iter > max_iter then
-      raise (No_convergence "oscillator shooting: too many iterations");
+      raise
+        (No_convergence
+           (Printf.sprintf
+              "oscillator shooting: too many iterations (trajectory %s)"
+              (Newton.history_string (Array.of_list (List.rev !rhist)))));
     let times, states, facts, mono =
       try
+        Obs.span "pss.sweep" @@ fun () ->
         Pss.sweep ~circuit ~sys ~c_mat ~tran_options:Tran.default_options
           ~t0:0.0 ~period:!period ~steps ~x0:!x0 ~want_monodromy:true
       with Pss.No_convergence m -> raise (No_convergence m)
     in
+    Obs.count "pss.sweep_steps" steps;
     let mono = match mono with Some m -> m | None -> assert false in
     let r = Vec.sub states.(steps) !x0 in
     let a_res = !x0.(anchor_row) -. anchor_value in
     let rnorm = Float.max (Vec.norm_inf r) (Float.abs a_res) in
+    rhist := rnorm :: !rhist;
     if rnorm < tol then begin
       let pss =
         {
@@ -80,6 +91,7 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
       { pss; frequency = 1.0 /. !period; anchor_row; anchor_value }
     end
     else begin
+      Obs.count "pss_osc.shooting_iterations" 1;
       (* augmented Newton step on (x0, T) *)
       let h = !period /. float_of_int steps in
       let xdot_t = Vec.scale (1.0 /. h) (Vec.sub states.(steps) states.(steps - 1)) in

@@ -90,9 +90,13 @@ let step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next
 (* advance from (t_prev, x_prev) to t_next, halving on Newton failure *)
 let rec advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ~depth =
   let r = step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next () in
-  if r.Newton.converged then r.Newton.x
+  if r.Newton.converged then begin
+    Obs.count "tran.steps" 1;
+    r.Newton.x
+  end
   else if depth >= options.max_halvings then raise (Step_failed t_next)
   else begin
+    Obs.count "tran.rejected_steps" 1;
     let t_mid = 0.5 *. (t_prev +. t_next) in
     let x_mid =
       advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next:t_mid
@@ -105,6 +109,8 @@ let rec advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ~depth =
 let run ?(options = default_options) ?backend ?x0 ?(record = true) circuit
     ~tstart ~tstop ~dt () =
   if dt <= 0.0 || tstop <= tstart then invalid_arg "Tran.run: bad time grid";
+  Obs.span "tran.run" @@ fun () ->
+  Obs.count "tran.runs" 1;
   let sys = Linsys.make ?backend circuit in
   let c_mat = Linsys.cmat_of sys (Stamp.c_matrix circuit) in
   let x0 =

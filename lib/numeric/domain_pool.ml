@@ -18,6 +18,7 @@ type job = {
   next : int Atomic.t;
   hi : int;
   chunk : int;
+  label : string; (* telemetry name for the per-lane trace slices *)
 }
 
 type t = {
@@ -41,10 +42,17 @@ let record_failure t e =
 (* Claim and run chunks until the job is drained.  The lane body is only
    built once the lane has actually claimed work.  On an exception the
    lane stops claiming (the failure is re-raised by the publisher);
-   other lanes drain the remaining indices. *)
-let drain t (job : job) =
+   other lanes drain the remaining indices.
+
+   [lane] is the caller-relative lane index (publisher = 0, workers
+   1..lanes-1); when telemetry is enabled each lane reports one trace
+   slice per job on its own track plus its claimed-index count, which
+   is how lane imbalance becomes visible (docs/observability.md). *)
+let drain t ~lane (job : job) =
   let body = ref None in
   let live = ref true in
+  let items = ref 0 in
+  let t0 = if Obs.enabled () then Obs.now () else 0.0 in
   while !live do
     let i = Atomic.fetch_and_add job.next job.chunk in
     if i >= job.hi then live := false
@@ -57,17 +65,23 @@ let drain t (job : job) =
           body := Some b;
           b
       in
+      let hi = Stdlib.min job.hi (i + job.chunk) in
+      items := !items + (hi - i);
       try
-        for j = i to Stdlib.min job.hi (i + job.chunk) - 1 do
+        for j = i to hi - 1 do
           b j
         done
       with e ->
         record_failure t e;
         live := false
     end
-  done
+  done;
+  if Obs.enabled () && !items > 0 then begin
+    Obs.lane_slice ~lane ~name:job.label ~t0 ~t1:(Obs.now ());
+    Obs.lane_items ~lane !items
+  end
 
-let worker t =
+let worker t ~lane =
   let my_gen = ref 0 in
   let live = ref true in
   while !live do
@@ -84,7 +98,7 @@ let worker t =
       let job = t.job in
       t.running <- t.running + 1;
       Mutex.unlock t.mutex;
-      (match job with Some j -> drain t j | None -> ());
+      (match job with Some j -> drain t ~lane j | None -> ());
       Mutex.lock t.mutex;
       t.running <- t.running - 1;
       if t.running = 0 then Condition.broadcast t.idle;
@@ -108,7 +122,12 @@ let create lanes =
       workers = [];
     }
   in
-  t.workers <- List.init (lanes - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t.workers <-
+    List.init (lanes - 1) (fun i ->
+        Domain.spawn (fun () -> worker t ~lane:(i + 1)));
+  (* every lane gets a trace track up front; a run too small for a
+     worker to claim a chunk still shows the idle lane *)
+  Obs.announce_lanes lanes;
   t
 
 let size t = t.lanes
@@ -125,14 +144,19 @@ let with_pool lanes f =
   let t = create lanes in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let parallel_for_ws t ?(chunk = 1) n ~init body =
+let parallel_for_ws t ?(chunk = 1) ?(label = "pool.job") n ~init body =
   if chunk < 1 then invalid_arg "Domain_pool.parallel_for_ws: chunk < 1";
   if n > 0 then begin
     if n = 1 || t.workers = [] then begin
+      let t0 = if Obs.enabled () then Obs.now () else 0.0 in
       let ws = init () in
       for i = 0 to n - 1 do
         body ws i
-      done
+      done;
+      if Obs.enabled () then begin
+        Obs.lane_slice ~lane:0 ~name:label ~t0 ~t1:(Obs.now ());
+        Obs.lane_items ~lane:0 n
+      end
     end
     else begin
       let job =
@@ -144,6 +168,7 @@ let parallel_for_ws t ?(chunk = 1) n ~init body =
           next = Atomic.make 0;
           hi = n;
           chunk;
+          label;
         }
       in
       Mutex.lock t.mutex;
@@ -152,7 +177,7 @@ let parallel_for_ws t ?(chunk = 1) n ~init body =
       t.gen <- t.gen + 1;
       Condition.broadcast t.work;
       Mutex.unlock t.mutex;
-      drain t job;
+      drain t ~lane:0 job;
       Mutex.lock t.mutex;
       while t.running > 0 do
         Condition.wait t.idle t.mutex
@@ -165,14 +190,14 @@ let parallel_for_ws t ?(chunk = 1) n ~init body =
     end
   end
 
-let parallel_for t ?chunk n body =
-  parallel_for_ws t ?chunk n ~init:(fun () -> ()) (fun () i -> body i)
+let parallel_for t ?chunk ?label n body =
+  parallel_for_ws t ?chunk ?label n ~init:(fun () -> ()) (fun () i -> body i)
 
-let parallel_init t ?chunk n f =
+let parallel_init t ?chunk ?label n f =
   if n = 0 then [||]
   else begin
     let out = Array.make n None in
-    parallel_for t ?chunk n (fun i -> out.(i) <- Some (f i));
+    parallel_for t ?chunk ?label n (fun i -> out.(i) <- Some (f i));
     Array.map (function Some x -> x | None -> assert false) out
   end
 

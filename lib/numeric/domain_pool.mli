@@ -31,21 +31,25 @@ val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool lanes f] runs [f] with a fresh pool and always shuts it
     down, including on exceptions. *)
 
-val parallel_for : t -> ?chunk:int -> int -> (int -> unit) -> unit
+val parallel_for : t -> ?chunk:int -> ?label:string -> int -> (int -> unit) -> unit
 (** [parallel_for pool n body] runs [body i] for [i] in [0, n), spread
     over the pool's lanes; returns when all indices have completed.
     [chunk] (default 1) indices are claimed at a time.  If any [body]
     raises, the first exception is re-raised in the caller after the
-    range drains; remaining indices may or may not have run. *)
+    range drains; remaining indices may or may not have run.  [label]
+    (default ["pool.job"]) names the per-lane telemetry slices this job
+    emits when {!Obs.enabled}; telemetry never changes scheduling or
+    results. *)
 
 val parallel_for_ws :
-  t -> ?chunk:int -> int -> init:(unit -> 'ws) -> ('ws -> int -> unit) -> unit
+  t -> ?chunk:int -> ?label:string -> int -> init:(unit -> 'ws) ->
+  ('ws -> int -> unit) -> unit
 (** Like {!parallel_for}, but each participating lane calls [init] once
     (lazily, on its first claimed chunk) and threads the result through
     its iterations — the hook for per-lane scratch workspaces that must
     not be shared across domains. *)
 
-val parallel_init : t -> ?chunk:int -> int -> (int -> 'a) -> 'a array
+val parallel_init : t -> ?chunk:int -> ?label:string -> int -> (int -> 'a) -> 'a array
 (** [parallel_init pool n f] is [Array.init n f] with the elements
     computed in parallel ([f] must tolerate out-of-order evaluation). *)
 

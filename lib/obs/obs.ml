@@ -1,0 +1,411 @@
+exception Misuse of string
+
+let debug = ref false
+let on = ref false
+let enabled () = !on
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------ span tree *)
+
+(* Children with the same name under one parent share a node, so
+   per-timestep spans aggregate instead of growing the tree without
+   bound.  A node is mutated only by the domain that owns its context,
+   so tree operations need no lock. *)
+type node = {
+  nname : string;
+  mutable ncalls : int; (* completed activations *)
+  mutable nwall : float; (* total wall seconds of completed activations *)
+  mutable nchildren : node list; (* newest-first; reversed on export *)
+}
+
+let new_node name = { nname = name; ncalls = 0; nwall = 0.0; nchildren = [] }
+
+type ctx = {
+  cid : int; (* Domain id, for trace track assignment *)
+  croot : node; (* synthetic per-domain container *)
+  mutable cstack : (node * float) list; (* open spans: node, start time *)
+}
+
+(* ------------------------------------------------------------ global state *)
+
+let mu = Mutex.create ()
+let t_epoch = ref 0.0
+let owner : int option ref = ref None (* domain that called enable *)
+let root_open = ref false
+let ctxs : ctx list ref = ref []
+let counters_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 64
+let gauges_tbl : (string, float) Hashtbl.t = Hashtbl.create 16
+
+type ev = { ev_name : string; ev_tid : int; ev_ts : float; ev_dur : float }
+
+let events : ev list ref = ref [] (* newest-first *)
+let tracks : (int, string) Hashtbl.t = Hashtbl.create 8
+let progress : (string -> [ `Begin | `End of float ] -> unit) option ref =
+  ref None
+
+let set_progress f = progress := f
+
+let ctx_key =
+  Domain.DLS.new_key (fun () ->
+      let c =
+        { cid = (Domain.self () :> int); croot = new_node "(session)";
+          cstack = [] }
+      in
+      Mutex.lock mu;
+      ctxs := c :: !ctxs;
+      Mutex.unlock mu;
+      c)
+
+let clear_ctx c =
+  c.cstack <- [];
+  c.croot.ncalls <- 0;
+  c.croot.nwall <- 0.0;
+  c.croot.nchildren <- []
+
+let reset () =
+  Mutex.lock mu;
+  Hashtbl.reset counters_tbl;
+  Hashtbl.reset gauges_tbl;
+  Hashtbl.reset tracks;
+  events := [];
+  root_open := false;
+  List.iter clear_ctx !ctxs;
+  t_epoch := now ();
+  Mutex.unlock mu
+
+let enable () =
+  reset ();
+  owner := Some (Domain.self () :> int);
+  (* the owner's track is created eagerly so the trace always has a
+     named "main" track even if no lane work happens *)
+  ignore (Domain.DLS.get ctx_key);
+  Hashtbl.replace tracks 0 "main";
+  on := true
+
+let disable () = on := false
+
+(* ------------------------------------------------------------ spans *)
+
+let is_owner c = match !owner with Some id -> id = c.cid | None -> false
+let progress_depth = 2
+
+let find_or_add parent name =
+  let rec find = function
+    | [] ->
+      let n = new_node name in
+      parent.nchildren <- n :: parent.nchildren;
+      n
+    | n :: rest -> if String.equal n.nname name then n else find rest
+  in
+  find parent.nchildren
+
+let span_begin name =
+  if !on then begin
+    let c = Domain.DLS.get ctx_key in
+    let depth = List.length c.cstack in
+    let parent =
+      match c.cstack with (n, _) :: _ -> n | [] -> c.croot
+    in
+    let node = find_or_add parent name in
+    c.cstack <- (node, now ()) :: c.cstack;
+    match !progress with
+    | Some f when is_owner c && depth < progress_depth -> f name `Begin
+    | _ -> ()
+  end
+
+let emit_span_event c name ~ts ~dur =
+  let tid = if is_owner c then 0 else 500 + c.cid in
+  Mutex.lock mu;
+  if tid <> 0 && not (Hashtbl.mem tracks tid) then
+    Hashtbl.replace tracks tid (Printf.sprintf "domain %d" c.cid);
+  events :=
+    { ev_name = name; ev_tid = tid; ev_ts = (ts -. !t_epoch) *. 1e6;
+      ev_dur = dur *. 1e6 }
+    :: !events;
+  Mutex.unlock mu
+
+let span_end name =
+  if !on then begin
+    let c = Domain.DLS.get ctx_key in
+    match c.cstack with
+    | [] ->
+      if !debug then
+        raise (Misuse (Printf.sprintf "span_end %S with no open span" name))
+    | (node, ts) :: rest ->
+      if !debug && not (String.equal node.nname name) then
+        raise
+          (Misuse
+             (Printf.sprintf "span_end %S does not match open span %S" name
+                node.nname));
+      c.cstack <- rest;
+      let dt = now () -. ts in
+      node.ncalls <- node.ncalls + 1;
+      node.nwall <- node.nwall +. dt;
+      emit_span_event c node.nname ~ts ~dur:dt;
+      (match !progress with
+       | Some f when is_owner c && List.length rest < progress_depth ->
+         f node.nname (`End dt)
+       | _ -> ())
+  end
+
+let span name f =
+  if not !on then f ()
+  else begin
+    span_begin name;
+    match f () with
+    | y ->
+      span_end name;
+      y
+    | exception e ->
+      span_end name;
+      raise e
+  end
+
+let root name f =
+  if not !on then f ()
+  else begin
+    Mutex.lock mu;
+    let already = !root_open in
+    if not already then root_open := true;
+    Mutex.unlock mu;
+    if already then begin
+      if !debug then raise (Misuse "root span opened while a root is open");
+      span name f
+    end
+    else
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock mu;
+          root_open := false;
+          Mutex.unlock mu)
+        (fun () -> span name f)
+  end
+
+(* ------------------------------------------------------- counters/gauges *)
+
+let count name n =
+  if !on then begin
+    Mutex.lock mu;
+    (match Hashtbl.find_opt counters_tbl name with
+     | Some r -> r := !r + n
+     | None -> Hashtbl.add counters_tbl name (ref n));
+    Mutex.unlock mu
+  end
+
+let gauge name v =
+  if !on then begin
+    Mutex.lock mu;
+    Hashtbl.replace gauges_tbl name v;
+    Mutex.unlock mu
+  end
+
+let counter_value name =
+  Mutex.lock mu;
+  let v =
+    match Hashtbl.find_opt counters_tbl name with Some r -> !r | None -> 0
+  in
+  Mutex.unlock mu;
+  v
+
+(* ------------------------------------------------------------ lane hooks *)
+
+let lane_tid lane = 100 + lane
+
+(* hot-path counter names are preallocated so an enabled run does not
+   build a fresh string per pool chunk *)
+let lane_counter_names =
+  Array.init 64 (fun k -> Printf.sprintf "pool.lane%d.items" k)
+
+let lane_counter lane =
+  if lane >= 0 && lane < Array.length lane_counter_names then
+    lane_counter_names.(lane)
+  else Printf.sprintf "pool.lane%d.items" lane
+
+let announce_lanes n =
+  if !on then begin
+    Mutex.lock mu;
+    for lane = 0 to n - 1 do
+      let tid = lane_tid lane in
+      if not (Hashtbl.mem tracks tid) then
+        Hashtbl.replace tracks tid (Printf.sprintf "lane %d" lane)
+    done;
+    Mutex.unlock mu
+  end
+
+let lane_slice ~lane ~name ~t0 ~t1 =
+  if !on then begin
+    let tid = lane_tid lane in
+    Mutex.lock mu;
+    if not (Hashtbl.mem tracks tid) then
+      Hashtbl.replace tracks tid (Printf.sprintf "lane %d" lane);
+    events :=
+      { ev_name = name; ev_tid = tid; ev_ts = (t0 -. !t_epoch) *. 1e6;
+        ev_dur = (t1 -. t0) *. 1e6 }
+      :: !events;
+    Mutex.unlock mu
+  end
+
+let lane_items ~lane n = count (lane_counter lane) n
+
+(* ------------------------------------------------------------- snapshots *)
+
+type span_tree = {
+  span_name : string;
+  calls : int;
+  wall_s : float;
+  children : span_tree list;
+}
+
+let rec tree_of_node n =
+  {
+    span_name = n.nname;
+    calls = n.ncalls;
+    wall_s = n.nwall;
+    children =
+      List.rev_map tree_of_node n.nchildren
+      |> List.filter (fun t -> t.calls > 0 || t.children <> []);
+  }
+
+let owner_ctx () =
+  Mutex.lock mu;
+  let c =
+    match !owner with
+    | None -> None
+    | Some id -> List.find_opt (fun c -> c.cid = id) !ctxs
+  in
+  Mutex.unlock mu;
+  c
+
+let snapshot_spans () =
+  match owner_ctx () with
+  | None -> []
+  | Some c -> (tree_of_node c.croot).children
+
+let counters () =
+  Mutex.lock mu;
+  let xs =
+    Hashtbl.fold (fun name r acc -> (name, !r) :: acc) counters_tbl []
+  in
+  Mutex.unlock mu;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+let gauges () =
+  Mutex.lock mu;
+  let xs = Hashtbl.fold (fun name v acc -> (name, v) :: acc) gauges_tbl [] in
+  Mutex.unlock mu;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) xs
+
+(* ------------------------------------------------------------ JSON export *)
+
+let buf_escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec buf_span b t =
+  Buffer.add_string b "{\"name\": ";
+  buf_escape b t.span_name;
+  Buffer.add_string b (Printf.sprintf ", \"calls\": %d" t.calls);
+  Buffer.add_string b (Printf.sprintf ", \"wall_s\": %.9f" t.wall_s);
+  Buffer.add_string b ", \"children\": [";
+  List.iteri
+    (fun i c ->
+      if i > 0 then Buffer.add_string b ", ";
+      buf_span b c)
+    t.children;
+  Buffer.add_string b "]}"
+
+let metrics_json () =
+  let tops = snapshot_spans () in
+  let root =
+    match tops with
+    | [ t ] -> t
+    | ts ->
+      {
+        span_name = "(session)";
+        calls = 1;
+        wall_s = List.fold_left (fun a t -> a +. t.wall_s) 0.0 ts;
+        children = ts;
+      }
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"root\": ";
+  buf_span b root;
+  Buffer.add_string b ",\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      buf_escape b name;
+      Buffer.add_string b (Printf.sprintf ": %d" v))
+    (counters ());
+  Buffer.add_string b "\n  },\n  \"gauges\": {";
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "\n    ";
+      buf_escape b name;
+      Buffer.add_string b (Printf.sprintf ": %.17g" v))
+    (gauges ());
+  Buffer.add_string b "\n  }\n}\n";
+  Buffer.contents b
+
+let trace_json () =
+  Mutex.lock mu;
+  let evs = List.rev !events in
+  let trks =
+    Hashtbl.fold (fun tid name acc -> (tid, name) :: acc) tracks []
+    |> List.sort compare
+  in
+  Mutex.unlock mu;
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string b ",\n"
+  in
+  sep ();
+  Buffer.add_string b
+    " {\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \
+     \"args\": {\"name\": \"varsim\"}}";
+  List.iter
+    (fun (tid, name) ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf
+           " {\"ph\": \"M\", \"pid\": 1, \"tid\": %d, \"name\": \
+            \"thread_name\", \"args\": {\"name\": " tid);
+      buf_escape b name;
+      Buffer.add_string b "}}")
+    trks;
+  List.iter
+    (fun e ->
+      sep ();
+      Buffer.add_string b
+        (Printf.sprintf " {\"ph\": \"X\", \"pid\": 1, \"tid\": %d, \"ts\": \
+                         %.3f, \"dur\": %.3f, \"name\": " e.ev_tid e.ev_ts
+           e.ev_dur);
+      buf_escape b e.ev_name;
+      Buffer.add_string b "}")
+    evs;
+  Buffer.add_string b "\n]}\n";
+  Buffer.contents b
+
+let write_file path contents =
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc
+
+let write_metrics path = write_file path (metrics_json ())
+let write_trace path = write_file path (trace_json ())

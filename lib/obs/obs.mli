@@ -1,0 +1,126 @@
+(** Engine telemetry: hierarchical timed spans, monotonic counters and
+    gauges, with structured-JSON metrics and Chrome trace-event export.
+
+    Design constraints (docs/observability.md):
+
+    - The disabled path is a few branch instructions: every primitive
+      starts with [if not (enabled ()) then ...] and performs no
+      allocation, takes no lock, and reads no clock when telemetry is
+      off.  Analyses therefore stay bit-identical and within noise of
+      their untelemetered wall time.
+    - Telemetry never feeds back into the numerics: primitives only
+      record, so results are bit-identical with telemetry on or off.
+    - Spans are per-domain (via [Domain.DLS]); counters, gauges and
+      trace events are global and mutex-protected, so recording from
+      {!Domain_pool} worker lanes is safe.
+
+    Naming convention: dotted lowercase ["subsystem.what"], e.g.
+    ["newton.iterations"], ["lptv.fact.sparse"], ["pool.lane0.items"]. *)
+
+exception Misuse of string
+(** Raised (only when {!debug} is set) on span misuse: ending a span
+    when none is open, ending a span whose name does not match the
+    innermost open span, or opening a second {!root} span. *)
+
+val debug : bool ref
+(** When true, span misuse raises {!Misuse}; when false (default),
+    misuse is ignored so a release build can never corrupt the tree. *)
+
+val enabled : unit -> bool
+val enable : unit -> unit
+(** Reset all recorded state and start recording.  The calling domain
+    becomes the owner of the exported span tree. *)
+
+val disable : unit -> unit
+(** Stop recording.  Already-recorded state stays exportable. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans, counters, gauges and trace events. *)
+
+val now : unit -> float
+(** Wall-clock seconds ([Unix.gettimeofday]); exposed for callers that
+    time a region themselves and report it via {!lane_slice}. *)
+
+(** {1 Spans} *)
+
+val span : string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] inside a timed span.  Children with the same
+    name under the same parent are merged (call count + total wall
+    time), so per-step spans stay bounded in the export.  Exception
+    safe: the span closes when [f] raises. *)
+
+val root : string -> (unit -> 'a) -> 'a
+(** Like {!span} but marks the span as the analysis root.  Opening a
+    second root (nested or concurrent) raises {!Misuse} in debug and
+    degrades to a plain span otherwise. *)
+
+val span_begin : string -> unit
+val span_end : string -> unit
+(** Explicit span bracket for callers that cannot use the combinator.
+    [span_end name] must match the innermost open span; see {!Misuse}. *)
+
+(** {1 Counters and gauges} *)
+
+val count : string -> int -> unit
+(** [count name n] adds [n] to the monotonic counter [name]. *)
+
+val gauge : string -> float -> unit
+(** [gauge name v] records the latest value of [name] (last write
+    wins). *)
+
+val counter_value : string -> int
+(** Current value, 0 when never written. *)
+
+(** {1 Domain-pool lane hooks} *)
+
+val announce_lanes : int -> unit
+(** Register trace tracks ["lane 0"] .. ["lane n-1"] eagerly, so every
+    pool lane has a track even when a run is too small for a lane to
+    claim any work.  Called by [Domain_pool.create]. *)
+
+val lane_slice : lane:int -> name:string -> t0:float -> t1:float -> unit
+(** Record a trace slice on the per-lane track ["lane <k>"] — one per
+    lane per pool job, so lane imbalance is visible in the trace. *)
+
+val lane_items : lane:int -> int -> unit
+(** Add to the per-lane work counter ["pool.lane<k>.items"]. *)
+
+(** {1 Progress reporting} *)
+
+val set_progress : (string -> [ `Begin | `End of float ] -> unit) option -> unit
+(** Install a live phase callback, invoked on begin/end of spans at
+    nesting depth <= 2 on the owner domain ([`End] carries the span's
+    wall seconds).  [None] uninstalls. *)
+
+(** {1 Snapshots and export} *)
+
+type span_tree = {
+  span_name : string;
+  calls : int;  (** completed activations merged into this node *)
+  wall_s : float;  (** total wall seconds across those activations *)
+  children : span_tree list;  (** in first-opened order *)
+}
+
+val snapshot_spans : unit -> span_tree list
+(** Completed top-level spans of the owner domain, in opening order.
+    Spans still open are not included. *)
+
+val counters : unit -> (string * int) list
+(** All counters, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+
+val metrics_json : unit -> string
+(** Structured metrics: [{"root": <span tree>, "counters": {...},
+    "gauges": {...}}].  When exactly one top-level span was recorded
+    (the normal {!root} case) it is promoted to ["root"]; otherwise a
+    synthetic ["(session)"] node wraps the top-level spans. *)
+
+val trace_json : unit -> string
+(** Chrome trace-event JSON (load in [chrome://tracing] or Perfetto):
+    one ["X"] event per completed span / pool-lane job slice, with
+    thread-name metadata naming track 0 ["main"] and each pool lane
+    ["lane <k>"]. *)
+
+val write_metrics : string -> unit
+val write_trace : string -> unit

@@ -1,0 +1,31 @@
+(** Minimal JSON reader for validating telemetry exports.
+
+    Parses the JSON subset the telemetry writers emit (objects, arrays,
+    strings with the common escapes, numbers, booleans, null) — enough
+    for tests and smoke checks to assert well-formedness and pull
+    fields out of {!Obs.metrics_json} / {!Obs.trace_json} without an
+    external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+(** Position-annotated description of the first syntax error. *)
+
+val parse : string -> t
+(** Parse a complete JSON document (trailing whitespace allowed,
+    trailing garbage rejected).  Raises {!Parse_error}. *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on missing field or non-object. *)
+
+val to_list : t -> t list
+(** The elements of a [List]; raises [Invalid_argument] otherwise. *)
+
+val to_num : t -> float
+val to_string : t -> string

@@ -1,4 +1,18 @@
+let span_name = function
+  | Spice_ast.A_op -> "spice.op"
+  | Spice_ast.A_dc_match _ -> "spice.dc_match"
+  | Spice_ast.A_tran _ -> "spice.tran"
+  | Spice_ast.A_ac _ -> "spice.ac"
+  | Spice_ast.A_noise _ -> "spice.noise"
+  | Spice_ast.A_pss _ -> "spice.pss"
+  | Spice_ast.A_mismatch_dc _ -> "spice.mismatch_dc"
+  | Spice_ast.A_mismatch_delay _ -> "spice.mismatch_delay"
+  | Spice_ast.A_mismatch_freq _ -> "spice.mismatch_freq"
+  | Spice_ast.A_monte_carlo _ -> "spice.monte_carlo"
+
 let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
+  Obs.span (span_name analysis) @@ fun () ->
+  Obs.count "spice.analyses" 1;
   let circuit = deck.Spice_elab.circuit in
   match analysis with
   | Spice_ast.A_op ->

@@ -1,0 +1,293 @@
+(* Telemetry subsystem tests: span-tree shape, counter totals
+   cross-checked against engine-reported iteration counts, JSON
+   well-formedness of the metrics/trace exports, bit-identical results
+   with telemetry on vs off, and debug-mode misuse detection. *)
+
+let with_obs f =
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+let divider () =
+  let b = Builder.create () in
+  Builder.vdc b "V1" "in" "0" 2.0;
+  Builder.resistor ~tol:0.01 b "R1" "in" "out" 1e3;
+  Builder.resistor ~tol:0.01 b "R2" "out" "0" 1e3;
+  Builder.capacitor b "C1" "out" "0" 1e-12;
+  Builder.finish b
+
+let inverter () =
+  let b = Builder.create () in
+  Builder.vdc b "VDD" "vdd" "0" 1.2;
+  Builder.vdc b "VIN" "in" "0" 0.6;
+  Gates.inverter b "inv" ~input:"in" ~output:"out" ~vdd:"vdd";
+  Builder.finish b
+
+let driven_rc ~freq =
+  let b = Builder.create () in
+  Builder.vsource b "VIN" "in" "0"
+    (Wave.Sin { Wave.offset = 0.5; ampl = 0.2; freq; phase_deg = 0.0 });
+  Builder.resistor b "R1" "in" "out" 1e3;
+  Builder.capacitor b "C1" "out" "0" 159.155e-12;
+  Builder.finish b
+
+(* ------------------------------------------------------------ span tree *)
+
+let test_span_tree () =
+  with_obs (fun () ->
+      Obs.root "r" (fun () ->
+          Obs.span "a" (fun () -> Obs.span "b" (fun () -> ()));
+          Obs.span "a" (fun () -> ());
+          Obs.span "c" (fun () -> ()));
+      match Obs.snapshot_spans () with
+      | [ r ] ->
+        Alcotest.(check string) "root name" "r" r.Obs.span_name;
+        Alcotest.(check int) "root calls" 1 r.Obs.calls;
+        Alcotest.(check (list string)) "children in first-opened order"
+          [ "a"; "c" ]
+          (List.map (fun t -> t.Obs.span_name) r.Obs.children);
+        let a = List.hd r.Obs.children in
+        Alcotest.(check int) "same-name spans merge" 2 a.Obs.calls;
+        Alcotest.(check (list string)) "grandchildren" [ "b" ]
+          (List.map (fun t -> t.Obs.span_name) a.Obs.children)
+      | ts ->
+        Alcotest.failf "expected exactly one top-level span, got %d"
+          (List.length ts))
+
+let test_span_exception_safe () =
+  with_obs (fun () ->
+      (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Obs.span "after" (fun () -> ());
+      let names = List.map (fun t -> t.Obs.span_name) (Obs.snapshot_spans ()) in
+      Alcotest.(check (list string)) "span closed on raise" [ "boom"; "after" ]
+        names)
+
+(* ------------------------------------------- counters vs engine reports *)
+
+let test_newton_counter () =
+  let c = inverter () in
+  let sys = Linsys.make c in
+  let eval ~x ~g =
+    Stamp.eval c ~t:0.0 ~gmin:1e-12 ~src_scale:1.0 ~x ~g
+      ~jac:(Some sys.Linsys.sink) ()
+  in
+  with_obs (fun () ->
+      let r = Newton.solve ~eval ~sys ~x0:(Vec.create (Circuit.size c)) () in
+      Alcotest.(check bool) "converged" true r.Newton.converged;
+      Alcotest.(check bool) "took iterations" true (r.Newton.iterations > 0);
+      Alcotest.(check int) "newton.solves" 1 (Obs.counter_value "newton.solves");
+      Alcotest.(check int) "newton.iterations equals engine report"
+        r.Newton.iterations
+        (Obs.counter_value "newton.iterations"))
+
+let test_pss_counter () =
+  let freq = 1e5 in
+  let c = driven_rc ~freq in
+  with_obs (fun () ->
+      let pss = Pss.solve ~steps:100 ~warmup_periods:0 c ~period:(1.0 /. freq) in
+      Alcotest.(check bool) "took shooting iterations" true
+        (pss.Pss.iterations > 0);
+      Alcotest.(check int) "pss.shooting_iterations equals engine report"
+        pss.Pss.iterations
+        (Obs.counter_value "pss.shooting_iterations"))
+
+let test_tran_counters () =
+  let c = divider () in
+  with_obs (fun () ->
+      let w = Tran.run c ~tstart:0.0 ~tstop:1e-8 ~dt:1e-9 () in
+      let samples = Array.length w.Waveform.times in
+      Alcotest.(check int) "tran.runs" 1 (Obs.counter_value "tran.runs");
+      Alcotest.(check bool) "tran.steps covers the accepted grid" true
+        (Obs.counter_value "tran.steps" >= samples - 1))
+
+(* ------------------------------------------------------------ JSON exports *)
+
+let find_counter json name =
+  match Obs_json.member "counters" json with
+  | Some c -> (match Obs_json.member name c with
+               | Some v -> int_of_float (Obs_json.to_num v)
+               | None -> 0)
+  | None -> Alcotest.fail "metrics JSON has no counters object"
+
+let test_metrics_json () =
+  let c = divider () in
+  with_obs (fun () ->
+      Obs.root "varsim" (fun () ->
+          let ctx = Analysis.prepare ~steps:50 ~domains:2 c ~period:1e-6 in
+          ignore
+            (Pnoise.analyze ~domains:2 ctx.Analysis.lptv ~output:"out"
+               ~harmonic:0 ~sources:ctx.Analysis.sources));
+      let m = Obs_json.parse (Obs.metrics_json ()) in
+      let root =
+        match Obs_json.member "root" m with
+        | Some r -> r
+        | None -> Alcotest.fail "no root span"
+      in
+      (match Obs_json.member "name" root with
+       | Some n -> Alcotest.(check string) "root span" "varsim"
+                     (Obs_json.to_string n)
+       | None -> Alcotest.fail "root span has no name");
+      Alcotest.(check bool) "newton.iterations counted" true
+        (find_counter m "newton.iterations" > 0);
+      Alcotest.(check bool) "lptv.builds counted" true
+        (find_counter m "lptv.builds" = 1))
+
+let test_trace_json () =
+  let c = divider () in
+  with_obs (fun () ->
+      Obs.root "varsim" (fun () ->
+          let pss = Pss.solve ~steps:50 c ~period:1e-6 in
+          ignore (Lptv.build ~domains:2 pss ~f_offset:1.0));
+      let t = Obs_json.parse (Obs.trace_json ()) in
+      let evs =
+        match Obs_json.member "traceEvents" t with
+        | Some l -> Obs_json.to_list l
+        | None -> Alcotest.fail "no traceEvents"
+      in
+      let phase e =
+        match Obs_json.member "ph" e with
+        | Some p -> Obs_json.to_string p
+        | None -> ""
+      in
+      Alcotest.(check bool) "has complete events" true
+        (List.exists (fun e -> phase e = "X") evs);
+      let thread_names =
+        List.filter_map
+          (fun e ->
+            if phase e = "M" then
+              match (Obs_json.member "name" e, Obs_json.member "args" e) with
+              | Some (Obs_json.Str "thread_name"), Some args ->
+                Option.map Obs_json.to_string (Obs_json.member "name" args)
+              | _ -> None
+            else None)
+          evs
+      in
+      List.iter
+        (fun want ->
+          Alcotest.(check bool) (Printf.sprintf "track %S present" want) true
+            (List.mem want thread_names))
+        [ "main"; "lane 0"; "lane 1" ])
+
+(* -------------------------------------------------------- bit-identical *)
+
+let test_bit_identical () =
+  let c = inverter () in
+  let x_off = Dc.solve c in
+  let x_on = with_obs (fun () -> Obs.root "varsim" (fun () -> Dc.solve c)) in
+  Alcotest.(check int) "same size" (Vec.dim x_off) (Vec.dim x_on);
+  Array.iteri
+    (fun i v ->
+      if not (Float.equal v x_on.(i)) then
+        Alcotest.failf "DC row %d differs: %.17g vs %.17g" i v x_on.(i))
+    x_off;
+  let psd_of () =
+    let d = divider () in
+    let ctx = Analysis.prepare ~steps:40 ~domains:2 d ~period:1e-6 in
+    (Pnoise.analyze ~domains:2 ctx.Analysis.lptv ~output:"out" ~harmonic:0
+       ~sources:ctx.Analysis.sources)
+      .Pnoise.total_psd
+  in
+  let psd_off = psd_of () in
+  let psd_on = with_obs (fun () -> Obs.root "varsim" psd_of) in
+  if not (Float.equal psd_off psd_on) then
+    Alcotest.failf "PNOISE PSD differs with telemetry: %.17g vs %.17g" psd_off
+      psd_on
+
+(* --------------------------------------------------------------- misuse *)
+
+let with_debug f =
+  with_obs (fun () ->
+      Obs.debug := true;
+      Fun.protect ~finally:(fun () -> Obs.debug := false) f)
+
+let test_misuse_unopened () =
+  with_debug (fun () ->
+      match Obs.span_end "nope" with
+      | () -> Alcotest.fail "span_end with no open span should raise"
+      | exception Obs.Misuse _ -> ())
+
+let test_misuse_mismatch () =
+  with_debug (fun () ->
+      Obs.span_begin "a";
+      (match Obs.span_end "b" with
+       | () -> Alcotest.fail "mismatched span_end should raise"
+       | exception Obs.Misuse _ -> ());
+      (* the open span is still intact and can be closed properly *)
+      Obs.span_end "a")
+
+let test_misuse_double_root () =
+  with_debug (fun () ->
+      Obs.root "r1" (fun () ->
+          match Obs.root "r2" (fun () -> ()) with
+          | () -> Alcotest.fail "second root should raise"
+          | exception Obs.Misuse _ -> ()))
+
+let test_misuse_ignored_without_debug () =
+  with_obs (fun () ->
+      (* release behaviour: misuse is dropped, recording keeps working *)
+      Obs.span_end "nope";
+      Obs.root "r1" (fun () -> Obs.root "r2" (fun () -> ()));
+      Alcotest.(check bool) "still recording" true
+        (Obs.snapshot_spans () <> []))
+
+(* random begin/end sequences against a reference stack model *)
+let prop_misuse_model =
+  QCheck.Test.make ~count:200
+    ~name:"debug span misuse matches a reference stack model"
+    QCheck.(list (pair bool (int_bound 2)))
+    (fun ops ->
+      let names = [| "a"; "b"; "c" |] in
+      Obs.enable ();
+      Obs.debug := true;
+      let stack = ref [] in
+      let ok = ref true in
+      List.iter
+        (fun (is_begin, k) ->
+          let name = names.(k) in
+          if is_begin then begin
+            Obs.span_begin name;
+            stack := name :: !stack
+          end
+          else begin
+            let expect_raise =
+              match !stack with [] -> true | top :: _ -> top <> name
+            in
+            match Obs.span_end name with
+            | () ->
+              if expect_raise then ok := false else stack := List.tl !stack
+            | exception Obs.Misuse _ -> if not expect_raise then ok := false
+          end)
+        ops;
+      Obs.debug := false;
+      Obs.disable ();
+      !ok)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "nesting, merging, ordering" `Quick test_span_tree;
+          Alcotest.test_case "exception safe" `Quick test_span_exception_safe;
+        ] );
+      ( "counters",
+        [
+          Alcotest.test_case "newton.iterations" `Quick test_newton_counter;
+          Alcotest.test_case "pss.shooting_iterations" `Quick test_pss_counter;
+          Alcotest.test_case "tran.steps" `Quick test_tran_counters;
+        ] );
+      ( "exports",
+        [
+          Alcotest.test_case "metrics json" `Quick test_metrics_json;
+          Alcotest.test_case "trace json" `Quick test_trace_json;
+          Alcotest.test_case "bit-identical results" `Quick test_bit_identical;
+        ] );
+      ( "misuse",
+        [
+          Alcotest.test_case "unopened end" `Quick test_misuse_unopened;
+          Alcotest.test_case "name mismatch" `Quick test_misuse_mismatch;
+          Alcotest.test_case "double root" `Quick test_misuse_double_root;
+          Alcotest.test_case "ignored without debug" `Quick
+            test_misuse_ignored_without_debug;
+          QCheck_alcotest.to_alcotest prop_misuse_model;
+        ] );
+    ]
