@@ -12,10 +12,19 @@
      --domains N                 OCaml domains for the LPTV/PNOISE passes
      --backend dense|sparse|auto linear-solver backend (docs/solver.md)
 
+   Resilience options (docs/robustness.md):
+     --budget T                  wall-clock budget (suffixes, e.g. 500m)
+     --max-retries N             transient-failure retries per stage
+     --strict                    fail fast: no homotopy ladder, no
+                                 retries, no sparse->dense degradation
+
    Telemetry options (docs/observability.md):
      --metrics FILE              span tree + counters as JSON
      --trace FILE                Chrome trace-event JSON (chrome://tracing)
-     --progress                  live top-level span progress on stderr *)
+     --progress                  live top-level span progress on stderr
+
+   VARSIM_FAULTS (docs/robustness.md) arms the fault-injection harness:
+   a comma list of site:visit:kind[:arg] triggers, test-only. *)
 
 open Cmdliner
 
@@ -51,6 +60,52 @@ let backend_arg =
   Arg.(value & opt backend_conv Linsys.Auto & info [ "backend" ] ~docv:"BACKEND"
          ~doc:"Linear-solver backend: $(b,dense), $(b,sparse) or $(b,auto) \
                (size-based choice; see docs/solver.md)")
+
+(* ------------------------------------------------------------------ *)
+(* resilience options *)
+
+type res_opts = {
+  budget_s : float option;
+  max_retries : int;
+  strict : bool;
+}
+
+let res_term =
+  let budget_conv =
+    Arg.conv
+      ~docv:"T"
+      ( (fun s ->
+          match Spice_lexer.parse_number s with
+          | Some v when v > 0.0 ->
+            Ok v
+          | Some _ | None ->
+            Error (`Msg "expected a positive time, e.g. 30 or 500m")),
+        fun ppf v -> Format.fprintf ppf "%g" v )
+  in
+  let budget =
+    Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"T"
+           ~doc:"Wall-clock budget in seconds (suffixes allowed, e.g. \
+                 $(b,500m)).  An analysis that exceeds it stops \
+                 cooperatively and reports a structured timeout instead \
+                 of hanging")
+  in
+  let max_retries =
+    Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Bounded re-attempts per failed stage of the fallback \
+                 ladder (docs/robustness.md)")
+  in
+  let strict =
+    Arg.(value & flag & info [ "strict" ]
+           ~doc:"Fail fast on the first non-convergence: no homotopy \
+                 ladder, no retries, no sparse->dense degradation")
+  in
+  let mk budget_s max_retries strict = { budget_s; max_retries; strict } in
+  Term.(const mk $ budget $ max_retries $ strict)
+
+let policy_of r = Retry.of_cli ~max_retries:r.max_retries ~strict:r.strict
+
+let budget_of r ~label =
+  Option.map (fun s -> Budget.make ~wall_s:s ~label ()) r.budget_s
 
 (* ------------------------------------------------------------------ *)
 (* telemetry options *)
@@ -107,55 +162,76 @@ let handle = function
   | Ok () -> `Ok ()
   | Error msg -> `Error (false, msg)
 
+(* Run an analysis under the Resilient safety net: create the budget at
+   analysis start, map typed failures to CLI errors, surface
+   sparse->dense degradations as a stderr warning (never silent). *)
+let run_resilient obs res ~label f =
+  let out =
+    with_obs obs (fun () ->
+        let policy = policy_of res in
+        let budget = budget_of res ~label in
+        Resilient.run ?budget ~label (fun () -> f ~policy ~budget))
+  in
+  if out.Resilient.degradations > 0 then
+    Printf.eprintf
+      "varsim: warning: %d sparse factorization(s) degraded to the dense \
+       backend\n%!"
+      out.Resilient.degradations;
+  match out.Resilient.result with
+  | Ok v -> Ok v
+  | Error f -> Error (Resilient.describe f)
+
 let run_cmd =
-  let run path domains backend obs =
+  let run path domains backend res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         with_obs obs (fun () ->
-             Spice_run.run ~domains ~backend Format.std_formatter deck);
-         Ok ())
+         run_resilient obs res ~label:("run " ^ path)
+           (fun ~policy ~budget ->
+             Spice_run.run ~domains ~backend ~policy ?budget
+               Format.std_formatter deck))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run every analysis card in a netlist deck")
-    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg $ obs_term))
+    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg $ res_term
+               $ obs_term))
 
 let op_cmd =
-  let run path backend obs =
+  let run path backend res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         with_obs obs (fun () ->
-             Spice_run.run_analysis ~backend Format.std_formatter deck
-               Spice_ast.A_op);
-         Ok ())
+         run_resilient obs res ~label:("op " ^ path)
+           (fun ~policy ~budget ->
+             Spice_run.run_analysis ~backend ~policy ?budget
+               Format.std_formatter deck Spice_ast.A_op))
   in
   Cmd.v
     (Cmd.info "op" ~doc:"DC operating point of a deck")
-    Term.(ret (const run $ deck_arg $ backend_arg $ obs_term))
+    Term.(ret (const run $ deck_arg $ backend_arg $ res_term $ obs_term))
 
 let output_arg =
   Arg.(required & opt (some string) None & info [ "o"; "output" ]
          ~docv:"NODE" ~doc:"Output node")
 
 let dcmatch_cmd =
-  let run path output domains backend obs =
+  let run path output domains backend res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         with_obs obs (fun () ->
-             Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
-               (Spice_ast.A_dc_match { output }));
-         Ok ())
+         run_resilient obs res ~label:("dcmatch " ^ path)
+           (fun ~policy ~budget ->
+             Spice_run.run_analysis ~domains ~backend ~policy ?budget
+               Format.std_formatter deck (Spice_ast.A_dc_match { output })))
   in
   Cmd.v
     (Cmd.info "dcmatch"
        ~doc:"Classical DC match analysis (sigma of a DC node voltage)")
     Term.(ret (const run $ deck_arg $ output_arg $ domains_arg $ backend_arg
-               $ obs_term))
+               $ res_term $ obs_term))
 
 let period_arg =
   let period_conv =
@@ -171,53 +247,56 @@ let period_arg =
          ~doc:"PSS fundamental period (suffixes allowed, e.g. 4n)")
 
 let mismatch_cmd =
-  let run path output period domains backend obs =
+  let run path output period domains backend res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
-         with_obs obs (fun () ->
-             Spice_run.run_analysis ~domains ~backend Format.std_formatter deck
-               (Spice_ast.A_mismatch_dc { output; period }));
-         Ok ())
+         run_resilient obs res ~label:("mismatch " ^ path)
+           (fun ~policy ~budget ->
+             Spice_run.run_analysis ~domains ~backend ~policy ?budget
+               Format.std_formatter deck
+               (Spice_ast.A_mismatch_dc { output; period })))
   in
   Cmd.v
     (Cmd.info "mismatch"
        ~doc:"Pseudo-noise mismatch analysis of a DC-like performance \
              (PSS + LPTV baseband)")
     Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ domains_arg
-               $ backend_arg $ obs_term))
+               $ backend_arg $ res_term $ obs_term))
 
 let pnoise_cmd =
   let harmonic_arg =
     Arg.(value & opt int 0 & info [ "harmonic" ] ~docv:"N"
            ~doc:"Sideband harmonic index (0 = baseband)")
   in
-  let run path output period harmonic domains backend obs =
+  let run path output period harmonic domains backend res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
          match
-           with_obs obs (fun () ->
+           run_resilient obs res ~label:("pnoise " ^ path)
+             (fun ~policy ~budget ->
                let circuit = deck.Spice_elab.circuit in
-               let ctx = Analysis.prepare ~domains ~backend circuit ~period in
-               Pnoise.analyze ~domains ctx.Analysis.lptv ~output ~harmonic
-                 ~sources:ctx.Analysis.sources)
+               let ctx =
+                 Analysis.prepare ~domains ~backend ~policy ?budget circuit
+                   ~period
+               in
+               Pnoise.analyze ~domains ~policy ?budget ctx.Analysis.lptv
+                 ~output ~harmonic ~sources:ctx.Analysis.sources)
          with
-         | sb ->
+         | Ok sb ->
            Format.printf "%a@." Pnoise.pp_sideband sb;
            Ok ()
-         | exception Pss.No_convergence msg -> Error msg
-         | exception Dc.No_convergence msg -> Error msg
-         | exception Newton.No_convergence msg -> Error msg)
+         | Error _ as e -> e)
   in
   Cmd.v
     (Cmd.info "pnoise"
        ~doc:"Periodic pseudo-noise analysis: mismatch sideband PSD at an \
              output node, with per-source contributions")
     Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ harmonic_arg
-               $ domains_arg $ backend_arg $ obs_term))
+               $ domains_arg $ backend_arg $ res_term $ obs_term))
 
 let demo_cmd =
   let demos = [ ("comparator", `Comparator); ("logicpath", `Logicpath);
@@ -226,44 +305,52 @@ let demo_cmd =
     Arg.(value & pos 0 (enum demos) `Ringosc & info [] ~docv:"DEMO"
            ~doc:"comparator | logicpath | ringosc")
   in
-  let run which domains backend obs =
-    with_obs obs @@ fun () ->
-    match which with
-    | `Comparator ->
-      let params = Strongarm.default_params in
-      let circuit = Strongarm.testbench ~params () in
-      let ctx =
-        Analysis.prepare ~steps:400 ~domains ~backend circuit
-          ~period:params.Strongarm.clk_period
-      in
-      Format.printf "%a@." Report.pp
-        (Analysis.dc_variation ctx ~output:Strongarm.vos_node)
-    | `Logicpath ->
-      let lp = Logic_path.build Logic_path.X_first in
-      let ctx =
-        Analysis.prepare ~steps:800 ~domains ~backend lp.Logic_path.circuit
-          ~period:lp.Logic_path.period
-      in
-      let crossing =
-        { Analysis.edge = Waveform.Falling;
-          threshold = lp.Logic_path.vdd /. 2.0;
-          after = Logic_path.trigger_time lp }
-      in
-      let rep_a = Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing in
-      let rep_b = Analysis.delay_variation ctx ~output:Logic_path.out_b ~crossing in
-      Format.printf "%a@.%a@.rho(A,B) = %.3f@." Report.pp rep_a Report.pp rep_b
-        (Correlation.coefficient rep_a rep_b)
-    | `Ringosc ->
-      let circuit = Ring_osc.build () in
-      let rep, _ =
-        Analysis.frequency_variation ~backend circuit ~anchor:Ring_osc.anchor
-          ~f_guess:(Ring_osc.f_guess Ring_osc.default_params)
-      in
-      Format.printf "%a@." Report.pp rep
+  let run which domains backend res obs =
+    handle
+      (run_resilient obs res ~label:"demo" (fun ~policy ~budget ->
+           match which with
+           | `Comparator ->
+             let params = Strongarm.default_params in
+             let circuit = Strongarm.testbench ~params () in
+             let ctx =
+               Analysis.prepare ~steps:400 ~domains ~backend ~policy ?budget
+                 circuit ~period:params.Strongarm.clk_period
+             in
+             Format.printf "%a@." Report.pp
+               (Analysis.dc_variation ctx ~output:Strongarm.vos_node)
+           | `Logicpath ->
+             let lp = Logic_path.build Logic_path.X_first in
+             let ctx =
+               Analysis.prepare ~steps:800 ~domains ~backend ~policy ?budget
+                 lp.Logic_path.circuit ~period:lp.Logic_path.period
+             in
+             let crossing =
+               { Analysis.edge = Waveform.Falling;
+                 threshold = lp.Logic_path.vdd /. 2.0;
+                 after = Logic_path.trigger_time lp }
+             in
+             let rep_a =
+               Analysis.delay_variation ctx ~output:Logic_path.out_a ~crossing
+             in
+             let rep_b =
+               Analysis.delay_variation ctx ~output:Logic_path.out_b ~crossing
+             in
+             Format.printf "%a@.%a@.rho(A,B) = %.3f@." Report.pp rep_a
+               Report.pp rep_b
+               (Correlation.coefficient rep_a rep_b)
+           | `Ringosc ->
+             let circuit = Ring_osc.build () in
+             let rep, _ =
+               Analysis.frequency_variation ~backend ~policy ?budget circuit
+                 ~anchor:Ring_osc.anchor
+                 ~f_guess:(Ring_osc.f_guess Ring_osc.default_params)
+             in
+             Format.printf "%a@." Report.pp rep))
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a built-in benchmark circuit analysis")
-    Term.(const run $ which $ domains_arg $ backend_arg $ obs_term)
+    Term.(ret (const run $ which $ domains_arg $ backend_arg $ res_term
+               $ obs_term))
 
 let main =
   Cmd.group
@@ -272,4 +359,6 @@ let main =
              simulation")
     [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd ]
 
-let () = exit (Cmd.eval main)
+let () =
+  Faultsim.arm_env ();
+  exit (Cmd.eval main)

@@ -3,6 +3,8 @@ type pss_context = {
   lptv : Lptv.t;
   sources : Pnoise.source array;
   domains : int;
+  policy : Retry.policy;
+  budget : Budget.t option;
 }
 
 let timed f =
@@ -11,12 +13,13 @@ let timed f =
   (y, Unix.gettimeofday () -. t0)
 
 let prepare ?(steps = 200) ?(f_offset = 1.0) ?warmup_periods ?(domains = 1)
-    ?backend circuit ~period =
+    ?backend ?(policy = Retry.default) ?budget circuit ~period =
   Obs.span "analysis.prepare" @@ fun () ->
-  let pss = Pss.solve ~steps ?warmup_periods ?backend circuit ~period in
-  let lptv = Lptv.build ~domains ?backend pss ~f_offset in
+  let pss = Pss.solve ~steps ?warmup_periods ?backend ~policy ?budget circuit
+      ~period in
+  let lptv = Lptv.build ~domains ?backend ~policy ?budget pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
-  { pss; lptv; sources; domains }
+  { pss; lptv; sources; domains; policy; budget }
 
 let params_of ctx = Circuit.mismatch_params ctx.pss.Pss.circuit
 
@@ -34,7 +37,8 @@ let dc_variation ctx ~output =
   let (sb, nominal), runtime =
     timed (fun () ->
         let sb =
-          Pnoise.analyze ~domains:ctx.domains ctx.lptv ~output ~harmonic:0
+          Pnoise.analyze ~domains:ctx.domains ~policy:ctx.policy
+            ?budget:ctx.budget ctx.lptv ~output ~harmonic:0
             ~sources:ctx.sources
         in
         let samples = Pss.node_samples ctx.pss output in
@@ -105,8 +109,8 @@ let delay_variation ctx ~output ~crossing =
   let (k_c, t_c, slope), _ = timed (fun () -> locate_crossing ctx ~output ~crossing) in
   let sb, runtime =
     timed (fun () ->
-        Pnoise.analyze_sample ~domains:ctx.domains ctx.lptv ~output ~k:k_c
-          ~sources:ctx.sources)
+        Pnoise.analyze_sample ~domains:ctx.domains ~policy:ctx.policy
+          ?budget:ctx.budget ctx.lptv ~output ~k:k_c ~sources:ctx.sources)
   in
   (* a voltage perturbation Δv at the crossing shifts the edge by
      -Δv/slope *)
@@ -119,8 +123,8 @@ let delay_variation ctx ~output ~crossing =
 let delay_variation_psd ctx ~output =
   Obs.span "analysis.delay_variation_psd" @@ fun () ->
   let sb =
-    Pnoise.analyze ~domains:ctx.domains ctx.lptv ~output ~harmonic:1
-      ~sources:ctx.sources
+    Pnoise.analyze ~domains:ctx.domains ~policy:ctx.policy ?budget:ctx.budget
+      ctx.lptv ~output ~harmonic:1 ~sources:ctx.sources
   in
   let amplitude = Pss.amplitude ctx.pss output in
   let f0 = 1.0 /. ctx.pss.Pss.period in
@@ -132,21 +136,27 @@ let delay_variation_psd ctx ~output =
    sideband's complex Fourier-coefficient perturbation has magnitude
    |y₁| = A_c·Δf/(4·f_m).  Inverting: σ_f = 4·f_m·√P₁/A_c with
    P₁ = Σ|y₁,i|²σ_i². *)
-let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend
-    (osc : Pss_osc.t) ~output =
+let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend ?policy
+    ?budget (osc : Pss_osc.t) ~output =
   Obs.span "analysis.frequency_variation_psd" @@ fun () ->
   let pss = osc.Pss_osc.pss in
-  let lptv = Lptv.build ~domains ?backend pss ~f_offset in
+  let lptv = Lptv.build ~domains ?backend ?policy ?budget pss ~f_offset in
   let sources = Pnoise.mismatch_sources lptv in
-  let sb = Pnoise.analyze ~domains lptv ~output ~harmonic:1 ~sources in
+  let sb =
+    Pnoise.analyze ~domains ?policy ?budget lptv ~output ~harmonic:1 ~sources
+  in
   let amplitude = Pss.amplitude pss output in
   4.0 *. f_offset *. sqrt (Float.max 0.0 sb.Pnoise.total_psd) /. amplitude
 
-let frequency_variation ?(steps = 200) ?backend circuit ~anchor ~f_guess =
+let frequency_variation ?(steps = 200) ?backend ?policy ?budget circuit
+    ~anchor ~f_guess =
   Obs.span "analysis.frequency_variation" @@ fun () ->
   let (osc, rep), runtime =
     timed (fun () ->
-        let osc = Pss_osc.solve ~steps ?backend circuit ~anchor ~f_guess in
+        let osc =
+          Pss_osc.solve ~steps ?backend ?policy ?budget circuit ~anchor
+            ~f_guess
+        in
         (osc, Period_sens.analyze osc))
   in
   let items =

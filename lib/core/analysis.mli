@@ -11,10 +11,13 @@ type pss_context = {
   lptv : Lptv.t;
   sources : Pnoise.source array;
   domains : int; (** lane count used by the LPTV/PNOISE passes *)
+  policy : Retry.policy; (** fallback policy the readings run under *)
+  budget : Budget.t option; (** budget shared by all phases of the run *)
 }
 
 val prepare : ?steps:int -> ?f_offset:float -> ?warmup_periods:int ->
-  ?domains:int -> ?backend:Linsys.backend -> Circuit.t -> period:float ->
+  ?domains:int -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
+  ?budget:Budget.t -> Circuit.t -> period:float ->
   pss_context
 (** Solve the driven PSS and build the LPTV context with the mismatch
     pseudo-noise sources (offset frequency default 1 Hz).  [domains]
@@ -22,7 +25,10 @@ val prepare : ?steps:int -> ?f_offset:float -> ?warmup_periods:int ->
     readings over that many OCaml domains; results are bit-identical
     for any value (docs/parallelism.md).  [backend] selects the linear
     solver (dense reference / sparse / size-based auto, docs/solver.md)
-    for both the PSS sweep and the LPTV step systems. *)
+    for both the PSS sweep and the LPTV step systems.  [policy] and
+    [budget] thread through every phase — PSS, LPTV build, and the
+    subsequent readings made with this context (docs/robustness.md);
+    expiry raises {!Budget.Timed_out}. *)
 
 val dc_variation : pss_context -> output:string -> Report.t
 (** §V-A: variation of the DC (cycle-average) component of a node —
@@ -48,7 +54,8 @@ val delay_variation_psd :
     {!delay_variation}. *)
 
 val frequency_variation :
-  ?steps:int -> ?backend:Linsys.backend -> Circuit.t -> anchor:string ->
+  ?steps:int -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
+  ?budget:Budget.t -> Circuit.t -> anchor:string ->
   f_guess:float -> Report.t * Pss_osc.t
 (** §V-C: oscillator frequency variation via the adjoint period
     sensitivity (the well-conditioned form of eq. (9)). *)
@@ -58,7 +65,8 @@ val crossing_time : pss_context -> output:string -> crossing:crossing -> float
     for Monte-Carlo comparisons). *)
 
 val frequency_variation_psd :
-  ?f_offset:float -> ?domains:int -> ?backend:Linsys.backend -> Pss_osc.t ->
+  ?f_offset:float -> ?domains:int -> ?backend:Linsys.backend ->
+  ?policy:Retry.policy -> ?budget:Budget.t -> Pss_osc.t ->
   output:string -> float
 (** The paper's literal eq. (9): read σ_f from the oscillator's
     passband pseudo-noise PSD at [f_offset] from the carrier.

@@ -1,0 +1,74 @@
+type info = {
+  label : string;
+  elapsed_s : float;
+  budget_s : float option;
+  iterations : int;
+  max_iterations : int option;
+}
+
+exception Timed_out of info
+
+type t = {
+  label : string;
+  started : float;
+  wall_s : float option;
+  max_iterations : int option;
+  iterations : int Atomic.t;
+  cancelled : bool Atomic.t;
+}
+
+let now () =
+  (* fire the clock fault site on every read so a schedule can skip the
+     clock at a chosen visit; disarmed this is one atomic load *)
+  ignore (Faultsim.fire "budget.clock" : Faultsim.fault option);
+  Unix.gettimeofday () +. Faultsim.clock_offset ()
+
+let make ?wall_s ?max_iterations ?(label = "analysis") () =
+  {
+    label;
+    started = now ();
+    wall_s;
+    max_iterations;
+    iterations = Atomic.make 0;
+    cancelled = Atomic.make false;
+  }
+
+let label b = b.label
+let elapsed_s b = now () -. b.started
+
+let expired b =
+  Atomic.get b.cancelled
+  || (match b.wall_s with Some w -> elapsed_s b > w | None -> false)
+  ||
+  match b.max_iterations with
+  | Some m -> Atomic.get b.iterations > m
+  | None -> false
+
+let info b =
+  {
+    label = b.label;
+    elapsed_s = elapsed_s b;
+    budget_s = b.wall_s;
+    iterations = Atomic.get b.iterations;
+    max_iterations = b.max_iterations;
+  }
+
+let cancel b = Atomic.set b.cancelled true
+let cancelled b = Atomic.get b.cancelled
+
+let check b =
+  if expired b then begin
+    (* latch, so lanes polling [expired] stop claiming immediately and
+       the timeout is only counted once *)
+    if not (Atomic.exchange b.cancelled true) then
+      Obs.count "budget.timeouts" 1;
+    raise (Timed_out (info b))
+  end
+
+let tick ?(n = 1) b =
+  ignore (Atomic.fetch_and_add b.iterations n : int);
+  check b
+
+let check_opt = function None -> () | Some b -> check b
+let tick_opt ?n = function None -> () | Some b -> tick ?n b
+let stop_opt = Option.map (fun b () -> expired b)

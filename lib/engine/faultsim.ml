@@ -1,0 +1,140 @@
+type fault =
+  | Singular of int
+  | Nan
+  | Exn of string
+  | Clock_skip of float
+
+type trigger = { site : string; visit : int; fault : fault }
+
+exception Injected of string
+
+(* armed is the only state the disabled fast path reads; everything
+   else lives behind the mutex so lanes can fire sites concurrently *)
+let armed = Atomic.make false
+let mutex = Mutex.create ()
+let schedule : trigger list ref = ref []
+let counts : (string, int ref) Hashtbl.t = Hashtbl.create 16
+let skew = ref 0.0
+
+let enabled () = Atomic.get armed
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let arm triggers =
+  locked (fun () ->
+      schedule := triggers;
+      Hashtbl.reset counts;
+      skew := 0.0);
+  Atomic.set armed (triggers <> [])
+
+let disarm () =
+  Atomic.set armed false;
+  locked (fun () ->
+      schedule := [];
+      Hashtbl.reset counts;
+      skew := 0.0)
+
+let fire site =
+  if not (Atomic.get armed) then None
+  else
+    locked (fun () ->
+        let c =
+          match Hashtbl.find_opt counts site with
+          | Some c -> c
+          | None ->
+            let c = ref 0 in
+            Hashtbl.add counts site c;
+            c
+        in
+        let visit = !c in
+        incr c;
+        match
+          List.find_opt
+            (fun t -> t.site = site && (t.visit = visit || t.visit < 0))
+            !schedule
+        with
+        | None -> None
+        | Some t ->
+          (match t.fault with
+           | Clock_skip s -> skew := !skew +. s
+           | Singular _ | Nan | Exn _ -> ());
+          Some t.fault)
+
+let check_exn site =
+  match fire site with
+  | Some (Exn msg) -> raise (Injected msg)
+  | Some (Singular _ | Nan | Clock_skip _) | None -> ()
+
+let visits site =
+  if not (Atomic.get armed) then 0
+  else
+    locked (fun () ->
+        match Hashtbl.find_opt counts site with Some c -> !c | None -> 0)
+
+let clock_offset () = if not (Atomic.get armed) then 0.0 else locked (fun () -> !skew)
+
+(* ------------------------------------------------------------------ *)
+(* VARSIM_FAULTS parsing: site:visit:kind[:arg],... *)
+
+let parse_trigger spec =
+  match String.split_on_char ':' (String.trim spec) with
+  | site :: visit :: kind :: rest when site <> "" -> begin
+    let visit_of s =
+      if s = "*" then Some (-1)
+      else match int_of_string_opt s with Some v when v >= 0 -> Some v | _ -> None
+    in
+    match visit_of visit with
+    | None -> Error (Printf.sprintf "%s: bad visit %S (integer or *)" spec visit)
+    | Some visit -> begin
+      match kind, rest with
+      | "singular", [] -> Ok { site; visit; fault = Singular 0 }
+      | "singular", [ row ] -> begin
+        match int_of_string_opt row with
+        | Some k when k >= 0 -> Ok { site; visit; fault = Singular k }
+        | _ -> Error (Printf.sprintf "%s: bad row %S" spec row)
+      end
+      | "nan", [] -> Ok { site; visit; fault = Nan }
+      | "exn", [] -> Ok { site; visit; fault = Exn "injected fault" }
+      | "exn", [ msg ] -> Ok { site; visit; fault = Exn msg }
+      | "clockskip", [ s ] -> begin
+        match float_of_string_opt s with
+        | Some v -> Ok { site; visit; fault = Clock_skip v }
+        | None -> Error (Printf.sprintf "%s: bad seconds %S" spec s)
+      end
+      | _ ->
+        Error
+          (Printf.sprintf
+             "%s: unknown fault %S (singular[:row] | nan | exn[:msg] | \
+              clockskip:seconds)"
+             spec kind)
+    end
+  end
+  | _ -> Error (Printf.sprintf "%s: expected site:visit:kind[:arg]" spec)
+
+let parse_schedule s =
+  let specs =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | spec :: rest -> (
+      match parse_trigger spec with
+      | Ok t -> go (t :: acc) rest
+      | Error _ as e -> e)
+  in
+  go [] specs
+
+let arm_env () =
+  match Sys.getenv_opt "VARSIM_FAULTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+    match parse_schedule spec with
+    | Ok triggers ->
+      Printf.eprintf "varsim: fault injection armed: %s\n%!" spec;
+      arm triggers
+    | Error msg ->
+      Printf.eprintf "varsim: VARSIM_FAULTS: %s\n%!" msg;
+      exit 2)

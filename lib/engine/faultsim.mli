@@ -1,0 +1,78 @@
+(** Deterministic fault injection for resilience testing.
+
+    The engines are sprinkled with named {e sites} — points where a
+    production failure could strike: a factorization that comes back
+    singular, a residual evaluation that produces NaN, a pool-lane body
+    that dies, a wall clock that jumps.  When the harness is {e armed}
+    with a schedule, [fire site] reports the fault (if any) due at the
+    current visit of that site; when disarmed (the default, and the only
+    state production code ever runs in) [fire] is a single atomic load
+    and injects nothing.
+
+    Faults are only ever armed through an explicit hook — the {!arm}
+    API from tests, or {!arm_env} reading [VARSIM_FAULTS] when the CLI
+    is started with that variable set.  Nothing arms the harness
+    implicitly.
+
+    Sites currently instrumented (docs/robustness.md):
+    - ["newton.residual"] — [Nan] poisons the residual after an eval
+    - ["newton.factorize"] — [Singular k] fails the step factorization
+    - ["linsys.splu"] — [Singular k] forces the sparse plan+replay to
+      fail, exercising the degrade-to-dense path
+    - ["tran.step"] — [Exn] aborts one integration step
+    - ["lptv.factor"], ["pnoise.transfer"] — [Exn] kills a pool-lane
+      body mid-job
+    - ["budget.clock"] — [Clock_skip s] advances the budget clock by
+      [s] seconds on that visit *)
+
+type fault =
+  | Singular of int  (** behave as a singular factorization at row [k] *)
+  | Nan  (** poison the value just computed with a NaN *)
+  | Exn of string  (** raise {!Injected} with the message *)
+  | Clock_skip of float  (** jump {!Budget.now} forward by seconds *)
+
+type trigger = {
+  site : string;
+  visit : int;  (** 0-based visit index at which to fire; [-1] = every visit *)
+  fault : fault;
+}
+
+exception Injected of string
+(** The exception [Exn] faults raise at their site. *)
+
+val enabled : unit -> bool
+
+val arm : trigger list -> unit
+(** Install a schedule and reset all visit counters.  Thread-safe, but
+    arm/disarm from a single (test) domain while no analysis runs. *)
+
+val disarm : unit -> unit
+(** Drop the schedule and reset counters and the clock skew. *)
+
+val fire : string -> fault option
+(** Count one visit of [site]; return the fault due at this visit, if
+    any.  [Clock_skip] faults additionally accumulate into
+    {!clock_offset} as a side effect.  Disarmed: one atomic load, no
+    lock, always [None]. *)
+
+val check_exn : string -> unit
+(** [fire] the site and raise {!Injected} if an [Exn] fault is due;
+    other fault kinds at the site are ignored. *)
+
+val visits : string -> int
+(** Visits counted at a site since the last {!arm}/{!disarm} (0 when
+    disarmed) — for tests. *)
+
+val clock_offset : unit -> float
+(** Accumulated [Clock_skip] seconds since the last {!arm}. *)
+
+val parse_schedule : string -> (trigger list, string) result
+(** Parse the [VARSIM_FAULTS] syntax: comma-separated
+    [site:visit:kind[:arg]] with kinds [singular[:row]], [nan],
+    [exn[:msg]] and [clockskip:seconds]; [visit] is an integer or [*]
+    for every visit.  E.g.
+    ["newton.factorize:0:singular:3,budget.clock:2:clockskip:1e9"]. *)
+
+val arm_env : unit -> unit
+(** Arm from [VARSIM_FAULTS] when set (the CLI's explicit hook); print
+    a diagnostic to stderr and exit 2 on a malformed schedule. *)

@@ -33,7 +33,21 @@ and rsparse = {
   mutable plan : Splu.plan option;
 }
 
-type rsys = { size : int; repr : repr; sink : Stamp.jac_sink }
+type rsys = {
+  size : int;
+  repr : repr;
+  sink : Stamp.jac_sink;
+  mutable degraded : bool;
+      (* a sparse factorization persistently failed and the values were
+         re-factorized densely at least once — surfaced in result
+         records so the degradation is never silent *)
+}
+
+(* process-wide count of sparse→dense fallbacks, so outcome records can
+   report degradations that happened anywhere below them *)
+let degradation_total = Atomic.make 0
+let degradation_count () = Atomic.get degradation_total
+let degraded sys = sys.degraded
 
 let make ?(backend = Auto) circuit =
   let n = Circuit.size circuit in
@@ -41,15 +55,29 @@ let make ?(backend = Auto) circuit =
   | Sparse ->
     Obs.count "linsys.sys.sparse" 1;
     let pat = Stamp.pattern circuit in
-    { size = n; repr = Rsparse { pat; plan = None }; sink = Stamp.csr_sink pat }
+    { size = n; repr = Rsparse { pat; plan = None };
+      sink = Stamp.csr_sink pat; degraded = false }
   | Dense | Auto ->
     Obs.count "linsys.sys.dense" 1;
     let m = Mat.create n n in
-    { size = n; repr = Rdense m; sink = Stamp.dense_sink m }
+    { size = n; repr = Rdense m; sink = Stamp.dense_sink m; degraded = false }
 
 type rfact = Fdense of Lu.t | Fsparse of Splu.t
 
-let factorize sys =
+(* the current sparse values as a dense matrix — the last resort when
+   sparse pivoting dies on values the dense code can still eliminate *)
+let dense_of_csr pat =
+  let n = Csr.rows pat in
+  let m = Mat.create n n in
+  let rp = pat.Csr.rp and ci = pat.Csr.ci and v = pat.Csr.v in
+  for i = 0 to n - 1 do
+    for p = rp.(i) to rp.(i + 1) - 1 do
+      Mat.add_to m i ci.(p) v.(p)
+    done
+  done;
+  m
+
+let factorize ?(allow_degradation = true) sys =
   match sys.repr with
   | Rdense m -> begin
     (* dense pivoting never permutes columns, so the failing elimination
@@ -71,34 +99,48 @@ let factorize sys =
       end;
       Fsparse f
     in
-    let replan () =
+    (* last rung of the factorization ladder: the sparse path failed
+       even after a re-plan, so re-factorize the same values densely.
+       Dense partial pivoting eliminates anything short of a structural
+       singularity, at O(n³) cost — recorded, never silent. *)
+    let degrade k =
+      if not allow_degradation then raise (Singular_row k)
+      else begin
+        Obs.count "linsys.degraded_to_dense" 1;
+        ignore (Atomic.fetch_and_add degradation_total 1 : int);
+        sys.degraded <- true;
+        match Lu.factorize (dense_of_csr s.pat) with
+        | lu -> Fdense lu
+        | exception Lu.Singular k -> raise (Singular_row k)
+      end
+    in
+    let replan_or_degrade () =
       match Splu.plan s.pat with
-      | p ->
+      | p -> begin
         Obs.count "linsys.splu.plans" 1;
         s.plan <- Some p;
-        p
-      | exception Splu.Singular k -> raise (Singular_row k)
-    in
-    match s.plan with
-    | None -> begin
-      let p = replan () in
-      match Splu.factorize p s.pat with
-      | f -> done_ f
-      | exception Splu.Singular k -> raise (Singular_row k)
-    end
-    | Some p -> begin
-      match Splu.factorize p s.pat with
-      | f -> done_ f
-      | exception Splu.Singular _ -> begin
-        (* the recorded pivot order went stale; re-plan on the current
-           values and retry once *)
-        Obs.count "linsys.splu.replans" 1;
-        let p = replan () in
         match Splu.factorize p s.pat with
         | f -> done_ f
-        | exception Splu.Singular k -> raise (Singular_row k)
+        | exception Splu.Singular k -> degrade k
       end
-    end
+      | exception Splu.Singular k -> degrade k
+    in
+    match Faultsim.fire "linsys.splu" with
+    | Some (Faultsim.Singular k) ->
+      (* injected: the whole sparse path (replay and re-plan) is due to
+         fail — jump straight to the degradation rung *)
+      degrade k
+    | Some (Faultsim.Nan | Faultsim.Exn _ | Faultsim.Clock_skip _) | None -> (
+      match s.plan with
+      | None -> replan_or_degrade ()
+      | Some p -> (
+        match Splu.factorize p s.pat with
+        | f -> done_ f
+        | exception Splu.Singular _ ->
+          (* the recorded pivot order went stale; re-plan on the current
+             values and retry once *)
+          Obs.count "linsys.splu.replans" 1;
+          replan_or_degrade ()))
   end
 
 let solve fact b =

@@ -36,20 +36,42 @@ and rsparse = {
   mutable plan : Splu.plan option; (* built lazily from first values *)
 }
 
-type rsys = { size : int; repr : repr; sink : Stamp.jac_sink }
+type rsys = {
+  size : int;
+  repr : repr;
+  sink : Stamp.jac_sink;
+  mutable degraded : bool;
+      (** at least one factorization of this system fell back from the
+          sparse to the dense backend — see {!factorize} *)
+}
 
 val make : ?backend:backend -> Circuit.t -> rsys
 (** Build the system storage for a circuit (default [Auto]). *)
+
+val degraded : rsys -> bool
+(** This system's sticky sparse→dense degradation flag — result records
+    ({!Pss.t} via its [sys], analysis outcomes) surface it so a
+    degraded run is never silent. *)
+
+val degradation_count : unit -> int
+(** Process-wide monotonic count of sparse→dense fallbacks; sample it
+    around a run to attribute degradations (what [Resilient.run]
+    reports). *)
 
 (** A factorization, solvable from any number of domains
     concurrently. *)
 type rfact = Fdense of Lu.t | Fsparse of Splu.t
 
-val factorize : rsys -> rfact
+val factorize : ?allow_degradation:bool -> rsys -> rfact
 (** Factorize the current values.  Sparse: plans on first call; if a
     replay hits a dead pivot (values drifted far from the planning
-    point) it re-plans once before giving up.  Raises
-    {!Singular_row}. *)
+    point) it re-plans once; if the re-planned factorization is still
+    singular and [allow_degradation] (default true), the same values
+    are re-factorized densely — counted as ["linsys.degraded_to_dense"]
+    and latched in {!degraded} — before giving up.  Raises
+    {!Singular_row} when nothing worked (or immediately on a singular
+    dense/disallowed-degradation path).  The ["linsys.splu"]
+    {!Faultsim} site can force the sparse path to fail. *)
 
 val solve : rfact -> Vec.t -> Vec.t
 val solve_inplace : rfact -> Vec.t -> unit

@@ -106,7 +106,8 @@ let a_transpose_apply_into ws ~solvers ~cmul ~k w dst =
   solve_step_transpose_into ws solvers ~k w ws.ct1;
   cmul_tapply_into ws cmul ws.ct1 dst
 
-let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
+let build ?(domains = 1) ?backend ?(policy = Retry.default) ?budget
+    (pss : Pss.t) ~f_offset =
   Obs.span "lptv.build" @@ fun () ->
   let circuit = pss.Pss.circuit in
   let n = Circuit.size circuit in
@@ -126,21 +127,29 @@ let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
          factorizations are independent; each lane stamps into its own
          g/jac workspace (a shared stamp buffer would be a data race) *)
       let clus = Array.make m None in
-      Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
-        ~init:(fun () -> (Vec.create n, Mat.create n n))
-        (fun (g_buf, jac) i ->
-          let k = i + 1 in
-          Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
-            ~x:pss.Pss.states.(k) ~g:g_buf ~jac:(Some (Stamp.dense_sink jac))
-            ();
-          let mk =
-            Cmat.init n n (fun r c ->
-                Cx.mk
-                  (Mat.get jac r c +. Mat.get c_over_h r c)
-                  (omega *. Mat.get pss.Pss.c_mat r c))
-          in
-          Obs.count "lptv.fact.dense" 1;
-          clus.(i) <- Some (Clu.factorize mk));
+      (* a lane exception (incl. an injected "lptv.factor" fault) drains
+         the pool and re-raises here; the phase is a deterministic
+         write-per-slot loop, so a bounded re-run recovers bit-identically *)
+      Retry.with_transients ~policy ~label:"lptv" (fun () ->
+          Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
+            ?should_stop:(Budget.stop_opt budget)
+            ~init:(fun () -> (Vec.create n, Mat.create n n))
+            (fun (g_buf, jac) i ->
+              Faultsim.check_exn "lptv.factor";
+              let k = i + 1 in
+              Stamp.eval circuit ~t:pss.Pss.times.(k) ~gmin:1e-12
+                ~x:pss.Pss.states.(k) ~g:g_buf
+                ~jac:(Some (Stamp.dense_sink jac))
+                ();
+              let mk =
+                Cmat.init n n (fun r c ->
+                    Cx.mk
+                      (Mat.get jac r c +. Mat.get c_over_h r c)
+                      (omega *. Mat.get pss.Pss.c_mat r c))
+              in
+              Obs.count "lptv.fact.dense" 1;
+              clus.(i) <- Some (Clu.factorize mk)));
+      Budget.check_opt budget;
       let clus =
         Array.map (function Some c -> c | None -> assert false) clus
       in
@@ -176,32 +185,39 @@ let build ?(domains = 1) ?backend (pss : Pss.t) ~f_offset =
         Csplu.plan pat zvals
       in
       let fs = Array.make m None in
-      Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
-        ~init:(fun () ->
-          (Vec.create n, Csr.copy pat, Array.make nnz Cx.zero))
-        (fun (g_buf, gcsr, zvals) i ->
-          let k = i + 1 in
-          stamp_into g_buf gcsr k;
-          zvals_at gcsr zvals;
-          Obs.count "lptv.fact.sparse" 1;
-          fs.(i) <- Some (Csplu.factorize plan pat zvals));
+      Retry.with_transients ~policy ~label:"lptv" (fun () ->
+          Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
+            ?should_stop:(Budget.stop_opt budget)
+            ~init:(fun () ->
+              (Vec.create n, Csr.copy pat, Array.make nnz Cx.zero))
+            (fun (g_buf, gcsr, zvals) i ->
+              Faultsim.check_exn "lptv.factor";
+              let k = i + 1 in
+              stamp_into g_buf gcsr k;
+              zvals_at gcsr zvals;
+              Obs.count "lptv.fact.sparse" 1;
+              fs.(i) <- Some (Csplu.factorize plan pat zvals)));
+      Budget.check_opt budget;
       let fs = Array.map (function Some f -> f | None -> assert false) fs in
       (Cm_sparse (Csr.of_dense c_over_h), Ssparse fs)
   in
   (* Φ(ω) column by column (independent), then factorize I - Φ *)
   let phi = Cmat.create n n in
   Obs.span "lptv.phi" (fun () ->
-      Domain_pool.parallel_for_ws pool n ~label:"lptv.phi"
-        ~init:(fun () -> (make_ws n, Cvec.create n))
-        (fun (ws, v) j ->
-          Cvec.fill v Cx.zero;
-          v.(j) <- Cx.one;
-          for k = 1 to m do
-            a_apply_into ws ~solvers ~cmul ~k v v
-          done;
-          for i = 0 to n - 1 do
-            Cmat.set phi i j v.(i)
-          done));
+      Retry.with_transients ~policy ~label:"lptv" (fun () ->
+          Domain_pool.parallel_for_ws pool n ~label:"lptv.phi"
+            ?should_stop:(Budget.stop_opt budget)
+            ~init:(fun () -> (make_ws n, Cvec.create n))
+            (fun (ws, v) j ->
+              Cvec.fill v Cx.zero;
+              v.(j) <- Cx.one;
+              for k = 1 to m do
+                a_apply_into ws ~solvers ~cmul ~k v v
+              done;
+              for i = 0 to n - 1 do
+                Cmat.set phi i j v.(i)
+              done)));
+  Budget.check_opt budget;
   Obs.span "lptv.wrap" @@ fun () ->
   let wrap = Cmat.sub (Cmat.identity n) phi in
   { pss; f_offset; omega; n; m; h; cmul; solvers;

@@ -24,8 +24,8 @@
 
 type t
 
-val build : ?domains:int -> ?backend:Linsys.backend -> Pss.t ->
-  f_offset:float -> t
+val build : ?domains:int -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
+  ?budget:Budget.t -> Pss.t -> f_offset:float -> t
 (** Linearize around the PSS and factorize all [M_k] plus the periodic
     wrap matrix [I - Φ(ω)].  [f_offset] is the input offset frequency
     (1 Hz for the pseudo-noise mismatch reading).
@@ -36,7 +36,13 @@ val build : ?domains:int -> ?backend:Linsys.backend -> Pss.t ->
 
     [backend] selects dense [Clu] or sparse [Csplu] step solvers (one
     shared symbolic plan, per-lane numeric workspaces); the wrap matrix
-    [I - Φ] is dense either way.  Default {!Linsys.Auto}. *)
+    [I - Φ] is dense either way.  Default {!Linsys.Auto}.
+
+    [budget] expiry stops every lane from claiming further work and the
+    build raises {!Budget.Timed_out} at the next phase boundary.  A pool
+    phase killed by a transient lane exception (the ["lptv.factor"]
+    fault site) is deterministically re-run up to [policy.max_retries]
+    times (["ladder.lptv.retry"]). *)
 
 val pss : t -> Pss.t
 val steps : t -> int

@@ -2,6 +2,7 @@ type result = {
   values : float array array;
   summaries : Stats.summary array;
   failed : int;
+  timed_out : bool;
   seconds : float;
 }
 
@@ -23,17 +24,27 @@ let run_sample ~seed ~transform ~params ~circuit ~measure index =
   let perturbed = Circuit.apply_deltas circuit deltas in
   match measure perturbed with row -> Some row | exception _ -> None
 
-let run ?(seed = 42) ?(domains = 1) ?transform ~n ~circuit ~measure () =
+let run ?(seed = 42) ?(domains = 1) ?transform ?budget ~n ~circuit ~measure ()
+    =
   Obs.span "monte_carlo.run" @@ fun () ->
   Obs.count "monte_carlo.samples" n;
   let t_start = Unix.gettimeofday () in
   let params = Circuit.mismatch_params circuit in
   let results = Array.make n None in
   (* each lane writes only its own sample slots; the (seed, index)
-     derivation makes the stream independent of the lane count *)
+     derivation makes the stream independent of the lane count.
+     Budget expiry stops lanes from claiming further samples; the run
+     degrades to a partial result (skipped samples count as failed,
+     [timed_out] flags the truncation) rather than raising — a partial
+     MC population is still a usable estimate. *)
   Domain_pool.with_pool domains (fun pool ->
-      Domain_pool.parallel_for pool n ~label:"monte_carlo.sample" (fun i ->
+      Domain_pool.parallel_for pool n ~label:"monte_carlo.sample"
+        ?should_stop:(Budget.stop_opt budget) (fun i ->
           results.(i) <- run_sample ~seed ~transform ~params ~circuit ~measure i));
+  let timed_out =
+    match budget with Some b -> Budget.expired b | None -> false
+  in
+  if timed_out then Obs.count "monte_carlo.timed_out" 1;
   let collected = Array.to_list results |> List.filter_map (fun x -> x) in
   let values = Array.of_list collected in
   let failed = n - Array.length values in
@@ -42,9 +53,11 @@ let run ?(seed = 42) ?(domains = 1) ?transform ~n ~circuit ~measure () =
     Array.init n_outputs (fun j ->
         Stats.summarize (Array.map (fun row -> row.(j)) values))
   in
-  { values; summaries; failed; seconds = Unix.gettimeofday () -. t_start }
+  { values; summaries; failed; timed_out;
+    seconds = Unix.gettimeofday () -. t_start }
 
-let run_scalar ?seed ?domains ?transform ~n ~circuit ~measure () =
-  run ?seed ?domains ?transform ~n ~circuit ~measure:(fun c -> [| measure c |]) ()
+let run_scalar ?seed ?domains ?transform ?budget ~n ~circuit ~measure () =
+  run ?seed ?domains ?transform ?budget ~n ~circuit
+    ~measure:(fun c -> [| measure c |]) ()
 
 let samples_of r j = Array.map (fun row -> row.(j)) r.values

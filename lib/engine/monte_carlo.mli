@@ -12,12 +12,15 @@
 type result = {
   values : float array array; (** values.(sample).(output) *)
   summaries : Stats.summary array; (** one per output *)
-  failed : int;  (** samples whose measurement did not converge *)
+  failed : int;  (** samples whose measurement did not converge or were
+                     skipped by budget expiry *)
+  timed_out : bool; (** the budget expired before all samples ran *)
   seconds : float;
 }
 
 val run :
   ?seed:int -> ?domains:int -> ?transform:(float array -> float array) ->
+  ?budget:Budget.t ->
   n:int -> circuit:Circuit.t -> measure:(Circuit.t -> float array) -> unit ->
   result
 (** [measure] may raise; such samples are dropped (counted in
@@ -25,10 +28,16 @@ val run :
     function must not mutate shared state).  [transform] maps the raw
     i.i.d. standard-normal-scaled deviation vector before application —
     pass {!Correlated.transform} composed appropriately to sample
-    correlated mismatch (paper §III-C). *)
+    correlated mismatch (paper §III-C).
+
+    [budget] expiry degrades gracefully to a partial population instead
+    of raising: unstarted samples are skipped (counted in [failed]) and
+    [timed_out] is set — summaries are then over the completed samples
+    only. *)
 
 val run_scalar :
   ?seed:int -> ?domains:int -> ?transform:(float array -> float array) ->
+  ?budget:Budget.t ->
   n:int -> circuit:Circuit.t -> measure:(Circuit.t -> float) -> unit ->
   result
 (** Single-output convenience wrapper. *)

@@ -22,6 +22,12 @@ type result = {
   singular_row : int option;
       (** when the Jacobian factorization failed, the original MNA
           unknown index it died on — see {!Circuit.row_name} *)
+  retries : int;
+      (** transient-failure re-attempts (non-finite residual / singular
+          factorization re-runs) absorbed during this solve *)
+  degraded : bool;
+      (** the linear system fell back from sparse to dense at least
+          once — see {!Linsys.degraded} *)
 }
 
 exception No_convergence of string
@@ -34,6 +40,8 @@ val solve :
   eval:(x:Vec.t -> g:Vec.t -> unit) ->
   sys:Linsys.rsys ->
   x0:Vec.t ->
+  ?budget:Budget.t ->
+  ?policy:Retry.policy ->
   ?max_iter:int ->
   ?abstol:float ->
   ?xtol:float ->
@@ -44,4 +52,14 @@ val solve :
     [sys.sink] (the sink is cleared and factorized here).  [max_step]
     clamps the infinity-norm of each Newton update (voltage limiting);
     default 1.0.  Returns with [converged = false] rather than raising
-    so callers can retry with homotopy. *)
+    so callers can retry with homotopy.
+
+    [budget] is ticked once per iteration and raises
+    {!Budget.Timed_out} at expiry.  [policy] (default {!Retry.default})
+    bounds the transient-failure re-attempts of each eval+factorize
+    stage — a non-finite residual or singular factorization is re-run
+    up to [policy.max_retries] times (deterministic, so an injected
+    transient fault recovers bit-identically) — and gates the sparse
+    backend's degrade-to-dense fallback.  Fault sites:
+    ["newton.residual"] ([Nan]) and ["newton.factorize"]
+    ([Singular]). *)

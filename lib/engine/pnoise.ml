@@ -83,36 +83,50 @@ let physical_sources ?temp lptv =
       { src_name = ns.Stamp.ns_name; src_inject = inject; src_psd = 1.0 })
     per_step.(1)
 
-let finish ?(domains = 1) ~output ~harmonic ~f_offset ~lam ~sources () =
+let finish ?(domains = 1) ?(policy = Retry.default) ?budget ~output ~harmonic
+    ~f_offset ~lam ~sources () =
   Obs.count "pnoise.transfers" (Array.length sources);
+  (* per-index slots so budget expiry can abandon the tail; a transient
+     lane fault (the ["pnoise.transfer"] site) re-runs the whole
+     deterministic fan-out bit-identically *)
+  let slots = Array.make (Array.length sources) None in
+  Domain_pool.with_pool domains (fun pool ->
+      Retry.with_transients ~policy ~label:"pnoise" (fun () ->
+          Domain_pool.parallel_for pool (Array.length sources)
+            ~label:"pnoise.transfer" ?should_stop:(Budget.stop_opt budget)
+            (fun i ->
+              Faultsim.check_exn "pnoise.transfer";
+              let src = sources.(i) in
+              let tf = Lptv.apply lam src.src_inject in
+              slots.(i) <-
+                Some
+                  { source = src; transfer = tf;
+                    share = Cx.abs2 tf *. src.src_psd })));
+  Budget.check_opt budget;
   let contributions =
-    Domain_pool.with_pool domains @@ fun pool ->
-    Domain_pool.parallel_init pool (Array.length sources)
-      ~label:"pnoise.transfer" (fun i ->
-        let src = sources.(i) in
-        let tf = Lptv.apply lam src.src_inject in
-        { source = src; transfer = tf; share = Cx.abs2 tf *. src.src_psd })
+    Array.map (function Some c -> c | None -> assert false) slots
   in
   let total = Array.fold_left (fun acc c -> acc +. c.share) 0.0 contributions in
   { output; harmonic; f_offset; total_psd = total; contributions }
 
-let analyze ?domains lptv ~output ~harmonic ~sources =
+let analyze ?domains ?policy ?budget lptv ~output ~harmonic ~sources =
   Obs.span "pnoise.analyze" @@ fun () ->
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let lam = Lptv.adjoint_harmonic lptv ~row ~harmonic in
-  finish ?domains ~output ~harmonic ~f_offset:(Lptv.f_offset lptv) ~lam
-    ~sources ()
+  finish ?domains ?policy ?budget ~output ~harmonic
+    ~f_offset:(Lptv.f_offset lptv) ~lam ~sources ()
 
-let analyze_sample ?domains lptv ~output ~k ~sources =
+let analyze_sample ?domains ?policy ?budget lptv ~output ~k ~sources =
   Obs.span "pnoise.analyze" @@ fun () ->
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
   let lam = Lptv.adjoint_sample lptv ~row ~k in
-  finish ?domains ~output ~harmonic:0 ~f_offset:(Lptv.f_offset lptv) ~lam
-    ~sources ()
+  finish ?domains ?policy ?budget ~output ~harmonic:0
+    ~f_offset:(Lptv.f_offset lptv) ~lam ~sources ()
 
-let sigma_waveform ?(domains = 1) lptv ~output ~sources =
+let sigma_waveform ?(domains = 1) ?(policy = Retry.default) ?budget lptv
+    ~output ~sources =
   Obs.span "pnoise.sigma_waveform" @@ fun () ->
   let pss = Lptv.pss lptv in
   let row = Circuit.node_row pss.Pss.circuit output in
@@ -120,14 +134,21 @@ let sigma_waveform ?(domains = 1) lptv ~output ~sources =
   (* one direct solve per source, fanned out over the pool; each lane
      writes only its own per-source row, then the rows are reduced in
      source order so the result is independent of the lane count *)
-  let rows =
-    Domain_pool.with_pool domains @@ fun pool ->
-    Domain_pool.parallel_init pool (Array.length sources)
-      ~label:"pnoise.solve_source" (fun i ->
-        let src = sources.(i) in
-        let p = Lptv.solve_source lptv src.src_inject in
-        Array.init m (fun j -> Cx.abs2 p.(j + 1).(row) *. src.src_psd))
-  in
+  let slots = Array.make (Array.length sources) None in
+  Domain_pool.with_pool domains (fun pool ->
+      Retry.with_transients ~policy ~label:"pnoise" (fun () ->
+          Domain_pool.parallel_for pool (Array.length sources)
+            ~label:"pnoise.solve_source" ?should_stop:(Budget.stop_opt budget)
+            (fun i ->
+              Faultsim.check_exn "pnoise.transfer";
+              let src = sources.(i) in
+              let p = Lptv.solve_source lptv src.src_inject in
+              slots.(i) <-
+                Some
+                  (Array.init m (fun j ->
+                       Cx.abs2 p.(j + 1).(row) *. src.src_psd)))));
+  Budget.check_opt budget;
+  let rows = Array.map (function Some r -> r | None -> assert false) slots in
   let acc = Array.make m 0.0 in
   Array.iter
     (fun r ->

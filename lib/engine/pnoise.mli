@@ -39,15 +39,17 @@ val physical_sources : ?temp:float -> Lptv.t -> source array
 (** Thermal device noise, periodically modulated by the PSS bias. *)
 
 val analyze :
-  ?domains:int ->
+  ?domains:int -> ?policy:Retry.policy -> ?budget:Budget.t ->
   Lptv.t -> output:string -> harmonic:int -> sources:source array -> sideband
 (** Adjoint analysis of one output sideband (single backward pass, then
     one inner product per source).  [domains] (default 1) fans the
     per-source inner products out over a {!Domain_pool}; results are
-    bit-identical for any lane count. *)
+    bit-identical for any lane count.  [budget] expiry stops the lanes
+    and raises {!Budget.Timed_out}; [policy] bounds the re-runs of a
+    fan-out killed by a transient ["pnoise.transfer"] fault. *)
 
 val analyze_sample :
-  ?domains:int ->
+  ?domains:int -> ?policy:Retry.policy -> ?budget:Budget.t ->
   Lptv.t -> output:string -> k:int -> sources:source array -> sideband
 (** Time-domain variant: the functional is the response at grid point
     [k]; [total_psd] is then the variance density of the output voltage
@@ -55,7 +57,7 @@ val analyze_sample :
     delay extraction). *)
 
 val sigma_waveform :
-  ?domains:int ->
+  ?domains:int -> ?policy:Retry.policy -> ?budget:Budget.t ->
   Lptv.t -> output:string -> sources:source array -> float array
 (** σ(t_k), k = 1..steps: the ±σ envelope of Fig. 8.  Uses one direct
     solve per source, fanned out over [domains] lanes (default 1). *)

@@ -16,8 +16,8 @@ exception No_convergence of string
 
 (* Integrate one period with BE from x0; record states and per-step
    factorizations; optionally accumulate the monodromy matrix. *)
-let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0
-    ~want_monodromy =
+let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0 ?budget
+    ?policy ~want_monodromy () =
   let n = Vec.dim x0 in
   let h = period /. float_of_int steps in
   let c_rmat = Linsys.cmat_of sys c_mat in
@@ -28,7 +28,8 @@ let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0
   for k = 0 to steps - 1 do
     let r =
       Tran.step ~options:tran_options ~circuit ~sys ~c_mat:c_rmat
-        ~x_prev:states.(k) ~t_prev:times.(k) ~t_next:times.(k + 1) ()
+        ~x_prev:states.(k) ~t_prev:times.(k) ~t_next:times.(k + 1) ?budget
+        ?policy ()
     in
     if not r.Newton.converged then begin
       let where =
@@ -69,8 +70,9 @@ let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0
   in
   (times, states, facts, mono)
 
-let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
-    ?(warmup_periods = 2) circuit ~period =
+let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend
+    ?(policy = Retry.default) ?budget ?x0 ?(warmup_periods = 2) circuit
+    ~period =
   Obs.span "pss.solve" @@ fun () ->
   Obs.count "pss.solves" 1;
   let c_mat = Stamp.c_matrix circuit in
@@ -80,11 +82,12 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
     match x0 with
     | Some x -> Vec.copy x
     | None ->
-      let dc = Dc.solve ?backend circuit in
+      let dc = Dc.solve ?backend ~policy ?budget circuit in
       if warmup_periods <= 0 then dc
       else begin
         let w =
-          Tran.run ?backend ~x0:dc ~record:false circuit ~tstart:0.0
+          Tran.run ?backend ~policy ?budget ~x0:dc ~record:false circuit
+            ~tstart:0.0
             ~tstop:(period *. float_of_int warmup_periods)
             ~dt:(period /. float_of_int steps)
             ()
@@ -93,48 +96,65 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend ?x0
       end
   in
   let n = Vec.dim x_init in
-  let x0 = ref x_init in
-  let rhist = ref [] in
-  let rec iterate iter =
-    let times, states, facts, mono =
-      Obs.span "pss.sweep" @@ fun () ->
-      sweep ~circuit ~sys ~c_mat ~tran_options ~t0:0.0 ~period ~steps ~x0:!x0
-        ~want_monodromy:true
-    in
-    Obs.count "pss.sweep_steps" steps;
-    let mono = match mono with Some m -> m | None -> assert false in
-    let r = Vec.sub states.(steps) !x0 in
-    let rnorm = Vec.norm_inf r in
-    rhist := rnorm :: !rhist;
-    if rnorm < tol then
-      {
-        circuit; period; steps; times; states; c_mat; sys; step_facts = facts;
-        monodromy = mono; iterations = iter; residual = rnorm;
-      }
-    else if iter >= max_iter then
-      raise
-        (No_convergence
-           (Printf.sprintf
-              "PSS shooting stalled: residual %.3g after %d iters \
-               (trajectory %s)"
-              rnorm iter
-              (Newton.history_string (Array.of_list (List.rev !rhist)))))
-    else begin
-      Obs.count "pss.shooting_iterations" 1;
-      (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
-      let j = Mat.sub mono (Mat.identity n) in
-      let delta =
-        match Lu.factorize j with
-        | lu -> Lu.solve lu (Vec.scale (-1.0) r)
-        | exception Lu.Singular _ ->
-          raise (No_convergence "PSS shooting: singular (monodromy has \
-                                 an eigenvalue at 1; use Pss_osc?)")
+  let solve_with steps =
+    let x0 = ref (Vec.copy x_init) in
+    let rhist = ref [] in
+    let rec iterate iter =
+      Budget.check_opt budget;
+      let times, states, facts, mono =
+        Obs.span "pss.sweep" @@ fun () ->
+        sweep ~circuit ~sys ~c_mat ~tran_options ~t0:0.0 ~period ~steps
+          ~x0:!x0 ?budget ~policy ~want_monodromy:true ()
       in
-      x0 := Vec.add !x0 delta;
-      iterate (iter + 1)
-    end
+      Obs.count "pss.sweep_steps" steps;
+      let mono = match mono with Some m -> m | None -> assert false in
+      let r = Vec.sub states.(steps) !x0 in
+      let rnorm = Vec.norm_inf r in
+      rhist := rnorm :: !rhist;
+      if rnorm < tol then
+        {
+          circuit; period; steps; times; states; c_mat; sys;
+          step_facts = facts; monodromy = mono; iterations = iter;
+          residual = rnorm;
+        }
+      else if iter >= max_iter then
+        raise
+          (No_convergence
+             (Printf.sprintf
+                "PSS shooting stalled: residual %.3g after %d iters \
+                 (trajectory %s)"
+                rnorm iter
+                (Newton.history_string (Array.of_list (List.rev !rhist)))))
+      else begin
+        Obs.count "pss.shooting_iterations" 1;
+        (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
+        let j = Mat.sub mono (Mat.identity n) in
+        let delta =
+          match Lu.factorize j with
+          | lu -> Lu.solve lu (Vec.scale (-1.0) r)
+          | exception Lu.Singular _ ->
+            raise (No_convergence "PSS shooting: singular (monodromy has \
+                                   an eigenvalue at 1; use Pss_osc?)")
+        in
+        x0 := Vec.add !x0 delta;
+        iterate (iter + 1)
+      end
+    in
+    iterate 0
   in
-  iterate 0
+  (* shooting fallback rung: a sweep that stalls (a BE step that will
+     not converge on the current grid) or a stalled shooting loop is
+     retried on a 2× finer grid, bounded by the policy *)
+  let rec ladder steps tries =
+    match solve_with steps with
+    | t -> t
+    | exception No_convergence _
+      when policy.Retry.allow_homotopy && tries < policy.Retry.max_retries ->
+      Budget.check_opt budget;
+      Retry.rung "pss.refine";
+      ladder (steps * 2) (tries + 1)
+  in
+  ladder steps 0
 
 let state_at t ~k = t.states.(k)
 

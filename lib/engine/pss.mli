@@ -28,7 +28,8 @@ exception No_convergence of string
 val sweep :
   circuit:Circuit.t -> sys:Linsys.rsys -> c_mat:Mat.t ->
   tran_options:Tran.options -> t0:float -> period:float -> steps:int ->
-  x0:Vec.t -> want_monodromy:bool ->
+  x0:Vec.t -> ?budget:Budget.t -> ?policy:Retry.policy ->
+  want_monodromy:bool -> unit ->
   float array * Vec.t array * Linsys.rfact array * Mat.t option
 (** One backward-Euler pass over a period: grid times, states, per-step
     factorizations and (optionally) the monodromy matrix.  Exposed for
@@ -36,10 +37,14 @@ val sweep :
 
 val solve :
   ?steps:int -> ?max_iter:int -> ?tol:float -> ?backend:Linsys.backend ->
-  ?x0:Vec.t -> ?warmup_periods:int -> Circuit.t -> period:float -> t
+  ?policy:Retry.policy -> ?budget:Budget.t -> ?x0:Vec.t ->
+  ?warmup_periods:int -> Circuit.t -> period:float -> t
 (** [solve c ~period] computes the PSS.  The initial guess is the DC
     point integrated for [warmup_periods] (default 2) periods.
-    [steps] defaults to 200. *)
+    [steps] defaults to 200.  A sweep or shooting loop that stalls is
+    retried on a 2× finer grid, bounded by [policy.max_retries] (the
+    ["ladder.pss.refine"] counter); [budget] is checked per shooting
+    iterate and threads into every inner solve ({!Budget.Timed_out}). *)
 
 val state_at : t -> k:int -> Vec.t
 (** Grid state, [k] ∈ [0, steps]. *)

@@ -9,8 +9,9 @@ exception No_convergence of string
 
 (* free-running transient from a slightly perturbed DC point; returns
    (x at a rising anchor crossing, period estimate) *)
-let warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps =
-  let dc = Dc.solve ?backend circuit in
+let warmup ?backend ~policy ?budget circuit ~anchor ~f_guess ~settle_periods
+    ~steps =
+  let dc = Dc.solve ?backend ~policy ?budget circuit in
   (* kick the anchor node so a symmetric metastable start still
      oscillates *)
   let x0 = Vec.copy dc in
@@ -19,7 +20,7 @@ let warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps =
   let t_guess = 1.0 /. f_guess in
   let dt = t_guess /. float_of_int steps in
   let w =
-    Tran.run ?backend ~x0 circuit ~tstart:0.0
+    Tran.run ?backend ~policy ?budget ~x0 circuit ~tstart:0.0
       ~tstop:(settle_periods *. t_guess) ~dt ()
   in
   let v = Waveform.signal w anchor in
@@ -45,14 +46,15 @@ let warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps =
   (Vec.copy w.Waveform.states.(!idx), period)
 
 let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
-    ?backend circuit ~anchor ~f_guess =
+    ?backend ?(policy = Retry.default) ?budget circuit ~anchor ~f_guess =
   Obs.span "pss_osc.solve" @@ fun () ->
   Obs.count "pss_osc.solves" 1;
   let c_mat = Stamp.c_matrix circuit in
   let sys = Linsys.make ?backend circuit in
   let x_start, period0 =
     Obs.span "pss_osc.warmup" @@ fun () ->
-    warmup ?backend circuit ~anchor ~f_guess ~settle_periods ~steps
+    warmup ?backend ~policy ?budget circuit ~anchor ~f_guess ~settle_periods
+      ~steps
   in
   let n = Vec.dim x_start in
   let anchor_row = Circuit.node_row circuit anchor in
@@ -61,6 +63,7 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
   let period = ref period0 in
   let rhist = ref [] in
   let rec iterate iter =
+    Budget.check_opt budget;
     if iter > max_iter then
       raise
         (No_convergence
@@ -71,7 +74,8 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
       try
         Obs.span "pss.sweep" @@ fun () ->
         Pss.sweep ~circuit ~sys ~c_mat ~tran_options:Tran.default_options
-          ~t0:0.0 ~period:!period ~steps ~x0:!x0 ~want_monodromy:true
+          ~t0:0.0 ~period:!period ~steps ~x0:!x0 ?budget ~policy
+          ~want_monodromy:true ()
       with Pss.No_convergence m -> raise (No_convergence m)
     in
     Obs.count "pss.sweep_steps" steps;

@@ -22,11 +22,14 @@ exception No_convergence of string
 
 val solve :
   ?steps:int -> ?max_iter:int -> ?tol:float -> ?settle_periods:float ->
-  ?backend:Linsys.backend -> Circuit.t -> anchor:string -> f_guess:float -> t
+  ?backend:Linsys.backend -> ?policy:Retry.policy -> ?budget:Budget.t ->
+  Circuit.t -> anchor:string -> f_guess:float -> t
 (** [solve c ~anchor ~f_guess] finds the limit cycle.  [anchor] is a
     swinging node used both for the period estimate and the phase
     condition; [f_guess] seeds the free-running warmup (it may be off
     by a factor of ~2).  [settle_periods] (default 20) warmup cycles
-    let the start-up transient die out. *)
+    let the start-up transient die out.  [budget] is checked per
+    shooting iterate and threads into the warmup and every sweep
+    ({!Budget.Timed_out}); [policy] threads into the inner solves. *)
 
 val frequency : t -> float

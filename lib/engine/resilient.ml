@@ -1,0 +1,63 @@
+type failure =
+  | Timed_out of Budget.info
+  | Non_convergence of { analysis : string; detail : string }
+  | Singular_system of { row : int }
+  | Step_failed of { t : float }
+  | Injected_fault of string
+  | Other of string
+
+type 'a outcome = {
+  result : ('a, failure) result;
+  elapsed_s : float;
+  degradations : int;
+}
+
+let describe = function
+  | Timed_out info ->
+    let wall =
+      match info.Budget.budget_s with
+      | Some b -> Printf.sprintf " (budget %.3gs)" b
+      | None -> ""
+    in
+    Printf.sprintf "%s timed out after %.3gs%s, %d iterations"
+      info.Budget.label info.Budget.elapsed_s wall info.Budget.iterations
+  | Non_convergence { analysis; detail } ->
+    Printf.sprintf "%s did not converge: %s" analysis detail
+  | Singular_system { row } ->
+    Printf.sprintf "singular system at MNA row %d" row
+  | Step_failed { t } ->
+    Printf.sprintf "transient step failed at t=%.4g" t
+  | Injected_fault msg -> Printf.sprintf "injected fault: %s" msg
+  | Other msg -> msg
+
+let run ?budget ~label f =
+  let t0 = Unix.gettimeofday () in
+  let d0 = Linsys.degradation_count () in
+  let result =
+    match
+      Budget.check_opt budget;
+      f ()
+    with
+    | v -> Ok v
+    | exception Budget.Timed_out info -> Error (Timed_out info)
+    | exception Newton.No_convergence d ->
+      Error (Non_convergence { analysis = label; detail = d })
+    | exception Dc.No_convergence d ->
+      Error (Non_convergence { analysis = label; detail = d })
+    | exception Pss.No_convergence d ->
+      Error (Non_convergence { analysis = label; detail = d })
+    | exception Pss_osc.No_convergence d ->
+      Error (Non_convergence { analysis = label; detail = d })
+    | exception Linsys.Singular_row row -> Error (Singular_system { row })
+    | exception Tran.Step_failed t -> Error (Step_failed { t })
+    | exception Faultsim.Injected msg -> Error (Injected_fault msg)
+    | exception Failure msg -> Error (Other msg)
+  in
+  (match result with
+   | Ok _ -> ()
+   | Error _ -> Obs.count "resilient.failures" 1);
+  {
+    result;
+    elapsed_s = Unix.gettimeofday () -. t0;
+    degradations = Linsys.degradation_count () - d0;
+  }

@@ -1,0 +1,28 @@
+type policy = {
+  max_retries : int;
+  backoff : float;
+  allow_homotopy : bool;
+  allow_degradation : bool;
+}
+
+let default =
+  { max_retries = 2; backoff = 0.5; allow_homotopy = true;
+    allow_degradation = true }
+
+let strict =
+  { max_retries = 0; backoff = 0.5; allow_homotopy = false;
+    allow_degradation = false }
+
+let of_cli ~max_retries ~strict:s =
+  if s then strict else { default with max_retries }
+
+let rung name = Obs.count ("ladder." ^ name) 1
+
+let with_transients ?(policy = default) ~label f =
+  let rec go tries =
+    try f ()
+    with Faultsim.Injected _ when tries < policy.max_retries ->
+      rung (label ^ ".retry");
+      go (tries + 1)
+  in
+  go 0

@@ -24,7 +24,7 @@ exception Step_failed of float
 (* residual of one implicit step:
    BE:   C(x - x_prev)/h + g(x, t_next) = 0
    trap: C(x - x_prev)/h + (g(x, t_next) + g_prev)/2 = 0 *)
-let step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next
+let step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ?budget ?policy
     ?(forcing = []) () =
   let h = t_next -. t_prev in
   let n = Vec.dim x_prev in
@@ -84,12 +84,28 @@ let step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next
       done
     | _ -> invalid_arg "Tran.step: c_mat representation mismatch"
   in
-  Newton.solve ~eval ~sys ~x0:x_prev ~max_iter:options.max_newton
-    ~abstol:options.abstol ~xtol:options.xtol ~max_step:1.0 ()
+  Newton.solve ~eval ~sys ~x0:x_prev ?budget ?policy
+    ~max_iter:options.max_newton ~abstol:options.abstol ~xtol:options.xtol
+    ~max_step:1.0 ()
 
-(* advance from (t_prev, x_prev) to t_next, halving on Newton failure *)
-let rec advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ~depth =
-  let r = step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next () in
+(* advance from (t_prev, x_prev) to t_next, halving on Newton failure.
+   The ["tran.step"] fault site can kill a step attempt; a killed
+   attempt is deterministically re-run up to [policy.max_retries]
+   times before the exception escapes. *)
+let rec advance ~options ~circuit ~sys ~c_mat ~budget ~policy ~x_prev ~t_prev
+    ~t_next ~depth =
+  let r =
+    let rec attempt tries =
+      try
+        Faultsim.check_exn "tran.step";
+        step ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ?budget
+          ~policy ()
+      with Faultsim.Injected _ when tries < policy.Retry.max_retries ->
+        Retry.rung "tran.retry";
+        attempt (tries + 1)
+    in
+    attempt 0
+  in
   if r.Newton.converged then begin
     Obs.count "tran.steps" 1;
     r.Newton.x
@@ -99,15 +115,15 @@ let rec advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next ~depth =
     Obs.count "tran.rejected_steps" 1;
     let t_mid = 0.5 *. (t_prev +. t_next) in
     let x_mid =
-      advance ~options ~circuit ~sys ~c_mat ~x_prev ~t_prev ~t_next:t_mid
-        ~depth:(depth + 1)
+      advance ~options ~circuit ~sys ~c_mat ~budget ~policy ~x_prev ~t_prev
+        ~t_next:t_mid ~depth:(depth + 1)
     in
-    advance ~options ~circuit ~sys ~c_mat ~x_prev:x_mid ~t_prev:t_mid ~t_next
-      ~depth:(depth + 1)
+    advance ~options ~circuit ~sys ~c_mat ~budget ~policy ~x_prev:x_mid
+      ~t_prev:t_mid ~t_next ~depth:(depth + 1)
   end
 
-let run ?(options = default_options) ?backend ?x0 ?(record = true) circuit
-    ~tstart ~tstop ~dt () =
+let run ?(options = default_options) ?backend ?(policy = Retry.default) ?budget
+    ?x0 ?(record = true) circuit ~tstart ~tstop ~dt () =
   if dt <= 0.0 || tstop <= tstart then invalid_arg "Tran.run: bad time grid";
   Obs.span "tran.run" @@ fun () ->
   Obs.count "tran.runs" 1;
@@ -116,7 +132,7 @@ let run ?(options = default_options) ?backend ?x0 ?(record = true) circuit
   let x0 =
     match x0 with
     | Some x -> Vec.copy x
-    | None -> Dc.solve_at ?backend ~t:tstart circuit
+    | None -> Dc.solve_at ?backend ~policy ?budget ~t:tstart circuit
   in
   let steps = int_of_float (Float.ceil ((tstop -. tstart) /. dt -. 1e-9)) in
   let times = ref [ tstart ] in
@@ -125,9 +141,10 @@ let run ?(options = default_options) ?backend ?x0 ?(record = true) circuit
   let t = ref tstart in
   for k = 1 to steps do
     let t_next = Float.min (tstart +. (float_of_int k *. dt)) tstop in
+    Budget.check_opt budget;
     let x_next =
-      advance ~options ~circuit ~sys ~c_mat ~x_prev:!x ~t_prev:!t ~t_next
-        ~depth:0
+      advance ~options ~circuit ~sys ~c_mat ~budget ~policy ~x_prev:!x
+        ~t_prev:!t ~t_next ~depth:0
     in
     x := x_next;
     t := t_next;

@@ -23,15 +23,22 @@ exception Step_failed of float
 (** Raised with the failing time when step halving bottoms out. *)
 
 val run :
-  ?options:options -> ?backend:Linsys.backend -> ?x0:Vec.t -> ?record:bool ->
+  ?options:options -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
+  ?budget:Budget.t -> ?x0:Vec.t -> ?record:bool ->
   Circuit.t -> tstart:float -> tstop:float -> dt:float -> unit -> Waveform.t
 (** [run c ~tstart ~tstop ~dt ()] integrates and records every accepted
     base step (sub-steps from halving are not recorded).  [record:false]
-    keeps only the first and last states (fast settling runs). *)
+    keeps only the first and last states (fast settling runs).
+
+    [budget] is checked before every base step and ticked per Newton
+    iteration inside the steps ({!Budget.Timed_out}); [policy] bounds
+    the transient-fault re-runs of a step (the ["tran.step"] fault
+    site) and threads into the per-step Newton solves. *)
 
 val step :
   options:options -> circuit:Circuit.t -> sys:Linsys.rsys ->
   c_mat:Linsys.rmat -> x_prev:Vec.t -> t_prev:float -> t_next:float ->
+  ?budget:Budget.t -> ?policy:Retry.policy ->
   ?forcing:(int * float) list -> unit -> Newton.result
 (** One implicit integration step (exposed for the shooting solvers,
     which also need the Jacobian factorization at the solution).

@@ -19,6 +19,10 @@ type job = {
   hi : int;
   chunk : int;
   label : string; (* telemetry name for the per-lane trace slices *)
+  should_stop : unit -> bool;
+      (* cooperative cancellation (e.g. a budget deadline): polled
+         before each chunk claim on every lane; remaining indices are
+         abandoned once it turns true *)
 }
 
 type t = {
@@ -54,6 +58,8 @@ let drain t ~lane (job : job) =
   let items = ref 0 in
   let t0 = if Obs.enabled () then Obs.now () else 0.0 in
   while !live do
+    if job.should_stop () then live := false
+    else
     let i = Atomic.fetch_and_add job.next job.chunk in
     if i >= job.hi then live := false
     else begin
@@ -144,18 +150,23 @@ let with_pool lanes f =
   let t = create lanes in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let parallel_for_ws t ?(chunk = 1) ?(label = "pool.job") n ~init body =
+let no_stop () = false
+
+let parallel_for_ws t ?(chunk = 1) ?(label = "pool.job") ?(should_stop = no_stop)
+    n ~init body =
   if chunk < 1 then invalid_arg "Domain_pool.parallel_for_ws: chunk < 1";
   if n > 0 then begin
     if n = 1 || t.workers = [] then begin
       let t0 = if Obs.enabled () then Obs.now () else 0.0 in
       let ws = init () in
-      for i = 0 to n - 1 do
-        body ws i
+      let i = ref 0 in
+      while !i < n && not (should_stop ()) do
+        body ws !i;
+        incr i
       done;
       if Obs.enabled () then begin
         Obs.lane_slice ~lane:0 ~name:label ~t0 ~t1:(Obs.now ());
-        Obs.lane_items ~lane:0 n
+        Obs.lane_items ~lane:0 !i
       end
     end
     else begin
@@ -169,6 +180,7 @@ let parallel_for_ws t ?(chunk = 1) ?(label = "pool.job") n ~init body =
           hi = n;
           chunk;
           label;
+          should_stop;
         }
       in
       Mutex.lock t.mutex;
@@ -190,8 +202,9 @@ let parallel_for_ws t ?(chunk = 1) ?(label = "pool.job") n ~init body =
     end
   end
 
-let parallel_for t ?chunk ?label n body =
-  parallel_for_ws t ?chunk ?label n ~init:(fun () -> ()) (fun () i -> body i)
+let parallel_for t ?chunk ?label ?should_stop n body =
+  parallel_for_ws t ?chunk ?label ?should_stop n ~init:(fun () -> ())
+    (fun () i -> body i)
 
 let parallel_init t ?chunk ?label n f =
   if n = 0 then [||]

@@ -31,7 +31,9 @@ val with_pool : int -> (t -> 'a) -> 'a
 (** [with_pool lanes f] runs [f] with a fresh pool and always shuts it
     down, including on exceptions. *)
 
-val parallel_for : t -> ?chunk:int -> ?label:string -> int -> (int -> unit) -> unit
+val parallel_for :
+  t -> ?chunk:int -> ?label:string -> ?should_stop:(unit -> bool) -> int ->
+  (int -> unit) -> unit
 (** [parallel_for pool n body] runs [body i] for [i] in [0, n), spread
     over the pool's lanes; returns when all indices have completed.
     [chunk] (default 1) indices are claimed at a time.  If any [body]
@@ -39,11 +41,17 @@ val parallel_for : t -> ?chunk:int -> ?label:string -> int -> (int -> unit) -> u
     range drains; remaining indices may or may not have run.  [label]
     (default ["pool.job"]) names the per-lane telemetry slices this job
     emits when {!Obs.enabled}; telemetry never changes scheduling or
-    results. *)
+    results.
+
+    [should_stop] is polled by every lane before each chunk claim
+    (default constant [false]): once it returns true, remaining indices
+    are abandoned and the call returns normally — the cooperative
+    cancellation hook budgets propagate through (the caller is expected
+    to notice the expiry itself and raise its structured timeout). *)
 
 val parallel_for_ws :
-  t -> ?chunk:int -> ?label:string -> int -> init:(unit -> 'ws) ->
-  ('ws -> int -> unit) -> unit
+  t -> ?chunk:int -> ?label:string -> ?should_stop:(unit -> bool) -> int ->
+  init:(unit -> 'ws) -> ('ws -> int -> unit) -> unit
 (** Like {!parallel_for}, but each participating lane calls [init] once
     (lazily, on its first claimed chunk) and threads the result through
     its iterations — the hook for per-lane scratch workspaces that must

@@ -10,13 +10,18 @@ let span_name = function
   | Spice_ast.A_mismatch_freq _ -> "spice.mismatch_freq"
   | Spice_ast.A_monte_carlo _ -> "spice.monte_carlo"
 
-let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
+(* [policy]/[budget] thread into the nonlinear engines (DC, transient,
+   PSS, the mismatch analyses, Monte Carlo).  The LTI small-signal
+   analyses (.ac, .noise, .dcmatch sensitivities) are single direct
+   solves with no iteration to bound and stay untouched. *)
+let run_analysis ?(domains = 1) ?backend ?policy ?budget ppf
+    (deck : Spice_elab.t) analysis =
   Obs.span (span_name analysis) @@ fun () ->
   Obs.count "spice.analyses" 1;
   let circuit = deck.Spice_elab.circuit in
   match analysis with
   | Spice_ast.A_op ->
-    let x = Dc.solve ?backend circuit in
+    let x = Dc.solve ?backend ?policy ?budget circuit in
     Format.fprintf ppf "@[<v>.op operating point:@,";
     for id = 1 to Circuit.num_nodes circuit do
       Format.fprintf ppf "  v(%s) = %.6g@," (Circuit.node_name circuit id)
@@ -27,7 +32,9 @@ let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
     Format.fprintf ppf "%a@." Sens.pp_report
       (Sens.dc_match ?backend circuit ~output)
   | Spice_ast.A_tran { dt; tstop; nodes } ->
-    let w = Tran.run ?backend circuit ~tstart:0.0 ~tstop ~dt () in
+    let w =
+      Tran.run ?backend ?policy ?budget circuit ~tstart:0.0 ~tstop ~dt ()
+    in
     let nodes =
       match nodes with
       | [] ->
@@ -59,7 +66,7 @@ let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
       points;
     Format.fprintf ppf "@]@."
   | Spice_ast.A_pss { period } ->
-    let pss = Pss.solve ?backend circuit ~period in
+    let pss = Pss.solve ?backend ?policy ?budget circuit ~period in
     Format.fprintf ppf
       ".pss: converged in %d shooting iterations, residual %.3g@."
       pss.Pss.iterations pss.Pss.residual;
@@ -72,10 +79,14 @@ let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
         lo hi (Pss.amplitude pss name)
     done
   | Spice_ast.A_mismatch_dc { output; period } ->
-    let ctx = Analysis.prepare ~domains ?backend circuit ~period in
+    let ctx =
+      Analysis.prepare ~domains ?backend ?policy ?budget circuit ~period
+    in
     Format.fprintf ppf "%a@." Report.pp (Analysis.dc_variation ctx ~output)
   | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
-    let ctx = Analysis.prepare ~domains ?backend circuit ~period in
+    let ctx =
+      Analysis.prepare ~domains ?backend ?policy ?budget circuit ~period
+    in
     let crossing =
       {
         Analysis.edge = (if rising then Waveform.Rising else Waveform.Falling);
@@ -87,7 +98,8 @@ let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
       (Analysis.delay_variation ctx ~output ~crossing)
   | Spice_ast.A_mismatch_freq { anchor; f_guess } ->
     let rep, osc =
-      Analysis.frequency_variation ?backend circuit ~anchor ~f_guess
+      Analysis.frequency_variation ?backend ?policy ?budget circuit ~anchor
+        ~f_guess
     in
     Format.fprintf ppf "oscillator frequency: %.6g Hz@."
       osc.Pss_osc.frequency;
@@ -95,12 +107,17 @@ let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
   | Spice_ast.A_monte_carlo { n; seed } ->
     (* generic Monte Carlo over all node voltages at the DC point *)
     let mc =
-      Monte_carlo.run ~seed ~n ~circuit
+      Monte_carlo.run ~seed ?budget ~n ~circuit
         ~measure:(fun c ->
-          let x = Dc.solve ?backend c in
+          let x = Dc.solve ?backend ?policy c in
           Array.init (Circuit.num_nodes c) (fun i -> x.(i)))
         ()
     in
+    if mc.Monte_carlo.timed_out then
+      Format.fprintf ppf
+        ".mc: budget expired, %d of %d samples completed@."
+        (Array.length mc.Monte_carlo.values)
+        n;
     Format.fprintf ppf "@[<v>.mc (n=%d) node voltage statistics:@," n;
     Array.iteri
       (fun i (s : Stats.summary) ->
@@ -110,12 +127,12 @@ let run_analysis ?(domains = 1) ?backend ppf (deck : Spice_elab.t) analysis =
       mc.Monte_carlo.summaries;
     Format.fprintf ppf "@]@."
 
-let run ?domains ?backend ppf deck =
+let run ?domains ?backend ?policy ?budget ppf deck =
   if deck.Spice_elab.title <> "" then
     Format.fprintf ppf "* %s@.@." deck.Spice_elab.title;
   match deck.Spice_elab.analyses with
-  | [] -> run_analysis ?domains ?backend ppf deck Spice_ast.A_op
+  | [] -> run_analysis ?domains ?backend ?policy ?budget ppf deck Spice_ast.A_op
   | analyses ->
     List.iter
-      (fun (_ln, a) -> run_analysis ?domains ?backend ppf deck a)
+      (fun (_ln, a) -> run_analysis ?domains ?backend ?policy ?budget ppf deck a)
       analyses

@@ -1,0 +1,157 @@
+(* obs_check — CI validator for varsim telemetry exports.
+
+   Replaces the former inline python3 check in the workflow with a
+   dependency-free OCaml one built on Obs_json:
+
+     obs_check --metrics m.json --root varsim \
+       --counter 'newton.iterations>=1' --counter 'pss.solves=1' \
+       --trace t.json --lanes 2
+
+   Metrics: the file must parse, the root span must carry the expected
+   name, and every --counter constraint (NAME=N exact, NAME>=N lower
+   bound; a missing counter reads as 0) must hold.
+
+   Trace: the file must parse, contain at least one complete ("X")
+   event, and name a "main" thread track plus "lane 0".."lane N-1" when
+   --lanes N is given.  Exit 0 on success, 1 with a diagnostic on the
+   first violation. *)
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("obs_check: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error msg -> fail "%s" msg
+
+let parse_json path =
+  match Obs_json.parse (read_file path) with
+  | j -> j
+  | exception Obs_json.Parse_error msg -> fail "%s: %s" path msg
+
+type op = Eq | Ge
+
+let parse_counter spec =
+  let split marker op =
+    match String.index_opt spec marker.[0] with
+    | Some i
+      when i > 0
+           && String.length spec >= i + String.length marker
+           && String.sub spec i (String.length marker) = marker -> begin
+      let name = String.sub spec 0 i in
+      let pos = i + String.length marker in
+      let v = String.sub spec pos (String.length spec - pos) in
+      match float_of_string_opt v with
+      | Some v -> Some (name, op, v)
+      | None -> fail "--counter %s: bad value %S" spec v
+    end
+    | _ -> None
+  in
+  match split ">=" Ge with
+  | Some c -> c
+  | None -> begin
+    match split "=" Eq with
+    | Some c -> c
+    | None -> fail "--counter %s: expected NAME=N or NAME>=N" spec
+  end
+
+let check_metrics ~root ~counters path =
+  let j = parse_json path in
+  (match Option.bind (Obs_json.member "root" j) (Obs_json.member "name") with
+   | Some n when Obs_json.to_string n = root -> ()
+   | Some n ->
+     fail "%s: root span is %S, expected %S" path (Obs_json.to_string n) root
+   | None -> fail "%s: no root span name" path);
+  let cs =
+    match Obs_json.member "counters" j with
+    | Some (Obs_json.Obj kvs) -> kvs
+    | Some _ | None -> fail "%s: no counters object" path
+  in
+  List.iter
+    (fun (name, op, want) ->
+      let got =
+        match List.assoc_opt name cs with
+        | Some v -> Obs_json.to_num v
+        | None -> 0.0
+      in
+      let ok = match op with Eq -> got = want | Ge -> got >= want in
+      if not ok then
+        fail "%s: counter %s is %g, wanted %s%g" path name got
+          (match op with Eq -> "=" | Ge -> ">=")
+          want)
+    counters;
+  Printf.printf "obs_check: %s ok (%d counter constraints)\n" path
+    (List.length counters)
+
+let check_trace ~lanes path =
+  let j = parse_json path in
+  let evs =
+    match Obs_json.member "traceEvents" j with
+    | Some (Obs_json.List evs) -> evs
+    | Some _ | None -> fail "%s: no traceEvents array" path
+  in
+  let phase e =
+    match Obs_json.member "ph" e with
+    | Some (Obs_json.Str p) -> p
+    | _ -> ""
+  in
+  if not (List.exists (fun e -> phase e = "X") evs) then
+    fail "%s: no complete (\"X\") events" path;
+  let tracks =
+    List.filter_map
+      (fun e ->
+        match Obs_json.member "name" e with
+        | Some (Obs_json.Str "thread_name") when phase e = "M" ->
+          Option.bind (Obs_json.member "args" e) (Obs_json.member "name")
+          |> Option.map Obs_json.to_string
+        | _ -> None)
+      evs
+  in
+  let want = "main" :: List.init lanes (Printf.sprintf "lane %d") in
+  List.iter
+    (fun name ->
+      if not (List.mem name tracks) then
+        fail "%s: missing thread track %S (have: %s)" path name
+          (String.concat ", " tracks))
+    want;
+  Printf.printf "obs_check: %s ok (tracks: %s)\n" path
+    (String.concat ", " tracks)
+
+let () =
+  let metrics = ref None in
+  let trace = ref None in
+  let root = ref "varsim" in
+  let lanes = ref 0 in
+  let counters = ref [] in
+  let spec =
+    [
+      ( "--metrics",
+        Arg.String (fun s -> metrics := Some s),
+        "FILE metrics JSON to validate" );
+      ( "--root",
+        Arg.Set_string root,
+        "NAME required root span name (default varsim)" );
+      ( "--counter",
+        Arg.String (fun s -> counters := parse_counter s :: !counters),
+        "SPEC required counter: NAME=N (exact) or NAME>=N (lower bound)" );
+      ( "--trace",
+        Arg.String (fun s -> trace := Some s),
+        "FILE Chrome trace JSON to validate" );
+      ( "--lanes",
+        Arg.Set_int lanes,
+        "N require thread tracks main + lane 0..N-1" );
+    ]
+  in
+  Arg.parse spec
+    (fun a -> fail "unexpected argument %S" a)
+    "obs_check [--metrics FILE [--root NAME] [--counter SPEC]...] \
+     [--trace FILE [--lanes N]]";
+  if !metrics = None && !trace = None then
+    fail "nothing to check: pass --metrics and/or --trace";
+  Option.iter (check_metrics ~root:!root ~counters:(List.rev !counters))
+    !metrics;
+  Option.iter (check_trace ~lanes:!lanes) !trace
