@@ -66,17 +66,62 @@ let json_of_case c =
     c.circuit_name c.steps c.n_sources c.domains c.build_s c.analyze_s
     c.total_psd
 
+(* the lane count that actually won a circuit's sweep (build + analyze
+   wall time), not a host-wide guess *)
+let winner_of cases name =
+  let mine = List.filter (fun c -> c.circuit_name = name) cases in
+  List.fold_left
+    (fun acc c ->
+      if c.build_s +. c.analyze_s < acc.build_s +. acc.analyze_s then c
+      else acc)
+    (List.hd mine) mine
+
 let write_json ~path cases =
+  let names =
+    List.fold_left
+      (fun acc c ->
+        if List.mem c.circuit_name acc then acc else acc @ [ c.circuit_name ])
+      [] cases
+  in
+  let winners = List.map (winner_of cases) names in
+  (* the recommendation comes from the measured winner of the *largest*
+     case in the suite (steps × sources = the most engine work) — the
+     tiny decks underestimate what a lane is worth; per-case winners are
+     recorded alongside so the single number can't mislead *)
+  let largest =
+    List.fold_left
+      (fun acc c ->
+        if c.steps * c.n_sources > acc.steps * acc.n_sources then c else acc)
+      (List.hd winners) winners
+  in
   let oc = open_out path in
   output_string oc "{\n";
   Printf.fprintf oc "  \"bench\": \"pnoise\",\n";
-  Printf.fprintf oc "  \"recommended_domains\": %d,\n"
-    (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  Printf.fprintf oc "  \"recommended_domains\": %d,\n" largest.domains;
+  Printf.fprintf oc "  \"recommended_from\": %S,\n" largest.circuit_name;
+  output_string oc "  \"winners\": [\n";
+  output_string oc
+    (String.concat ",\n"
+       (List.map
+          (fun w ->
+            Printf.sprintf
+              "    {\"circuit\": %S, \"domains\": %d, \"total_s\": %.6f}"
+              w.circuit_name w.domains (w.build_s +. w.analyze_s))
+          winners));
+  output_string oc "\n  ],\n";
   output_string oc "  \"cases\": [\n";
   output_string oc (String.concat ",\n" (List.map json_of_case cases));
   output_string oc "\n  ]\n}\n";
   close_out oc;
-  Format.printf "@.wrote %s@." path
+  List.iter
+    (fun w ->
+      Format.printf "  winner %s: %d domain(s) (%.3f s)@." w.circuit_name
+        w.domains
+        (w.build_s +. w.analyze_s))
+    winners;
+  Format.printf "@.wrote %s  (recommended_domains %d, from %s)@." path
+    largest.domains largest.circuit_name
 
 let run ~quick =
   Util.section "PERF: parallel LPTV build + PNOISE analyze (1/2/4 domains)";

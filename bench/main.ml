@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table1 fig9 --quick
 
    Experiments: table1 table2 fig5 fig8 fig9 fig10 fig11 fig12 ablation
-   perf bechamel *)
+   perf sparse scale bechamel *)
 
 let experiments =
   [
@@ -22,6 +22,7 @@ let experiments =
     ("ablation", Exp_ablation.run);
     ("perf", Exp_perf.run);
     ("sparse", Exp_sparse.run);
+    ("scale", Exp_scale.run);
     ("bechamel", Bechamel_suite.run);
   ]
 

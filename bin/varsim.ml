@@ -11,6 +11,8 @@
    Global-ish options shared by the solver-heavy subcommands:
      --domains N                 OCaml domains for the LPTV/PNOISE passes
      --backend dense|sparse|auto linear-solver backend (docs/solver.md)
+     --krylov auto|on|off        matrix-free periodic wrap (GMRES) for
+                                 the PSS/LPTV layer (docs/solver.md)
 
    Resilience options (docs/robustness.md):
      --budget T                  wall-clock budget (suffixes, e.g. 500m)
@@ -60,6 +62,21 @@ let backend_arg =
   Arg.(value & opt backend_conv Linsys.Auto & info [ "backend" ] ~docv:"BACKEND"
          ~doc:"Linear-solver backend: $(b,dense), $(b,sparse) or $(b,auto) \
                (size-based choice; see docs/solver.md)")
+
+let krylov_conv =
+  Arg.conv
+    ~docv:"KRYLOV"
+    ( (fun s ->
+        match Linsys.krylov_of_string s with
+        | Some k -> Ok k
+        | None -> Error (`Msg "expected auto, on or off")),
+      fun ppf k -> Format.pp_print_string ppf (Linsys.krylov_to_string k) )
+
+let krylov_arg =
+  Arg.(value & opt krylov_conv Linsys.Kauto & info [ "krylov" ] ~docv:"KRYLOV"
+         ~doc:"Matrix-free Krylov (GMRES) treatment of the periodic wrap \
+               in the PSS shooting and LPTV build: $(b,auto) (size-based), \
+               $(b,on) or $(b,off); see docs/solver.md")
 
 (* ------------------------------------------------------------------ *)
 (* resilience options *)
@@ -177,25 +194,30 @@ let run_resilient obs res ~label f =
       "varsim: warning: %d sparse factorization(s) degraded to the dense \
        backend\n%!"
       out.Resilient.degradations;
+  if out.Resilient.krylov_fallbacks > 0 then
+    Printf.eprintf
+      "varsim: warning: %d GMRES wrap solve(s) stagnated and fell back to \
+       the dense factorization\n%!"
+      out.Resilient.krylov_fallbacks;
   match out.Resilient.result with
   | Ok v -> Ok v
   | Error f -> Error (Resilient.describe f)
 
 let run_cmd =
-  let run path domains backend res obs =
+  let run path domains backend krylov res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
          run_resilient obs res ~label:("run " ^ path)
            (fun ~policy ~budget ->
-             Spice_run.run ~domains ~backend ~policy ?budget
+             Spice_run.run ~domains ~backend ~krylov ~policy ?budget
                Format.std_formatter deck))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run every analysis card in a netlist deck")
-    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg $ res_term
-               $ obs_term))
+    Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg $ krylov_arg
+               $ res_term $ obs_term))
 
 let op_cmd =
   let run path backend res obs =
@@ -247,14 +269,14 @@ let period_arg =
          ~doc:"PSS fundamental period (suffixes allowed, e.g. 4n)")
 
 let mismatch_cmd =
-  let run path output period domains backend res obs =
+  let run path output period domains backend krylov res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
        | Ok deck ->
          run_resilient obs res ~label:("mismatch " ^ path)
            (fun ~policy ~budget ->
-             Spice_run.run_analysis ~domains ~backend ~policy ?budget
+             Spice_run.run_analysis ~domains ~backend ~krylov ~policy ?budget
                Format.std_formatter deck
                (Spice_ast.A_mismatch_dc { output; period })))
   in
@@ -263,14 +285,14 @@ let mismatch_cmd =
        ~doc:"Pseudo-noise mismatch analysis of a DC-like performance \
              (PSS + LPTV baseband)")
     Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ domains_arg
-               $ backend_arg $ res_term $ obs_term))
+               $ backend_arg $ krylov_arg $ res_term $ obs_term))
 
 let pnoise_cmd =
   let harmonic_arg =
     Arg.(value & opt int 0 & info [ "harmonic" ] ~docv:"N"
            ~doc:"Sideband harmonic index (0 = baseband)")
   in
-  let run path output period harmonic domains backend res obs =
+  let run path output period harmonic domains backend krylov res obs =
     handle
       (match read_deck path with
        | Error e -> Error e
@@ -280,8 +302,8 @@ let pnoise_cmd =
              (fun ~policy ~budget ->
                let circuit = deck.Spice_elab.circuit in
                let ctx =
-                 Analysis.prepare ~domains ~backend ~policy ?budget circuit
-                   ~period
+                 Analysis.prepare ~domains ~backend ~krylov ~policy ?budget
+                   circuit ~period
                in
                Pnoise.analyze ~domains ~policy ?budget ctx.Analysis.lptv
                  ~output ~harmonic ~sources:ctx.Analysis.sources)
@@ -296,7 +318,8 @@ let pnoise_cmd =
        ~doc:"Periodic pseudo-noise analysis: mismatch sideband PSD at an \
              output node, with per-source contributions")
     Term.(ret (const run $ deck_arg $ output_arg $ period_arg $ harmonic_arg
-               $ domains_arg $ backend_arg $ res_term $ obs_term))
+               $ domains_arg $ backend_arg $ krylov_arg $ res_term
+               $ obs_term))
 
 let demo_cmd =
   let demos = [ ("comparator", `Comparator); ("logicpath", `Logicpath);
@@ -305,7 +328,7 @@ let demo_cmd =
     Arg.(value & pos 0 (enum demos) `Ringosc & info [] ~docv:"DEMO"
            ~doc:"comparator | logicpath | ringosc")
   in
-  let run which domains backend res obs =
+  let run which domains backend krylov res obs =
     handle
       (run_resilient obs res ~label:"demo" (fun ~policy ~budget ->
            match which with
@@ -313,16 +336,16 @@ let demo_cmd =
              let params = Strongarm.default_params in
              let circuit = Strongarm.testbench ~params () in
              let ctx =
-               Analysis.prepare ~steps:400 ~domains ~backend ~policy ?budget
-                 circuit ~period:params.Strongarm.clk_period
+               Analysis.prepare ~steps:400 ~domains ~backend ~krylov ~policy
+                 ?budget circuit ~period:params.Strongarm.clk_period
              in
              Format.printf "%a@." Report.pp
                (Analysis.dc_variation ctx ~output:Strongarm.vos_node)
            | `Logicpath ->
              let lp = Logic_path.build Logic_path.X_first in
              let ctx =
-               Analysis.prepare ~steps:800 ~domains ~backend ~policy ?budget
-                 lp.Logic_path.circuit ~period:lp.Logic_path.period
+               Analysis.prepare ~steps:800 ~domains ~backend ~krylov ~policy
+                 ?budget lp.Logic_path.circuit ~period:lp.Logic_path.period
              in
              let crossing =
                { Analysis.edge = Waveform.Falling;
@@ -349,8 +372,8 @@ let demo_cmd =
   in
   Cmd.v
     (Cmd.info "demo" ~doc:"Run a built-in benchmark circuit analysis")
-    Term.(ret (const run $ which $ domains_arg $ backend_arg $ res_term
-               $ obs_term))
+    Term.(ret (const run $ which $ domains_arg $ backend_arg $ krylov_arg
+               $ res_term $ obs_term))
 
 let main =
   Cmd.group

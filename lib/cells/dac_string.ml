@@ -7,6 +7,10 @@ type params = {
 
 let default_params = { codes = 8; r_unit = 1e3; r_tol = 0.01; vref = 1.0 }
 
+(* codes = 512 puts testbench at 513 MNA unknowns (511 taps + vref +
+   the source branch) — the ≥500-unknown deck of BENCH_scale.json *)
+let scale_params = { default_params with codes = 512 }
+
 let tap k = Printf.sprintf "tap%d" k
 
 let build ?(params = default_params) () =

@@ -15,6 +15,11 @@ type params = {
 
 val default_params : params
 
+val scale_params : params
+(** ≥500-unknown scaling configuration ([codes = 512]; {!testbench}
+    elaborates to 513 MNA unknowns) — what [bench/exp_scale] and the CI
+    scale smoke run. *)
+
 val build : ?params:params -> unit -> Circuit.t
 
 val testbench :

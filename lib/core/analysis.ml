@@ -13,11 +13,13 @@ let timed f =
   (y, Unix.gettimeofday () -. t0)
 
 let prepare ?(steps = 200) ?(f_offset = 1.0) ?warmup_periods ?(domains = 1)
-    ?backend ?(policy = Retry.default) ?budget circuit ~period =
+    ?backend ?krylov ?(policy = Retry.default) ?budget circuit ~period =
   Obs.span "analysis.prepare" @@ fun () ->
-  let pss = Pss.solve ~steps ?warmup_periods ?backend ~policy ?budget circuit
-      ~period in
-  let lptv = Lptv.build ~domains ?backend ~policy ?budget pss ~f_offset in
+  let pss = Pss.solve ~steps ?warmup_periods ?backend ?krylov ~policy ?budget
+      circuit ~period in
+  let lptv =
+    Lptv.build ~domains ?backend ?krylov ~policy ?budget pss ~f_offset
+  in
   let sources = Pnoise.mismatch_sources lptv in
   { pss; lptv; sources; domains; policy; budget }
 
@@ -136,11 +138,13 @@ let delay_variation_psd ctx ~output =
    sideband's complex Fourier-coefficient perturbation has magnitude
    |y₁| = A_c·Δf/(4·f_m).  Inverting: σ_f = 4·f_m·√P₁/A_c with
    P₁ = Σ|y₁,i|²σ_i². *)
-let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend ?policy
-    ?budget (osc : Pss_osc.t) ~output =
+let frequency_variation_psd ?(f_offset = 1.0) ?(domains = 1) ?backend ?krylov
+    ?policy ?budget (osc : Pss_osc.t) ~output =
   Obs.span "analysis.frequency_variation_psd" @@ fun () ->
   let pss = osc.Pss_osc.pss in
-  let lptv = Lptv.build ~domains ?backend ?policy ?budget pss ~f_offset in
+  let lptv =
+    Lptv.build ~domains ?backend ?krylov ?policy ?budget pss ~f_offset
+  in
   let sources = Pnoise.mismatch_sources lptv in
   let sb =
     Pnoise.analyze ~domains ?policy ?budget lptv ~output ~harmonic:1 ~sources

@@ -16,8 +16,8 @@ type pss_context = {
 }
 
 val prepare : ?steps:int -> ?f_offset:float -> ?warmup_periods:int ->
-  ?domains:int -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
-  ?budget:Budget.t -> Circuit.t -> period:float ->
+  ?domains:int -> ?backend:Linsys.backend -> ?krylov:Linsys.krylov ->
+  ?policy:Retry.policy -> ?budget:Budget.t -> Circuit.t -> period:float ->
   pss_context
 (** Solve the driven PSS and build the LPTV context with the mismatch
     pseudo-noise sources (offset frequency default 1 Hz).  [domains]
@@ -25,7 +25,10 @@ val prepare : ?steps:int -> ?f_offset:float -> ?warmup_periods:int ->
     readings over that many OCaml domains; results are bit-identical
     for any value (docs/parallelism.md).  [backend] selects the linear
     solver (dense reference / sparse / size-based auto, docs/solver.md)
-    for both the PSS sweep and the LPTV step systems.  [policy] and
+    for both the PSS sweep and the LPTV step systems; [krylov] (default
+    {!Linsys.Kauto}) selects the matrix-free treatment of the periodic
+    wrap in both the shooting Newton and the LPTV build
+    (docs/solver.md, "Matrix-free shooting").  [policy] and
     [budget] thread through every phase — PSS, LPTV build, and the
     subsequent readings made with this context (docs/robustness.md);
     expiry raises {!Budget.Timed_out}. *)
@@ -66,8 +69,8 @@ val crossing_time : pss_context -> output:string -> crossing:crossing -> float
 
 val frequency_variation_psd :
   ?f_offset:float -> ?domains:int -> ?backend:Linsys.backend ->
-  ?policy:Retry.policy -> ?budget:Budget.t -> Pss_osc.t ->
-  output:string -> float
+  ?krylov:Linsys.krylov -> ?policy:Retry.policy -> ?budget:Budget.t ->
+  Pss_osc.t -> output:string -> float
 (** The paper's literal eq. (9): read σ_f from the oscillator's
     passband pseudo-noise PSD at [f_offset] from the carrier.
 

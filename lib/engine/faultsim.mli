@@ -22,6 +22,9 @@
     - ["tran.step"] — [Exn] aborts one integration step
     - ["lptv.factor"], ["pnoise.transfer"] — [Exn] kills a pool-lane
       body mid-job
+    - ["pss.gmres"], ["lptv.gmres"] — any fault makes that GMRES wrap
+      solve report stagnation, exercising the bit-identical
+      krylov→dense fallback rung
     - ["budget.clock"] — [Clock_skip s] advances the budget clock by
       [s] seconds on that visit *)
 

@@ -22,6 +22,32 @@ let backend_to_string = function
   | Sparse -> "sparse"
   | Auto -> "auto"
 
+type krylov = Kauto | Kon | Koff
+
+let krylov_of_string = function
+  | "auto" -> Some Kauto
+  | "on" -> Some Kon
+  | "off" -> Some Koff
+  | _ -> None
+
+let krylov_to_string = function Kauto -> "auto" | Kon -> "on" | Koff -> "off"
+
+(* Kauto rides the same size boundary as the dense/sparse choice: below
+   it the dense monodromy is cheap and bit-exact, above it the O(n²·m)
+   variational accumulation is the build bottleneck the matrix-free
+   path exists to kill. *)
+let use_krylov krylov n =
+  match krylov with Kon -> true | Koff -> false | Kauto -> n >= auto_threshold
+
+(* process-wide count of krylov→dense fallbacks (GMRES stagnation),
+   mirroring [degradation_total] so outcome records can surface both *)
+let krylov_fallback_total = Atomic.make 0
+let krylov_fallback_count () = Atomic.get krylov_fallback_total
+
+let note_krylov_fallback () =
+  Obs.count "linsys.krylov_fallback" 1;
+  ignore (Atomic.fetch_and_add krylov_fallback_total 1 : int)
+
 exception Singular_row of int
 
 type repr =

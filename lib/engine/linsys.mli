@@ -21,6 +21,28 @@ val choose : backend -> int -> backend
 val backend_of_string : string -> backend option
 val backend_to_string : backend -> string
 
+(** Matrix-free Krylov policy for the periodic boundary-value layer
+    ([Pss] shooting, [Lptv.build]).  [Kon] forces the GMRES path,
+    [Koff] the explicit dense monodromy, [Kauto] switches at
+    {!auto_threshold} like the dense/sparse choice.  See docs/solver.md,
+    "Matrix-free shooting". *)
+type krylov = Kauto | Kon | Koff
+
+val krylov_of_string : string -> krylov option
+val krylov_to_string : krylov -> string
+
+val use_krylov : krylov -> int -> bool
+(** Resolve the policy against a system size. *)
+
+val krylov_fallback_count : unit -> int
+(** Process-wide monotonic count of krylov→dense fallbacks (GMRES
+    stagnation rungs taken), the krylov twin of
+    {!degradation_count}. *)
+
+val note_krylov_fallback : unit -> unit
+(** Record one krylov→dense fallback (counted as
+    ["linsys.krylov_fallback"]). *)
+
 exception Singular_row of int
 (** Factorization failure, carrying the original MNA unknown index so
     callers can name the floating node via {!Circuit.row_name}. *)

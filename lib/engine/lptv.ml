@@ -8,6 +8,18 @@ type cmul =
   | Cm_dense of Mat.t
   | Cm_sparse of Csr.t
 
+(* The periodic wrap matrix I - Φ(ω): either factorized densely (Φ
+   formed column by column), or applied matrix-free with GMRES — one
+   variational sweep through the step solvers per product, never
+   forming Φ.  A krylov wrap that stagnates builds the dense
+   factorization once (under [lock]) and latches it. *)
+type wrap =
+  | Wdense of Clu.t
+  | Wkrylov of {
+      mutable dense : Clu.t option; (* stagnation rung, built at most once *)
+      lock : Mutex.t;
+    }
+
 type t = {
   pss : Pss.t;
   f_offset : float;
@@ -17,7 +29,7 @@ type t = {
   h : float;
   cmul : cmul;
   solvers : step_solver;
-  wrap_lu : Clu.t; (* factorization of I - Φ(ω); Φ is dense by nature *)
+  wrap : wrap;
 }
 
 (* Scratch buffers for the allocation-free apply/solve kernels.  One
@@ -106,8 +118,8 @@ let a_transpose_apply_into ws ~solvers ~cmul ~k w dst =
   solve_step_transpose_into ws solvers ~k w ws.ct1;
   cmul_tapply_into ws cmul ws.ct1 dst
 
-let build ?(domains = 1) ?backend ?(policy = Retry.default) ?budget
-    (pss : Pss.t) ~f_offset =
+let build ?(domains = 1) ?backend ?(krylov = Linsys.Kauto)
+    ?(policy = Retry.default) ?budget (pss : Pss.t) ~f_offset =
   Obs.span "lptv.build" @@ fun () ->
   let circuit = pss.Pss.circuit in
   let n = Circuit.size circuit in
@@ -132,6 +144,7 @@ let build ?(domains = 1) ?backend ?(policy = Retry.default) ?budget
          write-per-slot loop, so a bounded re-run recovers bit-identically *)
       Retry.with_transients ~policy ~label:"lptv" (fun () ->
           Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
+            ~chunk:(Domain_pool.chunk_hint pool m)
             ?should_stop:(Budget.stop_opt budget)
             ~init:(fun () -> (Vec.create n, Mat.create n n))
             (fun (g_buf, jac) i ->
@@ -187,6 +200,7 @@ let build ?(domains = 1) ?backend ?(policy = Retry.default) ?budget
       let fs = Array.make m None in
       Retry.with_transients ~policy ~label:"lptv" (fun () ->
           Domain_pool.parallel_for_ws pool m ~label:"lptv.factor_steps"
+            ~chunk:(Domain_pool.chunk_hint pool m)
             ?should_stop:(Budget.stop_opt budget)
             ~init:(fun () ->
               (Vec.create n, Csr.copy pat, Array.make nnz Cx.zero))
@@ -201,27 +215,145 @@ let build ?(domains = 1) ?backend ?(policy = Retry.default) ?budget
       let fs = Array.map (function Some f -> f | None -> assert false) fs in
       (Cm_sparse (Csr.of_dense c_over_h), Ssparse fs)
   in
-  (* Φ(ω) column by column (independent), then factorize I - Φ *)
-  let phi = Cmat.create n n in
-  Obs.span "lptv.phi" (fun () ->
-      Retry.with_transients ~policy ~label:"lptv" (fun () ->
-          Domain_pool.parallel_for_ws pool n ~label:"lptv.phi"
-            ?should_stop:(Budget.stop_opt budget)
-            ~init:(fun () -> (make_ws n, Cvec.create n))
-            (fun (ws, v) j ->
-              Cvec.fill v Cx.zero;
-              v.(j) <- Cx.one;
-              for k = 1 to m do
-                a_apply_into ws ~solvers ~cmul ~k v v
-              done;
-              for i = 0 to n - 1 do
-                Cmat.set phi i j v.(i)
-              done)));
-  Budget.check_opt budget;
-  Obs.span "lptv.wrap" @@ fun () ->
-  let wrap = Cmat.sub (Cmat.identity n) phi in
-  { pss; f_offset; omega; n; m; h; cmul; solvers;
-    wrap_lu = Clu.factorize wrap }
+  if Linsys.use_krylov krylov n then begin
+    (* matrix-free wrap: no Φ(ω), no dense factorization — build cost
+       is the factor_steps phase alone, O(m·nnz) on the sparse path *)
+    Obs.count "lptv.wrap.krylov" 1;
+    { pss; f_offset; omega; n; m; h; cmul; solvers;
+      wrap = Wkrylov { dense = None; lock = Mutex.create () } }
+  end
+  else begin
+    (* Φ(ω) column by column (independent), then factorize I - Φ *)
+    let phi = Cmat.create n n in
+    Obs.count "lptv.phi.dense" 1;
+    Obs.span "lptv.phi" (fun () ->
+        Retry.with_transients ~policy ~label:"lptv" (fun () ->
+            Domain_pool.parallel_for_ws pool n ~label:"lptv.phi"
+              ~chunk:(Domain_pool.chunk_hint pool n)
+              ?should_stop:(Budget.stop_opt budget)
+              ~init:(fun () -> (make_ws n, Cvec.create n))
+              (fun (ws, v) j ->
+                Cvec.fill v Cx.zero;
+                v.(j) <- Cx.one;
+                for k = 1 to m do
+                  a_apply_into ws ~solvers ~cmul ~k v v
+                done;
+                for i = 0 to n - 1 do
+                  Cmat.set phi i j v.(i)
+                done)));
+    Budget.check_opt budget;
+    Obs.span "lptv.wrap" @@ fun () ->
+    let wrap = Cmat.sub (Cmat.identity n) phi in
+    { pss; f_offset; omega; n; m; h; cmul; solvers;
+      wrap = Wdense (Clu.factorize wrap) }
+  end
+
+(* GMRES matrix-vector products for the krylov wrap.  [src] is
+   preserved; [dst] is one full forward (or backward) variational sweep
+   subtracted from the identity. *)
+let wrap_apply t ws src dst =
+  Cvec.blit src dst;
+  for k = 1 to t.m do
+    a_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k dst dst
+  done;
+  for i = 0 to t.n - 1 do
+    dst.(i) <- Cx.( -: ) src.(i) dst.(i)
+  done
+
+let wrap_tapply t ws src dst =
+  Cvec.blit src dst;
+  for k = t.m downto 1 do
+    a_transpose_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k dst dst
+  done;
+  for i = 0 to t.n - 1 do
+    dst.(i) <- Cx.( -: ) src.(i) dst.(i)
+  done
+
+(* Stagnation rung: form I - Φ(ω) densely after all.  The serial column
+   loop runs the exact per-column operation sequence of the pool phase
+   in [build], so the factored matrix is bit-identical to what a dense
+   build would have produced. *)
+let dense_wrap t =
+  Obs.count "lptv.phi.dense" 1;
+  let ws = make_ws t.n in
+  let v = Cvec.create t.n in
+  let phi = Cmat.create t.n t.n in
+  for j = 0 to t.n - 1 do
+    Cvec.fill v Cx.zero;
+    v.(j) <- Cx.one;
+    for k = 1 to t.m do
+      a_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k v v
+    done;
+    for i = 0 to t.n - 1 do
+      Cmat.set phi i j v.(i)
+    done
+  done;
+  Clu.factorize (Cmat.sub (Cmat.identity t.n) phi)
+
+let wrap_fallback_lu t =
+  match t.wrap with
+  | Wdense lu -> lu
+  | Wkrylov st ->
+    Mutex.lock st.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock st.lock)
+      (fun () ->
+        match st.dense with
+        | Some lu -> lu
+        | None ->
+          Retry.rung "lptv.gmres_fallback";
+          Linsys.note_krylov_fallback ();
+          let lu = dense_wrap t in
+          st.dense <- Some lu;
+          lu)
+
+let gmres_restart = 30
+
+(* (I - Φ(ω))·x = rhs, fresh [x]; GMRES on the krylov wrap with the
+   dense rung on stagnation (or an injected ["lptv.gmres"] fault) *)
+let wrap_solve t ws rhs =
+  match t.wrap with
+  | Wdense lu -> Clu.solve lu rhs
+  | Wkrylov st -> (
+    match st.dense with
+    | Some lu -> Clu.solve lu rhs
+    | None ->
+      let x = Cvec.create t.n in
+      let converged =
+        match Faultsim.fire "lptv.gmres" with
+        | Some _ -> false
+        | None ->
+          let gws = Gmres.make_ws ~n:t.n ~restart:gmres_restart in
+          let stats =
+            Gmres.solve ~apply:(fun src dst -> wrap_apply t ws src dst) gws
+              ~b:rhs ~x
+          in
+          stats.Gmres.converged
+      in
+      if converged then x else Clu.solve (wrap_fallback_lu t) rhs)
+
+(* (I - Φ(ω))ᵀ·dst = rhs for the adjoint; same ladder as [wrap_solve] *)
+let wrap_solve_transpose_into t ws rhs dst =
+  match t.wrap with
+  | Wdense lu -> Clu.solve_transpose_into lu ~scratch:ws.ct2 rhs dst
+  | Wkrylov st -> (
+    match st.dense with
+    | Some lu -> Clu.solve_transpose_into lu ~scratch:ws.ct2 rhs dst
+    | None ->
+      let converged =
+        match Faultsim.fire "lptv.gmres" with
+        | Some _ -> false
+        | None ->
+          let gws = Gmres.make_ws ~n:t.n ~restart:gmres_restart in
+          Cvec.fill dst Cx.zero;
+          let stats =
+            Gmres.solve ~apply:(fun src d -> wrap_tapply t ws src d) gws
+              ~b:rhs ~x:dst
+          in
+          stats.Gmres.converged
+      in
+      if not converged then
+        Clu.solve_transpose_into (wrap_fallback_lu t) ~scratch:ws.ct2 rhs dst)
 
 let pss t = t.pss
 let steps t = t.m
@@ -257,7 +389,7 @@ let solve_source t inj =
     a_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k q q;
     Cvec.add_inplace q forced.(k - 1)
   done;
-  let p0 = Clu.solve t.wrap_lu q in
+  let p0 = wrap_solve t ws q in
   let p = Array.make (t.m + 1) p0 in
   for k = 1 to t.m do
     (* p_k = A_{k-1} p_{k-1} + forced_k; the forced vector is dead after
@@ -305,7 +437,7 @@ let adjoint_general t (c_add : int -> Cvec.t -> unit) : functional =
   let rhs = Cvec.create t.n in
   a_transpose_apply_into ws ~solvers:t.solvers ~cmul:t.cmul ~k:1 lam.(1) rhs;
   c_add t.m rhs;
-  Clu.solve_transpose_into t.wrap_lu ~scratch:ws.ct2 rhs lam.(t.m);
+  wrap_solve_transpose_into t ws rhs lam.(t.m);
   backward ();
   Array.init t.m (fun i ->
       match t.solvers with

@@ -27,7 +27,7 @@ let period_sensitivities (osc : Pss_osc.t) =
   for i = 0 to n - 1 do
     for jj = 0 to n - 1 do
       Mat.set j i jj
-        (Mat.get pss.Pss.monodromy i jj -. if i = jj then 1.0 else 0.0)
+        (Mat.get (Pss.monodromy pss) i jj -. if i = jj then 1.0 else 0.0)
     done;
     Mat.set j i n xdot_t.(i)
   done;

@@ -93,6 +93,7 @@ let finish ?(domains = 1) ?(policy = Retry.default) ?budget ~output ~harmonic
   Domain_pool.with_pool domains (fun pool ->
       Retry.with_transients ~policy ~label:"pnoise" (fun () ->
           Domain_pool.parallel_for pool (Array.length sources)
+            ~chunk:(Domain_pool.chunk_hint pool (Array.length sources))
             ~label:"pnoise.transfer" ?should_stop:(Budget.stop_opt budget)
             (fun i ->
               Faultsim.check_exn "pnoise.transfer";
@@ -125,19 +126,18 @@ let analyze_sample ?domains ?policy ?budget lptv ~output ~k ~sources =
   finish ?domains ?policy ?budget ~output ~harmonic:0
     ~f_offset:(Lptv.f_offset lptv) ~lam ~sources ()
 
-let sigma_waveform ?(domains = 1) ?(policy = Retry.default) ?budget lptv
-    ~output ~sources =
-  Obs.span "pnoise.sigma_waveform" @@ fun () ->
-  let pss = Lptv.pss lptv in
-  let row = Circuit.node_row pss.Pss.circuit output in
+(* Forward reading: one direct solve per source, O(sources) periodic
+   BVP solves. *)
+let sigma_waveform_forward ~domains ~policy ?budget lptv ~row ~sources =
   let m = Lptv.steps lptv in
-  (* one direct solve per source, fanned out over the pool; each lane
-     writes only its own per-source row, then the rows are reduced in
-     source order so the result is independent of the lane count *)
+  (* each lane writes only its own per-source row, then the rows are
+     reduced in source order so the result is independent of the lane
+     count *)
   let slots = Array.make (Array.length sources) None in
   Domain_pool.with_pool domains (fun pool ->
       Retry.with_transients ~policy ~label:"pnoise" (fun () ->
           Domain_pool.parallel_for pool (Array.length sources)
+            ~chunk:(Domain_pool.chunk_hint pool (Array.length sources))
             ~label:"pnoise.solve_source" ?should_stop:(Budget.stop_opt budget)
             (fun i ->
               Faultsim.check_exn "pnoise.transfer";
@@ -157,6 +157,56 @@ let sigma_waveform ?(domains = 1) ?(policy = Retry.default) ?budget lptv
       done)
     rows;
   Array.map sqrt acc
+
+(* Adjoint reading: one sample functional per grid point, O(steps)
+   solves regardless of the source count — the paper's §I economics
+   applied to the statistical waveform (Fig. 8). *)
+let sigma_waveform_adjoint ~domains ~policy ?budget lptv ~row ~sources =
+  let m = Lptv.steps lptv in
+  let slots = Array.make m None in
+  Domain_pool.with_pool domains (fun pool ->
+      Retry.with_transients ~policy ~label:"pnoise" (fun () ->
+          Domain_pool.parallel_for pool m
+            ~chunk:(Domain_pool.chunk_hint pool m)
+            ~label:"pnoise.adjoint_sample"
+            ?should_stop:(Budget.stop_opt budget)
+            (fun j ->
+              Faultsim.check_exn "pnoise.transfer";
+              let lam = Lptv.adjoint_sample lptv ~row ~k:(j + 1) in
+              let s = ref 0.0 in
+              Array.iter
+                (fun src ->
+                  let tf = Lptv.apply lam src.src_inject in
+                  s := !s +. (Cx.abs2 tf *. src.src_psd))
+                sources;
+              slots.(j) <- Some !s)));
+  Budget.check_opt budget;
+  Array.map
+    (function Some s -> sqrt s | None -> assert false)
+    slots
+
+let sigma_waveform ?(domains = 1) ?(policy = Retry.default) ?budget
+    ?(via = `Auto) lptv ~output ~sources =
+  Obs.span "pnoise.sigma_waveform" @@ fun () ->
+  let pss = Lptv.pss lptv in
+  let row = Circuit.node_row pss.Pss.circuit output in
+  let adjoint =
+    match via with
+    | `Forward -> false
+    | `Adjoint -> true
+    | `Auto ->
+      (* each forward solve costs one BVP solve per source, each
+         adjoint one per grid point — take the smaller count *)
+      Array.length sources > Lptv.steps lptv
+  in
+  if adjoint then begin
+    Obs.count "pnoise.sigma_waveform.adjoint" 1;
+    sigma_waveform_adjoint ~domains ~policy ?budget lptv ~row ~sources
+  end
+  else begin
+    Obs.count "pnoise.sigma_waveform.forward" 1;
+    sigma_waveform_forward ~domains ~policy ?budget lptv ~row ~sources
+  end
 
 let pp_sideband ppf sb =
   Format.fprintf ppf

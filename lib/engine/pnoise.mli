@@ -58,8 +58,17 @@ val analyze_sample :
 
 val sigma_waveform :
   ?domains:int -> ?policy:Retry.policy -> ?budget:Budget.t ->
+  ?via:[ `Auto | `Forward | `Adjoint ] ->
   Lptv.t -> output:string -> sources:source array -> float array
-(** σ(t_k), k = 1..steps: the ±σ envelope of Fig. 8.  Uses one direct
-    solve per source, fanned out over [domains] lanes (default 1). *)
+(** σ(t_k), k = 1..steps: the ±σ envelope of Fig. 8, fanned out over
+    [domains] lanes (default 1).
+
+    [via] picks the reading: [`Forward] is one direct {!Lptv.solve_source}
+    per source (O(sources) periodic solves); [`Adjoint] is one
+    {!Lptv.adjoint_sample} functional per grid point (O(steps) solves,
+    independent of the source count — how a ≥500-parameter deck stays
+    affordable).  [`Auto] (default) takes whichever count is smaller.
+    The two readings agree to solver tolerance (see the parity test);
+    counted as ["pnoise.sigma_waveform.forward"/".adjoint"]. *)
 
 val pp_sideband : Format.formatter -> sideband -> unit

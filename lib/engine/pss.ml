@@ -7,12 +7,44 @@ type t = {
   c_mat : Mat.t;
   sys : Linsys.rsys;
   step_facts : Linsys.rfact array;
-  monodromy : Mat.t;
+  mutable monodromy : Mat.t option;
   iterations : int;
   residual : float;
 }
 
 exception No_convergence of string
+
+(* Dense monodromy from the per-step factorizations: X <- A_k X for
+   k = 1..m, column by column.  Per column this is the exact operation
+   sequence of the in-sweep accumulation below, so a krylov run that
+   falls back here produces a bit-identical matrix. *)
+let accumulate_monodromy ~c_mat ~h ~facts n =
+  Obs.count "pss.monodromy.dense" 1;
+  let m = Mat.identity n in
+  Array.iter
+    (fun fact ->
+      for j = 0 to n - 1 do
+        let col = Mat.col m j in
+        let rhs = Vec.scale (1.0 /. h) (Mat.mul_vec c_mat col) in
+        Linsys.solve_inplace fact rhs;
+        for i = 0 to n - 1 do
+          Mat.set m i j rhs.(i)
+        done
+      done)
+    facts;
+  m
+
+let monodromy t =
+  match t.monodromy with
+  | Some m -> m
+  | None ->
+    let h = t.period /. float_of_int t.steps in
+    let m =
+      accumulate_monodromy ~c_mat:t.c_mat ~h ~facts:t.step_facts
+        (Mat.rows t.c_mat)
+    in
+    t.monodromy <- Some m;
+    m
 
 (* Integrate one period with BE from x0; record states and per-step
    factorizations; optionally accumulate the monodromy matrix. *)
@@ -70,9 +102,44 @@ let sweep ~circuit ~sys ~c_mat ~tran_options ~t0 ~period ~steps ~x0 ?budget
   in
   (times, states, facts, mono)
 
+(* δ from (I − Φ)·δ = r without forming Φ: GMRES on the complexified
+   operator, one variational sweep (reusing the step factorizations)
+   per matrix-vector product.  Returns [None] on stagnation — the
+   caller's dense rung.  The real/imag parts ride the real operator
+   independently, so a real [r] keeps the whole Krylov space real. *)
+let krylov_delta ~sys ~c_mat ~h ~facts ~gws n (r : Vec.t) =
+  Obs.span "pss.krylov" @@ fun () ->
+  let c_over_h = Linsys.cmat_of sys (Mat.scale (1.0 /. h) c_mat) in
+  let tmp = Vec.create n in
+  let phi_apply v =
+    Array.iter
+      (fun fact ->
+        Linsys.rmat_mul_vec_into c_over_h v tmp;
+        Linsys.solve_inplace fact tmp;
+        Vec.blit tmp v)
+      facts
+  in
+  let vre = Vec.create n and vim = Vec.create n in
+  let apply (src : Cvec.t) (dst : Cvec.t) =
+    for i = 0 to n - 1 do
+      vre.(i) <- src.(i).Cx.re;
+      vim.(i) <- src.(i).Cx.im
+    done;
+    phi_apply vre;
+    phi_apply vim;
+    for i = 0 to n - 1 do
+      dst.(i) <-
+        Cx.mk (src.(i).Cx.re -. vre.(i)) (src.(i).Cx.im -. vim.(i))
+    done
+  in
+  let b = Cvec.of_real r in
+  let x = Cvec.create n in
+  let stats = Gmres.solve ~apply gws ~b ~x in
+  if stats.Gmres.converged then Some (Cvec.real x) else None
+
 let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend
-    ?(policy = Retry.default) ?budget ?x0 ?(warmup_periods = 2) circuit
-    ~period =
+    ?(krylov = Linsys.Kauto) ?(policy = Retry.default) ?budget ?x0
+    ?(warmup_periods = 2) circuit ~period =
   Obs.span "pss.solve" @@ fun () ->
   Obs.count "pss.solves" 1;
   let c_mat = Stamp.c_matrix circuit in
@@ -96,7 +163,22 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend
       end
   in
   let n = Vec.dim x_init in
+  (* sticky per-solve flag: a GMRES stagnation drops the rest of this
+     shooting run onto the dense rung, so the fallback trajectory is
+     bit-identical to a dense-only run *)
+  let use_k = ref (Linsys.use_krylov krylov n) in
+  let gws = lazy (Gmres.make_ws ~n ~restart:30) in
+  let dense_delta mono r =
+    (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
+    let j = Mat.sub mono (Mat.identity n) in
+    match Lu.factorize j with
+    | lu -> Lu.solve lu (Vec.scale (-1.0) r)
+    | exception Lu.Singular _ ->
+      raise (No_convergence "PSS shooting: singular (monodromy has \
+                             an eigenvalue at 1; use Pss_osc?)")
+  in
   let solve_with steps =
+    let h = period /. float_of_int steps in
     let x0 = ref (Vec.copy x_init) in
     let rhist = ref [] in
     let rec iterate iter =
@@ -104,17 +186,25 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend
       let times, states, facts, mono =
         Obs.span "pss.sweep" @@ fun () ->
         sweep ~circuit ~sys ~c_mat ~tran_options ~t0:0.0 ~period ~steps
-          ~x0:!x0 ?budget ~policy ~want_monodromy:true ()
+          ~x0:!x0 ?budget ~policy ~want_monodromy:(not !use_k) ()
       in
       Obs.count "pss.sweep_steps" steps;
-      let mono = match mono with Some m -> m | None -> assert false in
+      let mono = ref mono in
+      let force_mono () =
+        match !mono with
+        | Some m -> m
+        | None ->
+          let m = accumulate_monodromy ~c_mat ~h ~facts n in
+          mono := Some m;
+          m
+      in
       let r = Vec.sub states.(steps) !x0 in
       let rnorm = Vec.norm_inf r in
       rhist := rnorm :: !rhist;
       if rnorm < tol then
         {
           circuit; period; steps; times; states; c_mat; sys;
-          step_facts = facts; monodromy = mono; iterations = iter;
+          step_facts = facts; monodromy = !mono; iterations = iter;
           residual = rnorm;
         }
       else if iter >= max_iter then
@@ -127,14 +217,25 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend
                 (Newton.history_string (Array.of_list (List.rev !rhist)))))
       else begin
         Obs.count "pss.shooting_iterations" 1;
-        (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
-        let j = Mat.sub mono (Mat.identity n) in
         let delta =
-          match Lu.factorize j with
-          | lu -> Lu.solve lu (Vec.scale (-1.0) r)
-          | exception Lu.Singular _ ->
-            raise (No_convergence "PSS shooting: singular (monodromy has \
-                                   an eigenvalue at 1; use Pss_osc?)")
+          if not !use_k then dense_delta (force_mono ()) r
+          else begin
+            (* (I − Φ)·δ = r, matrix-free; injected "pss.gmres" faults
+               and real stagnation both take the dense rung *)
+            let d =
+              match Faultsim.fire "pss.gmres" with
+              | Some _ -> None
+              | None ->
+                krylov_delta ~sys ~c_mat ~h ~facts ~gws:(Lazy.force gws) n r
+            in
+            match d with
+            | Some d -> d
+            | None ->
+              Retry.rung "pss.gmres_fallback";
+              Linsys.note_krylov_fallback ();
+              use_k := false;
+              dense_delta (force_mono ()) r
+          end
         in
         x0 := Vec.add !x0 delta;
         iterate (iter + 1)
@@ -171,7 +272,7 @@ let node_samples t node =
 let fundamental t node = Fft.fourier_coefficient (node_samples t node) 1
 let amplitude t node = 2.0 *. Cx.abs (fundamental t node)
 
-let floquet_multipliers t = Eig.eigenvalues_sorted t.monodromy
+let floquet_multipliers t = Eig.eigenvalues_sorted (monodromy t)
 
 let to_waveform t =
   { Waveform.circuit = t.circuit; times = t.times; states = t.states }

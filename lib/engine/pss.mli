@@ -18,7 +18,10 @@ type t = {
   sys : Linsys.rsys;    (** step-matrix storage the factorizations share *)
   step_facts : Linsys.rfact array;
       (** length steps; factorization of C/h + G at step k+1 *)
-  monodromy : Mat.t;
+  mutable monodromy : Mat.t option;
+      (** [Some] when the dense shooting path accumulated it, [None] on
+          the matrix-free krylov path — use {!monodromy} to force it
+          (cached here). *)
   iterations : int;
   residual : float;
 }
@@ -37,14 +40,29 @@ val sweep :
 
 val solve :
   ?steps:int -> ?max_iter:int -> ?tol:float -> ?backend:Linsys.backend ->
-  ?policy:Retry.policy -> ?budget:Budget.t -> ?x0:Vec.t ->
-  ?warmup_periods:int -> Circuit.t -> period:float -> t
+  ?krylov:Linsys.krylov -> ?policy:Retry.policy -> ?budget:Budget.t ->
+  ?x0:Vec.t -> ?warmup_periods:int -> Circuit.t -> period:float -> t
 (** [solve c ~period] computes the PSS.  The initial guess is the DC
     point integrated for [warmup_periods] (default 2) periods.
     [steps] defaults to 200.  A sweep or shooting loop that stalls is
     retried on a 2× finer grid, bounded by [policy.max_retries] (the
     ["ladder.pss.refine"] counter); [budget] is checked per shooting
-    iterate and threads into every inner solve ({!Budget.Timed_out}). *)
+    iterate and threads into every inner solve ({!Budget.Timed_out}).
+
+    [krylov] (default {!Linsys.Kauto}) selects the matrix-free shooting
+    Newton: the update solves [(I − Φ)·δ = r] by {!Gmres} where each
+    [Φ·v] is one variational sweep through [step_facts] — no dense
+    monodromy is accumulated (the ["pss.krylov"] span and
+    ["gmres.*"] counters trace it).  GMRES stagnation (or an injected
+    ["pss.gmres"] fault) drops the rest of the run onto the dense rung
+    — counted as ["ladder.pss.gmres_fallback"] and
+    {!Linsys.krylov_fallback_count} — with a trajectory bit-identical
+    to a dense-only run. *)
+
+val monodromy : t -> Mat.t
+(** The dense monodromy matrix, accumulating it from [step_facts] on
+    first use if the krylov path skipped it (counted as
+    ["pss.monodromy.dense"]). *)
 
 val state_at : t -> k:int -> Vec.t
 (** Grid state, [k] ∈ [0, steps]. *)

@@ -88,7 +88,7 @@ let solve ?(steps = 200) ?(max_iter = 60) ?(tol = 1e-7) ?(settle_periods = 20.0)
       let pss =
         {
           Pss.circuit; period = !period; steps; times; states; c_mat; sys;
-          step_facts = facts; monodromy = mono; iterations = iter;
+          step_facts = facts; monodromy = Some mono; iterations = iter;
           residual = rnorm;
         }
       in

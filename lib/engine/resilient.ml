@@ -10,6 +10,7 @@ type 'a outcome = {
   result : ('a, failure) result;
   elapsed_s : float;
   degradations : int;
+  krylov_fallbacks : int;
 }
 
 let describe = function
@@ -33,6 +34,7 @@ let describe = function
 let run ?budget ~label f =
   let t0 = Unix.gettimeofday () in
   let d0 = Linsys.degradation_count () in
+  let k0 = Linsys.krylov_fallback_count () in
   let result =
     match
       Budget.check_opt budget;
@@ -60,4 +62,5 @@ let run ?budget ~label f =
     result;
     elapsed_s = Unix.gettimeofday () -. t0;
     degradations = Linsys.degradation_count () - d0;
+    krylov_fallbacks = Linsys.krylov_fallback_count () - k0;
   }

@@ -26,6 +26,9 @@ type 'a outcome = {
   degradations : int;
       (** sparse→dense backend fallbacks during this run
           ({!Linsys.degradation_count} delta) *)
+  krylov_fallbacks : int;
+      (** krylov→dense wrap fallbacks — GMRES stagnations — during this
+          run ({!Linsys.krylov_fallback_count} delta) *)
 }
 
 val describe : failure -> string

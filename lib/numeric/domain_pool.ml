@@ -138,6 +138,12 @@ let create lanes =
 
 let size t = t.lanes
 
+(* Claim-sized batches: ~4 claims per lane balances imbalance against
+   contention on the shared chunk counter.  chunk=1 on a fine-grained
+   range (hundreds of cheap iterations) spends more time claiming than
+   working once lanes > 1. *)
+let chunk_hint t n = Stdlib.max 1 (n / (t.lanes * 4))
+
 let shutdown t =
   Mutex.lock t.mutex;
   t.stop <- true;

@@ -23,6 +23,13 @@ val create : int -> t
 val size : t -> int
 (** Number of lanes, including the caller. *)
 
+val chunk_hint : t -> int -> int
+(** [chunk_hint pool n] is a coarsened [?chunk] for an [n]-index job:
+    about 4 claims per lane (min 1), so lanes get real batches of work
+    instead of contending on the claim counter per index.  Chunking
+    only changes which lane runs an index, never the result — see
+    docs/parallelism.md. *)
+
 val shutdown : t -> unit
 (** Park, join and release the worker domains.  Every pool must be shut
     down before the program exits (prefer {!with_pool}). *)

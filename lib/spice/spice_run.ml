@@ -14,7 +14,7 @@ let span_name = function
    PSS, the mismatch analyses, Monte Carlo).  The LTI small-signal
    analyses (.ac, .noise, .dcmatch sensitivities) are single direct
    solves with no iteration to bound and stay untouched. *)
-let run_analysis ?(domains = 1) ?backend ?policy ?budget ppf
+let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
     (deck : Spice_elab.t) analysis =
   Obs.span (span_name analysis) @@ fun () ->
   Obs.count "spice.analyses" 1;
@@ -66,7 +66,7 @@ let run_analysis ?(domains = 1) ?backend ?policy ?budget ppf
       points;
     Format.fprintf ppf "@]@."
   | Spice_ast.A_pss { period } ->
-    let pss = Pss.solve ?backend ?policy ?budget circuit ~period in
+    let pss = Pss.solve ?backend ?krylov ?policy ?budget circuit ~period in
     Format.fprintf ppf
       ".pss: converged in %d shooting iterations, residual %.3g@."
       pss.Pss.iterations pss.Pss.residual;
@@ -80,12 +80,14 @@ let run_analysis ?(domains = 1) ?backend ?policy ?budget ppf
     done
   | Spice_ast.A_mismatch_dc { output; period } ->
     let ctx =
-      Analysis.prepare ~domains ?backend ?policy ?budget circuit ~period
+      Analysis.prepare ~domains ?backend ?krylov ?policy ?budget circuit
+        ~period
     in
     Format.fprintf ppf "%a@." Report.pp (Analysis.dc_variation ctx ~output)
   | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
     let ctx =
-      Analysis.prepare ~domains ?backend ?policy ?budget circuit ~period
+      Analysis.prepare ~domains ?backend ?krylov ?policy ?budget circuit
+        ~period
     in
     let crossing =
       {
@@ -127,12 +129,15 @@ let run_analysis ?(domains = 1) ?backend ?policy ?budget ppf
       mc.Monte_carlo.summaries;
     Format.fprintf ppf "@]@."
 
-let run ?domains ?backend ?policy ?budget ppf deck =
+let run ?domains ?backend ?krylov ?policy ?budget ppf deck =
   if deck.Spice_elab.title <> "" then
     Format.fprintf ppf "* %s@.@." deck.Spice_elab.title;
   match deck.Spice_elab.analyses with
-  | [] -> run_analysis ?domains ?backend ?policy ?budget ppf deck Spice_ast.A_op
+  | [] ->
+    run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck
+      Spice_ast.A_op
   | analyses ->
     List.iter
-      (fun (_ln, a) -> run_analysis ?domains ?backend ?policy ?budget ppf deck a)
+      (fun (_ln, a) ->
+        run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck a)
       analyses

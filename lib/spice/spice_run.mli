@@ -2,17 +2,20 @@
     the results — the engine behind the [varsim] CLI. *)
 
 val run_analysis :
-  ?domains:int -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
+  ?domains:int -> ?backend:Linsys.backend -> ?krylov:Linsys.krylov ->
+  ?policy:Retry.policy ->
   ?budget:Budget.t -> Format.formatter ->
   Spice_elab.t -> Spice_ast.analysis -> unit
 (** Run one analysis card against the deck's circuit.  [domains]
     parallelizes the LPTV/PNOISE passes; [backend] picks the linear
-    solver (dense / sparse / auto); [policy] and [budget] thread into
+    solver (dense / sparse / auto); [krylov] the matrix-free wrap
+    policy (auto / on / off); [policy] and [budget] thread into
     the nonlinear engines (docs/robustness.md) — the LTI analyses
     ([.ac], [.noise], [.dcmatch]) are direct solves and ignore them. *)
 
 val run :
-  ?domains:int -> ?backend:Linsys.backend -> ?policy:Retry.policy ->
+  ?domains:int -> ?backend:Linsys.backend -> ?krylov:Linsys.krylov ->
+  ?policy:Retry.policy ->
   ?budget:Budget.t -> Format.formatter ->
   Spice_elab.t -> unit
 (** Run every card in deck order.  A deck with no cards gets an [.op].

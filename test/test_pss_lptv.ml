@@ -54,7 +54,7 @@ let test_pss_monodromy_rc () =
   let expected = a ** float_of_int steps in
   let row = Circuit.node_row c "out" in
   check_float ~eps:1e-9 "monodromy entry" expected
-    (Mat.get pss.Pss.monodromy row row)
+    (Mat.get (Pss.monodromy pss) row row)
 
 let test_pss_dc_driven () =
   (* a DC-driven circuit has a constant PSS equal to the DC solution *)
