@@ -7,6 +7,14 @@
      varsim mismatch <deck.sp> -o out --period 4n
      varsim pnoise <deck.sp> -o out --period 4n [--harmonic N]
      varsim demo [comparator|logicpath|ringosc]   built-in benchmarks
+     varsim sweep <spec>         supervised characterization sweep
+                                 (crash-isolated workers, resumable
+                                 journal; docs/robustness.md)
+     varsim worker ...           internal: one supervised sweep point
+
+   Exit codes: 0 success; 123 typed analysis/setup failure; 124 budget
+   expiry (partial artifacts are still written first); 3 a sweep that
+   completed but has failed points.
 
    Global-ish options shared by the solver-heavy subcommands:
      --domains N                 OCaml domains for the LPTV/PNOISE passes
@@ -87,25 +95,26 @@ type res_opts = {
   strict : bool;
 }
 
+let budget_conv =
+  Arg.conv
+    ~docv:"T"
+    ( (fun s ->
+        match Spice_lexer.parse_number s with
+        | Some v when v > 0.0 ->
+          Ok v
+        | Some _ | None ->
+          Error (`Msg "expected a positive time, e.g. 30 or 500m")),
+      fun ppf v -> Format.fprintf ppf "%g" v )
+
+let budget_arg =
+  Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"T"
+         ~doc:"Wall-clock budget in seconds (suffixes allowed, e.g. \
+               $(b,500m)).  An analysis that exceeds it stops \
+               cooperatively, flushes whatever partial artifacts were \
+               requested, reports a structured timeout and exits 124")
+
 let res_term =
-  let budget_conv =
-    Arg.conv
-      ~docv:"T"
-      ( (fun s ->
-          match Spice_lexer.parse_number s with
-          | Some v when v > 0.0 ->
-            Ok v
-          | Some _ | None ->
-            Error (`Msg "expected a positive time, e.g. 30 or 500m")),
-        fun ppf v -> Format.fprintf ppf "%g" v )
-  in
-  let budget =
-    Arg.(value & opt (some budget_conv) None & info [ "budget" ] ~docv:"T"
-           ~doc:"Wall-clock budget in seconds (suffixes allowed, e.g. \
-                 $(b,500m)).  An analysis that exceeds it stops \
-                 cooperatively and reports a structured timeout instead \
-                 of hanging")
-  in
+  let budget = budget_arg in
   let max_retries =
     Arg.(value & opt int 2 & info [ "max-retries" ] ~docv:"N"
            ~doc:"Bounded re-attempts per failed stage of the fallback \
@@ -175,13 +184,26 @@ let with_obs opts f =
       (fun () -> Obs.root "varsim" f)
   end
 
-let handle = function
+(* Exit-code discipline (docs/robustness.md): a budget expiry is 124 —
+   and only a budget expiry — while every other typed failure is 123.
+   Both paths run after with_obs' finally block, so requested metrics /
+   trace files are already flushed: a timeout never drops the partial
+   artifacts. *)
+let fail_exit msg =
+  Printf.eprintf "varsim: %s\n%!" msg;
+  exit 123
+
+let handle_run = function
   | Ok () -> `Ok ()
-  | Error msg -> `Error (false, msg)
+  | Error (Resilient.Timed_out _ as f) ->
+    Printf.eprintf "varsim: %s\n%!" (Resilient.describe f);
+    exit 124
+  | Error f -> fail_exit (Resilient.describe f)
 
 (* Run an analysis under the Resilient safety net: create the budget at
-   analysis start, map typed failures to CLI errors, surface
-   sparse->dense degradations as a stderr warning (never silent). *)
+   analysis start, keep failures typed for the exit-code mapping above,
+   surface sparse->dense degradations as a stderr warning (never
+   silent). *)
 let run_resilient obs res ~label f =
   let out =
     with_obs obs (fun () ->
@@ -199,17 +221,15 @@ let run_resilient obs res ~label f =
       "varsim: warning: %d GMRES wrap solve(s) stagnated and fell back to \
        the dense factorization\n%!"
       out.Resilient.krylov_fallbacks;
-  match out.Resilient.result with
-  | Ok v -> Ok v
-  | Error f -> Error (Resilient.describe f)
+  out.Resilient.result
 
 let run_cmd =
   let run path domains backend krylov res obs =
-    handle
-      (match read_deck path with
-       | Error e -> Error e
-       | Ok deck ->
-         run_resilient obs res ~label:("run " ^ path)
+    match read_deck path with
+    | Error e -> fail_exit e
+    | Ok deck ->
+      handle_run
+        (run_resilient obs res ~label:("run " ^ path)
            (fun ~policy ~budget ->
              Spice_run.run ~domains ~backend ~krylov ~policy ?budget
                Format.std_formatter deck))
@@ -221,11 +241,11 @@ let run_cmd =
 
 let op_cmd =
   let run path backend res obs =
-    handle
-      (match read_deck path with
-       | Error e -> Error e
-       | Ok deck ->
-         run_resilient obs res ~label:("op " ^ path)
+    match read_deck path with
+    | Error e -> fail_exit e
+    | Ok deck ->
+      handle_run
+        (run_resilient obs res ~label:("op " ^ path)
            (fun ~policy ~budget ->
              Spice_run.run_analysis ~backend ~policy ?budget
                Format.std_formatter deck Spice_ast.A_op))
@@ -240,11 +260,11 @@ let output_arg =
 
 let dcmatch_cmd =
   let run path output domains backend res obs =
-    handle
-      (match read_deck path with
-       | Error e -> Error e
-       | Ok deck ->
-         run_resilient obs res ~label:("dcmatch " ^ path)
+    match read_deck path with
+    | Error e -> fail_exit e
+    | Ok deck ->
+      handle_run
+        (run_resilient obs res ~label:("dcmatch " ^ path)
            (fun ~policy ~budget ->
              Spice_run.run_analysis ~domains ~backend ~policy ?budget
                Format.std_formatter deck (Spice_ast.A_dc_match { output })))
@@ -270,11 +290,11 @@ let period_arg =
 
 let mismatch_cmd =
   let run path output period domains backend krylov res obs =
-    handle
-      (match read_deck path with
-       | Error e -> Error e
-       | Ok deck ->
-         run_resilient obs res ~label:("mismatch " ^ path)
+    match read_deck path with
+    | Error e -> fail_exit e
+    | Ok deck ->
+      handle_run
+        (run_resilient obs res ~label:("mismatch " ^ path)
            (fun ~policy ~budget ->
              Spice_run.run_analysis ~domains ~backend ~krylov ~policy ?budget
                Format.std_formatter deck
@@ -293,11 +313,11 @@ let pnoise_cmd =
            ~doc:"Sideband harmonic index (0 = baseband)")
   in
   let run path output period harmonic domains backend krylov res obs =
-    handle
-      (match read_deck path with
-       | Error e -> Error e
-       | Ok deck ->
-         match
+    match read_deck path with
+    | Error e -> fail_exit e
+    | Ok deck ->
+      handle_run
+        (match
            run_resilient obs res ~label:("pnoise " ^ path)
              (fun ~policy ~budget ->
                let circuit = deck.Spice_elab.circuit in
@@ -329,7 +349,7 @@ let demo_cmd =
            ~doc:"comparator | logicpath | ringosc")
   in
   let run which domains backend krylov res obs =
-    handle
+    handle_run
       (run_resilient obs res ~label:"demo" (fun ~policy ~budget ->
            match which with
            | `Comparator ->
@@ -375,12 +395,161 @@ let demo_cmd =
     Term.(ret (const run $ which $ domains_arg $ backend_arg $ krylov_arg
                $ res_term $ obs_term))
 
+(* ------------------------------------------------------------------ *)
+(* sweep: supervised characterization fan-out (docs/robustness.md) *)
+
+let sweep_cmd =
+  let spec_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"SPEC"
+           ~doc:"Sweep specification file (docs/robustness.md, \"Sweeps \
+                 and supervision\")")
+  in
+  let prefix_arg =
+    Arg.(value & opt string "sweep" & info [ "o"; "out" ] ~docv:"PREFIX"
+           ~doc:"Artifact prefix: writes $(docv).csv, $(docv).json and the \
+                 resume journal $(docv).journal")
+  in
+  let isolation_conv =
+    Arg.conv
+      ~docv:"ISO"
+      ( (fun s ->
+          match Sweep_supervisor.isolation_of_string s with
+          | Some i -> Ok i
+          | None -> Error (`Msg "expected process, domain or auto")),
+        fun ppf i ->
+          Format.pp_print_string ppf (Sweep_supervisor.isolation_to_string i) )
+  in
+  let isolation_arg =
+    Arg.(value & opt isolation_conv Sweep_supervisor.Auto_iso
+         & info [ "isolation" ] ~docv:"ISO"
+             ~doc:"Point isolation: $(b,process) (supervised worker \
+                   processes, full crash isolation), $(b,domain) \
+                   (in-process pool lanes) or $(b,auto) (domains for the \
+                   cheap direct-DC analyses, processes otherwise)")
+  in
+  let jobs_arg =
+    Arg.(value & opt int (Domain_pool.default_lanes ())
+         & info [ "j"; "jobs" ] ~docv:"N"
+             ~doc:"Concurrent workers / pool lanes (default: one per core)")
+  in
+  let resume_arg =
+    Arg.(value & flag & info [ "resume" ]
+           ~doc:"Skip points already recorded in the journal from an \
+                 earlier (interrupted) run of the same spec; the final \
+                 artifacts are bit-identical to an uninterrupted run's")
+  in
+  let grace_arg =
+    Arg.(value & opt float 1.0 & info [ "grace" ] ~docv:"S"
+           ~doc:"Seconds between SIGTERM and SIGKILL when a worker \
+                 overruns its point budget")
+  in
+  let point_budget_arg =
+    Arg.(value & opt (some budget_conv) None & info [ "point-budget" ]
+           ~docv:"T"
+           ~doc:"Per-point wall budget (overrides the spec); an \
+                 overrunning worker is killed and the point retried, \
+                 then recorded as timed out")
+  in
+  let max_retries_arg =
+    Arg.(value & opt (some int) None & info [ "max-retries" ] ~docv:"N"
+           ~doc:"Re-attempts per crashed or hung point (overrides the \
+                 spec; default 2)")
+  in
+  let run spec_path prefix isolation jobs resume grace point_budget
+      max_retries budget_s obs =
+    match Sweep_spec.load_file spec_path with
+    | Error e -> fail_exit e
+    | Ok spec ->
+      let spec =
+        {
+          spec with
+          Sweep_spec.point_budget_s =
+            (match point_budget with
+             | Some _ -> point_budget
+             | None -> spec.Sweep_spec.point_budget_s);
+          max_retries =
+            Option.value max_retries ~default:spec.Sweep_spec.max_retries;
+        }
+      in
+      let budget =
+        Option.map (fun s -> Budget.make ~wall_s:s ~label:"sweep" ()) budget_s
+      in
+      let conf =
+        {
+          Sweep_supervisor.spec_path;
+          out_prefix = prefix;
+          isolation;
+          jobs = (if jobs < 1 then 1 else jobs);
+          resume;
+          grace_s = grace;
+          budget;
+          progress = obs.progress;
+        }
+      in
+      (* artifacts are written inside run (before any exit decision), and
+         with_obs' finally flushes metrics/trace first: a budget expiry
+         leaves both the partial CSV/JSON and the telemetry on disk *)
+      (match with_obs obs (fun () -> Sweep_supervisor.run conf spec) with
+       | Error e -> fail_exit e
+       | Ok sum ->
+         Format.printf "%a@." Sweep_supervisor.pp_summary sum;
+         if sum.Sweep_supervisor.partial then exit 124
+         else if
+           sum.Sweep_supervisor.timed_out + sum.Sweep_supervisor.crashed
+           + sum.Sweep_supervisor.failed
+           > 0
+         then exit 3
+         else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a characterization sweep: crash-isolated supervised \
+             workers, bounded retries, a durable resume journal and \
+             deterministic CSV/JSON artifacts")
+    Term.(ret (const run $ spec_arg $ prefix_arg $ isolation_arg $ jobs_arg
+               $ resume_arg $ grace_arg $ point_budget_arg $ max_retries_arg
+               $ budget_arg $ obs_term))
+
+let worker_cmd =
+  let spec_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SPEC"
+           ~doc:"Sweep specification file")
+  in
+  let index_arg =
+    Arg.(required & opt (some int) None & info [ "index" ] ~docv:"N"
+           ~doc:"Grid index of the point to run")
+  in
+  let hash_arg =
+    Arg.(value & opt (some string) None & info [ "hash" ] ~docv:"HEX"
+           ~doc:"Expected content hash of the point (cross-checked)")
+  in
+  let pb_arg =
+    Arg.(value & opt (some float) None & info [ "point-budget" ] ~docv:"S"
+           ~doc:"Per-point wall budget in seconds")
+  in
+  let crash_arg =
+    Arg.(value & flag & info [ "crash-now" ]
+           ~doc:"Fault injection: die by SIGKILL before computing")
+  in
+  let run spec_path index hash budget_s crash =
+    match Sweep_worker.main ~crash ~spec_path ~index ~hash ~budget_s () with
+    | 0 -> `Ok ()
+    | n -> exit n
+  in
+  Cmd.v
+    (Cmd.info "worker"
+       ~doc:"Internal: run one supervised sweep point and print its \
+             result as a JSON line (spawned by $(b,varsim sweep))")
+    Term.(ret (const run $ spec_arg $ index_arg $ hash_arg $ pb_arg
+               $ crash_arg))
+
 let main =
   Cmd.group
     (Cmd.info "varsim" ~version:"1.0.0"
        ~doc:"Transient mismatch variation analysis via pseudo-noise LPTV \
              simulation")
-    [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd ]
+    [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd;
+      sweep_cmd; worker_cmd ]
 
 let () =
   Faultsim.arm_env ();

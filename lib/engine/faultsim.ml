@@ -127,11 +127,41 @@ let parse_schedule s =
   in
   go [] specs
 
+(* Every site the engines fire, in one place: an unknown name in a
+   schedule is a typo that would otherwise silently inject nothing. *)
+let known_sites () =
+  [ "budget.clock"; "linsys.splu"; "lptv.factor"; "lptv.gmres";
+    "newton.factorize"; "newton.residual"; "pnoise.transfer"; "pss.gmres";
+    "sweep.journal.write"; "sweep.worker.crash"; "sweep.worker.hang";
+    "sweep.worker.spawn"; "tran.step" ]
+
+let validate_sites triggers =
+  let sites = known_sites () in
+  match
+    List.filter_map
+      (fun t -> if List.mem t.site sites then None else Some t.site)
+      triggers
+  with
+  | [] -> Ok ()
+  | unknown ->
+    Error
+      (Printf.sprintf "unknown site%s %s (valid sites: %s)"
+         (if List.length unknown > 1 then "s" else "")
+         (String.concat ", " (List.sort_uniq compare unknown))
+         (String.concat ", " sites))
+
 let arm_env () =
   match Sys.getenv_opt "VARSIM_FAULTS" with
   | None | Some "" -> ()
   | Some spec -> (
-    match parse_schedule spec with
+    match
+      match parse_schedule spec with
+      | Ok triggers -> (
+        match validate_sites triggers with
+        | Ok () -> Ok triggers
+        | Error _ as e -> e)
+      | Error _ as e -> e
+    with
     | Ok triggers ->
       Printf.eprintf "varsim: fault injection armed: %s\n%!" spec;
       arm triggers

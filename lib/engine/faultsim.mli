@@ -26,7 +26,18 @@
       solve report stagnation, exercising the bit-identical
       krylov→dense fallback rung
     - ["budget.clock"] — [Clock_skip s] advances the budget clock by
-      [s] seconds on that visit *)
+      [s] seconds on that visit
+    - ["sweep.worker.spawn"] — [Exn] fails a sweep worker spawn in the
+      supervisor; costs one of that point's attempts
+    - ["sweep.worker.crash"] — any fault makes the supervisor spawn
+      that worker doomed: it SIGKILLs itself before touching the
+      point, exactly as if the child had died mid-point (parent-side
+      visit counting, so visit [0] is a transient one retry absorbs)
+    - ["sweep.worker.hang"] — any fault parks the worker process
+      forever; the supervisor's per-point deadline must reap it
+      (worker-side: every attempt of the point re-fires visit 0)
+    - ["sweep.journal.write"] — [Exn] fails one journal append; the
+      sweep warns and continues (the point is re-run on resume) *)
 
 type fault =
   | Singular of int  (** behave as a singular factorization at row [k] *)
@@ -74,8 +85,21 @@ val parse_schedule : string -> (trigger list, string) result
     [site:visit:kind[:arg]] with kinds [singular[:row]], [nan],
     [exn[:msg]] and [clockskip:seconds]; [visit] is an integer or [*]
     for every visit.  E.g.
-    ["newton.factorize:0:singular:3,budget.clock:2:clockskip:1e9"]. *)
+    ["newton.factorize:0:singular:3,budget.clock:2:clockskip:1e9"].
+    Syntax only — site names are checked by {!validate_sites}. *)
+
+val known_sites : unit -> string list
+(** Every instrumented site name, sorted — the vocabulary
+    {!validate_sites} accepts. *)
+
+val validate_sites : trigger list -> (unit, string) result
+(** Reject any trigger naming a site outside {!known_sites}; the error
+    lists the offending names and the full valid vocabulary, so a typo
+    in a schedule fails fast instead of silently injecting nothing.
+    ({!arm} itself stays unvalidated for tests that exercise synthetic
+    sites.) *)
 
 val arm_env : unit -> unit
 (** Arm from [VARSIM_FAULTS] when set (the CLI's explicit hook); print
-    a diagnostic to stderr and exit 2 on a malformed schedule. *)
+    a diagnostic to stderr and exit 2 on a malformed schedule or an
+    unknown site name. *)

@@ -18,6 +18,12 @@ let of_cli ~max_retries ~strict:s =
 
 let rung name = Obs.count ("ladder." ^ name) 1
 
+(* deterministic geometric backoff: no jitter, so a retried schedule is
+   exactly reproducible (the property test_sweep pins down) *)
+let backoff_delay ~base ~attempt =
+  if attempt < 1 then invalid_arg "Retry.backoff_delay: attempt < 1"
+  else base *. (2.0 ** float_of_int (attempt - 1))
+
 let with_transients ?(policy = default) ~label f =
   let rec go tries =
     try f ()

@@ -39,6 +39,13 @@ val strict : policy
 val of_cli : max_retries:int -> strict:bool -> policy
 (** [strict:true] wins; otherwise {!default} with [max_retries]. *)
 
+val backoff_delay : base:float -> attempt:int -> float
+(** [base * 2^(attempt-1)] seconds — the delay the sweep supervisor
+    sleeps before re-attempt number [attempt] (1-based) of a crashed or
+    hung point.  Pure and jitter-free: the same policy and the same
+    failures always produce the identical attempt timeline
+    (docs/robustness.md).  Raises [Invalid_argument] for [attempt < 1]. *)
+
 val rung : string -> unit
 (** Record entering a fallback-ladder rung: counts
     [ladder.<name>] when {!Obs.enabled} (e.g. ["dc.gmin"],

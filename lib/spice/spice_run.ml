@@ -132,12 +132,26 @@ let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
 let run ?domains ?backend ?krylov ?policy ?budget ppf deck =
   if deck.Spice_elab.title <> "" then
     Format.fprintf ppf "* %s@.@." deck.Spice_elab.title;
-  match deck.Spice_elab.analyses with
-  | [] ->
-    run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck
-      Spice_ast.A_op
-  | analyses ->
-    List.iter
-      (fun (_ln, a) ->
-        run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck a)
-      analyses
+  (* end-of-run degradation summary: sample the process-wide fallback
+     counters around the whole deck so a run that silently leaned on
+     the dense backend says so in its own output (not only as a
+     point-of-fallback stderr warning) — and so sweep workers can read
+     a per-point degraded count off the same counters for free *)
+  let d0 = Linsys.degradation_count () in
+  let k0 = Linsys.krylov_fallback_count () in
+  (match deck.Spice_elab.analyses with
+   | [] ->
+     run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck
+       Spice_ast.A_op
+   | analyses ->
+     List.iter
+       (fun (_ln, a) ->
+         run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck a)
+       analyses);
+  let degradations = Linsys.degradation_count () - d0 in
+  let krylov_fallbacks = Linsys.krylov_fallback_count () - k0 in
+  if degradations > 0 || krylov_fallbacks > 0 then
+    Format.fprintf ppf
+      "resilience summary: %d sparse->dense degradation(s), %d krylov \
+       fallback(s)@."
+      degradations krylov_fallbacks

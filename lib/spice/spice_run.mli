@@ -19,4 +19,7 @@ val run :
   ?budget:Budget.t -> Format.formatter ->
   Spice_elab.t -> unit
 (** Run every card in deck order.  A deck with no cards gets an [.op].
-    The budget spans the whole deck: cards consume it cumulatively. *)
+    The budget spans the whole deck: cards consume it cumulatively.
+    When any sparse→dense degradation or krylov→dense fallback occurred
+    during the deck, a final ["resilience summary: ..."] line reports
+    the counts (a clean run prints nothing extra). *)

@@ -1,0 +1,686 @@
+type isolation = Process | Domains | Auto_iso
+
+let isolation_of_string = function
+  | "process" -> Some Process
+  | "domain" | "domains" -> Some Domains
+  | "auto" -> Some Auto_iso
+  | _ -> None
+
+let isolation_to_string = function
+  | Process -> "process"
+  | Domains -> "domain"
+  | Auto_iso -> "auto"
+
+type config = {
+  spec_path : string;
+  out_prefix : string;
+  isolation : isolation;
+  jobs : int;
+  resume : bool;
+  grace_s : float;
+  budget : Budget.t option;
+  progress : bool;
+}
+
+type summary = {
+  total : int;
+  skipped : int;
+  ok : int;
+  degraded : int;
+  timed_out : int;
+  crashed : int;
+  failed : int;
+  retries : int;
+  partial : bool;
+}
+
+let csv_path prefix = prefix ^ ".csv"
+let json_path prefix = prefix ^ ".json"
+let journal_path prefix = prefix ^ ".journal"
+
+type attempt_event = { attempt : int; delay_before_s : float }
+
+let plan_attempts ~max_retries ~backoff_s ~retriable =
+  let rec go k acc delay =
+    let acc = { attempt = k; delay_before_s = delay } :: acc in
+    if retriable k && k <= max_retries then
+      go (k + 1) acc (Retry.backoff_delay ~base:backoff_s ~attempt:k)
+    else List.rev acc
+  in
+  go 1 [] 0.0
+
+(* ------------------------------------------------------------------ *)
+(* outcome bookkeeping *)
+
+let signal_name s =
+  if s = Sys.sigkill then "SIGKILL"
+  else if s = Sys.sigterm then "SIGTERM"
+  else if s = Sys.sigsegv then "SIGSEGV"
+  else if s = Sys.sigabrt then "SIGABRT"
+  else if s = Sys.sigbus then "SIGBUS"
+  else if s = Sys.sigill then "SIGILL"
+  else if s = Sys.sigfpe then "SIGFPE"
+  else if s = Sys.sigint then "SIGINT"
+  else Printf.sprintf "sig%d" s
+
+let outcome_is_ok o = o = "ok" || o = "degraded"
+
+let count_outcome sum outcome =
+  if outcome = "ok" then { sum with ok = sum.ok + 1 }
+  else if outcome = "degraded" then { sum with degraded = sum.degraded + 1 }
+  else if outcome = "timed_out" then { sum with timed_out = sum.timed_out + 1 }
+  else if String.length outcome >= 7 && String.sub outcome 0 7 = "crashed" then
+    { sum with crashed = sum.crashed + 1 }
+  else { sum with failed = sum.failed + 1 }
+
+(* ------------------------------------------------------------------ *)
+(* artifacts *)
+
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc content;
+      flush oc;
+      Unix.fsync (Unix.descr_of_out_channel oc));
+  Sys.rename tmp path
+
+let csv_quote s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\""
+    ^ String.concat "\"\"" (String.split_on_char '"' s)
+    ^ "\""
+  else s
+
+(* CSV cells use only deterministic per-point data (no wall times, no
+   attempt counts), so an interrupted-and-resumed sweep reproduces an
+   uninterrupted run's artifact byte for byte *)
+let csv_content (spec : Sweep_spec.t) points entries ~completed ~partial =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "id";
+  List.iter
+    (fun a ->
+      Buffer.add_char b ',';
+      Buffer.add_string b a.Sweep_spec.axis_name)
+    spec.Sweep_spec.axes;
+  Buffer.add_string b ",outcome,metric,value,degraded\n";
+  Array.iter
+    (fun (point : Sweep_spec.point) ->
+      match Hashtbl.find_opt entries point.Sweep_spec.id with
+      | None -> ()
+      | Some (e : Sweep_journal.entry) ->
+        Buffer.add_string b (string_of_int point.Sweep_spec.id);
+        List.iter
+          (fun (_, v) ->
+            Buffer.add_char b ',';
+            Buffer.add_string b (csv_quote (Sweep_spec.value_to_string v)))
+          point.Sweep_spec.assigns;
+        Buffer.add_char b ',';
+        Buffer.add_string b (csv_quote e.Sweep_journal.outcome);
+        Buffer.add_char b ',';
+        Buffer.add_string b e.Sweep_journal.metric;
+        Buffer.add_char b ',';
+        (match e.Sweep_journal.value with
+         | Some v -> Buffer.add_string b (Printf.sprintf "%.17g" v)
+         | None -> ());
+        Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int e.Sweep_journal.degraded);
+        Buffer.add_char b '\n')
+    points;
+  if partial then
+    Buffer.add_string b
+      (Printf.sprintf "# partial: budget expired after %d/%d points\n"
+         completed (Array.length points));
+  Buffer.contents b
+
+let json_content (_spec : Sweep_spec.t) points entries ~completed ~partial =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "{\"total\":%d,\"completed\":%d,\"partial\":%b,\"points\":["
+       (Array.length points) completed partial);
+  let first = ref true in
+  Array.iter
+    (fun (point : Sweep_spec.point) ->
+      match Hashtbl.find_opt entries point.Sweep_spec.id with
+      | None -> ()
+      | Some (e : Sweep_journal.entry) ->
+        if not !first then Buffer.add_char b ',';
+        first := false;
+        Buffer.add_string b
+          (Printf.sprintf "{\"id\":%d,\"params\":{" point.Sweep_spec.id);
+        List.iteri
+          (fun i (name, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            Buffer.add_string b
+              (Printf.sprintf "\"%s\":\"%s\"" name
+                 (Sweep_spec.value_to_string v)))
+          point.Sweep_spec.assigns;
+        Buffer.add_string b "},";
+        Buffer.add_string b
+          (Printf.sprintf "\"outcome\":\"%s\",\"metric\":\"%s\",\"value\":%s,\"degraded\":%d}"
+             e.Sweep_journal.outcome e.Sweep_journal.metric
+             (match e.Sweep_journal.value with
+              | Some v -> Printf.sprintf "\"%.17g\"" v
+              | None -> "null")
+             e.Sweep_journal.degraded))
+    points;
+  Buffer.add_string b "]}\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* shared run state *)
+
+type state = {
+  conf : config;
+  spec : Sweep_spec.t;
+  points : Sweep_spec.point array;
+  hashes : string array;
+  entries : (int, Sweep_journal.entry) Hashtbl.t;  (* id -> terminal entry *)
+  journal : Sweep_journal.t;
+  state_mutex : Mutex.t;  (* entries + counters, for domain lanes *)
+  mutable retries_used : int;
+  mutable done_count : int;
+  to_run_total : int;
+}
+
+let journal_append st entry =
+  match Sweep_journal.append st.journal entry with
+  | () -> ()
+  | exception e ->
+    (* a journal write failure degrades durability, never the run: the
+       result stays in memory for this run's artifacts and the point
+       will simply be re-run on resume *)
+    Obs.count "sweep.journal.errors" 1;
+    Printf.eprintf "varsim sweep: warning: journal write failed (%s)\n%!"
+      (match e with
+       | Faultsim.Injected m -> "injected fault: " ^ m
+       | Unix.Unix_error (err, _, _) -> Unix.error_message err
+       | e -> Printexc.to_string e)
+
+let record st point (entry : Sweep_journal.entry) ~attempts =
+  Mutex.lock st.state_mutex;
+  Hashtbl.replace st.entries point.Sweep_spec.id entry;
+  st.retries_used <- st.retries_used + (attempts - 1);
+  st.done_count <- st.done_count + 1;
+  let k = st.done_count in
+  Mutex.unlock st.state_mutex;
+  journal_append st entry;
+  Obs.count "sweep.points.completed" 1;
+  Obs.count ("sweep.points." ^ (if outcome_is_ok entry.Sweep_journal.outcome
+                                then "ok" else "bad")) 1;
+  if st.conf.progress then
+    Printf.eprintf "varsim sweep: [%d/%d] point %d %s (%.2fs%s)\n%!" k
+      st.to_run_total point.Sweep_spec.id entry.Sweep_journal.outcome
+      entry.Sweep_journal.elapsed_s
+      (if attempts > 1 then Printf.sprintf ", %d attempts" attempts else "")
+
+(* ------------------------------------------------------------------ *)
+(* process isolation: supervised children *)
+
+type child = {
+  pid : int;
+  c_point : Sweep_spec.point;
+  c_hash : string;
+  attempt : int;
+  fd : Unix.file_descr;
+  buf : Buffer.t;
+  started : float;
+  deadline : float option;
+  mutable term_at : float option;
+  mutable deadline_killed : bool;
+  mutable eof : bool;
+}
+
+type verdict =
+  | V_entry of Sweep_journal.entry  (* worker produced a result line *)
+  | V_crashed of int  (* OCaml signal number *)
+  | V_timed_out  (* parent-enforced deadline *)
+  | V_failed of string  (* exited nonzero / protocol breakage *)
+
+let spawn st point hash attempt =
+  Faultsim.check_exn "sweep.worker.spawn";
+  let r, w = Unix.pipe () in
+  Unix.set_close_on_exec r;
+  let base =
+    [ Sys.executable_name; "worker"; st.conf.spec_path; "--index";
+      string_of_int point.Sweep_spec.id; "--hash"; hash ]
+  in
+  let base =
+    match st.spec.Sweep_spec.point_budget_s with
+    | Some s -> base @ [ "--point-budget"; Printf.sprintf "%.17g" s ]
+    | None -> base
+  in
+  (* crash injection: the visit is counted here (parent side, so a
+     [:0:] trigger is one transient across the whole run), but the
+     death is delivered by the worker itself — it SIGKILLs itself
+     before touching the point, so the injected crash can never race
+     the point's completion *)
+  let argv =
+    match Faultsim.fire "sweep.worker.crash" with
+    | Some _ -> base @ [ "--crash-now" ]
+    | None -> base
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process Sys.executable_name (Array.of_list argv) devnull w
+      Unix.stderr
+  in
+  Unix.close devnull;
+  Unix.close w;
+  Obs.count "sweep.workers.spawned" 1;
+  let now = Budget.now () in
+  {
+    pid;
+    c_point = point;
+    c_hash = hash;
+    attempt;
+    fd = r;
+    buf = Buffer.create 256;
+    started = now;
+    deadline =
+      Option.map (fun s -> now +. s) st.spec.Sweep_spec.point_budget_s;
+    term_at = None;
+    deadline_killed = false;
+    eof = false;
+  }
+
+let drain_child c =
+  (* the child is dead: read whatever is left in the pipe until EOF *)
+  let chunk = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read c.fd chunk 0 4096 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes c.buf chunk 0 n;
+      go ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+  in
+  if not c.eof then go ();
+  Unix.close c.fd
+
+let last_line s =
+  String.split_on_char '\n' s
+  |> List.filter (fun l -> String.trim l <> "")
+  |> List.rev
+  |> function
+  | [] -> None
+  | l :: _ -> Some l
+
+let classify c status =
+  if c.deadline_killed then V_timed_out
+  else
+    match status with
+    | Unix.WEXITED 0 -> begin
+      match Option.bind (last_line (Buffer.contents c.buf))
+              Sweep_journal.entry_of_json with
+      (* a worker-internal cooperative timeout is the same transient as a
+         parent-enforced deadline kill: retry it, don't record it *)
+      | Some e when e.Sweep_journal.hash = c.c_hash
+                    && e.Sweep_journal.outcome = "timed_out" -> V_timed_out
+      | Some e when e.Sweep_journal.hash = c.c_hash -> V_entry e
+      | Some _ -> V_failed "worker answered for a different point"
+      | None -> V_failed "worker protocol error: no result line"
+    end
+    | Unix.WEXITED n -> V_failed (Printf.sprintf "worker exited with code %d" n)
+    | Unix.WSIGNALED s | Unix.WSTOPPED s -> V_crashed s
+
+(* retriable: the worker died or hung.  A typed analysis failure is a
+   deterministic fact about the point, not a transient — re-running it
+   would reproduce it. *)
+let retriable = function
+  | V_crashed _ | V_timed_out -> true
+  | V_entry _ | V_failed _ -> false
+
+let entry_of_verdict c v =
+  let elapsed = Budget.now () -. c.started in
+  let mk outcome =
+    {
+      Sweep_journal.hash = c.c_hash;
+      id = c.c_point.Sweep_spec.id;
+      outcome;
+      metric = "none";
+      value = None;
+      degraded = 0;
+      attempts = c.attempt;
+      elapsed_s = elapsed;
+    }
+  in
+  match v with
+  | V_entry e -> { e with Sweep_journal.attempts = c.attempt }
+  | V_crashed s -> mk ("crashed:" ^ signal_name s)
+  | V_timed_out -> mk "timed_out"
+  | V_failed msg -> mk ("failed:" ^ msg)
+
+type task = {
+  t_point : Sweep_spec.point;
+  t_hash : string;
+  t_attempt : int;
+  not_before : float;
+}
+
+let run_process st =
+  let queue =
+    ref
+      (Array.to_list
+         (Array.mapi
+            (fun i (point : Sweep_spec.point) ->
+              { t_point = point; t_hash = st.hashes.(i); t_attempt = 1;
+                not_before = 0.0 })
+            st.points))
+  in
+  let running = ref [] in
+  let expired = ref false in
+  let requeue c v =
+    let delay =
+      Retry.backoff_delay ~base:st.spec.Sweep_spec.retry_backoff_s
+        ~attempt:c.attempt
+    in
+    Obs.count "sweep.retries" 1;
+    if st.conf.progress then
+      Printf.eprintf
+        "varsim sweep: point %d attempt %d %s; retrying in %.2gs\n%!"
+        c.c_point.Sweep_spec.id c.attempt
+        (match v with
+         | V_crashed s -> "crashed (" ^ signal_name s ^ ")"
+         | V_timed_out -> "timed out"
+         | _ -> "failed")
+        delay;
+    queue :=
+      !queue
+      @ [ { t_point = c.c_point; t_hash = c.c_hash;
+            t_attempt = c.attempt + 1;
+            not_before = Budget.now () +. delay } ]
+  in
+  let reap c status =
+    drain_child c;
+    running := List.filter (fun o -> o.pid <> c.pid) !running;
+    let v = classify c status in
+    if retriable v && c.attempt <= st.spec.Sweep_spec.max_retries
+       && not !expired then
+      requeue c v
+    else record st c.c_point (entry_of_verdict c v) ~attempts:c.attempt
+  in
+  (* global-budget abort: in-flight points are killed but NOT recorded —
+     a point that never got its fair chance must not leave a terminal
+     journal entry, or a resumed run would trust it and diverge from an
+     uninterrupted run's artifact *)
+  let kill_everything () =
+    List.iter
+      (fun c ->
+        (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ());
+        (try ignore (Unix.waitpid [] c.pid)
+         with Unix.Unix_error _ -> ());
+        drain_child c;
+        Obs.count "sweep.aborted_in_flight" 1)
+      !running;
+    running := []
+  in
+  while (!queue <> [] || !running <> []) && not !expired do
+    (match st.conf.budget with
+     | Some b when Budget.expired b ->
+       expired := true;
+       Obs.count "sweep.budget_expired" 1;
+       kill_everything ()
+     | _ -> ());
+    if not !expired then begin
+      (* launch ready tasks into free slots *)
+      let now = Budget.now () in
+      let rec launch () =
+        if List.length !running < st.conf.jobs then begin
+          match
+            List.partition (fun t -> t.not_before <= now) !queue
+          with
+          | [], _ -> ()
+          | ready :: rest_ready, waiting ->
+            queue := rest_ready @ waiting;
+            (match spawn st ready.t_point ready.t_hash ready.t_attempt with
+             | c -> running := c :: !running
+             | exception Faultsim.Injected _ ->
+               (* spawn-site fault: costs one attempt, like a crash *)
+               Obs.count "sweep.spawn_failures" 1;
+               if ready.t_attempt <= st.spec.Sweep_spec.max_retries then begin
+                 Obs.count "sweep.retries" 1;
+                 let delay =
+                   Retry.backoff_delay
+                     ~base:st.spec.Sweep_spec.retry_backoff_s
+                     ~attempt:ready.t_attempt
+                 in
+                 queue :=
+                   !queue
+                   @ [ { ready with t_attempt = ready.t_attempt + 1;
+                         not_before = now +. delay } ]
+               end
+               else
+                 record st ready.t_point
+                   {
+                     Sweep_journal.hash = ready.t_hash;
+                     id = ready.t_point.Sweep_spec.id;
+                     outcome = "failed:worker spawn failed";
+                     metric = "none";
+                     value = None;
+                     degraded = 0;
+                     attempts = ready.t_attempt;
+                     elapsed_s = 0.0;
+                   }
+                   ~attempts:ready.t_attempt);
+            launch ()
+        end
+      in
+      launch ();
+      (* wait for output or a tick *)
+      let fds = List.filter_map (fun c -> if c.eof then None else Some c.fd) !running in
+      let readable, _, _ =
+        try Unix.select fds [] [] 0.02
+        with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+      in
+      List.iter
+        (fun fd ->
+          match List.find_opt (fun c -> c.fd = fd) !running with
+          | None -> ()
+          | Some c -> (
+            let chunk = Bytes.create 4096 in
+            match Unix.read fd chunk 0 4096 with
+            | 0 -> c.eof <- true
+            | n -> Buffer.add_subbytes c.buf chunk 0 n
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()))
+        readable;
+      (* enforce per-point deadlines *)
+      let now = Budget.now () in
+      List.iter
+        (fun c ->
+          match c.deadline, c.term_at with
+          | Some d, None when now > d ->
+            c.deadline_killed <- true;
+            c.term_at <- Some now;
+            Obs.count "sweep.deadline_kills" 1;
+            (try Unix.kill c.pid Sys.sigterm with Unix.Unix_error _ -> ())
+          | _, Some t when now > t +. st.conf.grace_s ->
+            (try Unix.kill c.pid Sys.sigkill with Unix.Unix_error _ -> ())
+          | _ -> ())
+        !running;
+      (* reap exits *)
+      List.iter
+        (fun c ->
+          match Unix.waitpid [ Unix.WNOHANG ] c.pid with
+          | 0, _ -> ()
+          | _, status -> reap c status
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+            reap c (Unix.WEXITED 0))
+        !running
+    end
+  done;
+  !expired
+
+(* ------------------------------------------------------------------ *)
+(* domain isolation: in-process fan-out *)
+
+let run_domains st =
+  let n = Array.length st.points in
+  let expired = ref false in
+  Domain_pool.with_pool st.conf.jobs (fun pool ->
+      Domain_pool.parallel_for pool ~label:"sweep.point"
+        ?should_stop:(Budget.stop_opt st.conf.budget) n (fun i ->
+          let point = st.points.(i) in
+          let hash = st.hashes.(i) in
+          let rec attempt k =
+            let r =
+              try
+                Sweep_worker.run_point
+                  ?budget_s:st.spec.Sweep_spec.point_budget_s st.spec point
+              with e ->
+                (* in-process "crash isolation": an escaping exception is
+                   contained to the point *)
+                {
+                  Sweep_worker.outcome =
+                    `Failed ("uncaught exception: " ^ Printexc.to_string e);
+                  metric = "none";
+                  value = None;
+                  degraded = 0;
+                  elapsed_s = 0.0;
+                }
+            in
+            let give_up =
+              match st.conf.budget with
+              | Some b -> Budget.expired b
+              | None -> false
+            in
+            match r.Sweep_worker.outcome with
+            | `Timed_out
+              when k <= st.spec.Sweep_spec.max_retries && not give_up ->
+              Obs.count "sweep.retries" 1;
+              Unix.sleepf
+                (Retry.backoff_delay ~base:st.spec.Sweep_spec.retry_backoff_s
+                   ~attempt:k);
+              attempt (k + 1)
+            | _ ->
+              record st point
+                (Sweep_worker.result_to_entry ~hash ~id:point.Sweep_spec.id
+                   ~attempts:k r)
+                ~attempts:k
+          in
+          attempt 1));
+  (match st.conf.budget with
+   | Some b when Budget.expired b ->
+     expired := true;
+     Obs.count "sweep.budget_expired" 1
+   | _ -> ());
+  !expired
+
+(* ------------------------------------------------------------------ *)
+(* the run driver *)
+
+let resolve_isolation (spec : Sweep_spec.t) = function
+  | (Process | Domains) as i -> i
+  | Auto_iso -> (
+    (* direct DC analyses are milliseconds per point: the supervised
+       process spawn would dominate, so fan them out in-process; the
+       PSS-based analyses get full crash isolation *)
+    match spec.Sweep_spec.analysis with
+    | Sweep_spec.Op | Sweep_spec.Dc_match -> Domains
+    | Sweep_spec.Mismatch | Sweep_spec.Freq -> Process)
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>sweep: %d point(s): %d ok, %d degraded, %d timed out, %d crashed, \
+     %d failed%s@,%d journaled point(s) reused, %d retr%s consumed%s@]"
+    s.total s.ok s.degraded s.timed_out s.crashed s.failed
+    (if s.partial then " (PARTIAL: budget expired)" else "")
+    s.skipped s.retries
+    (if s.retries = 1 then "y" else "ies")
+    (if s.partial then "; artifacts flagged partial" else "")
+
+let run conf (spec : Sweep_spec.t) =
+  Obs.span "sweep" @@ fun () ->
+  let all_points = Obs.span "sweep.expand" (fun () -> Sweep_spec.expand spec) in
+  let all_hashes =
+    Array.map (fun p -> Sweep_spec.point_hash spec p) all_points
+  in
+  Obs.count "sweep.points" (Array.length all_points);
+  let jpath = journal_path conf.out_prefix in
+  let journaled =
+    if conf.resume then Sweep_journal.load jpath
+    else begin
+      if Sys.file_exists jpath then Sys.remove jpath;
+      []
+    end
+  in
+  let by_hash = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Sweep_journal.entry) ->
+      Hashtbl.replace by_hash e.Sweep_journal.hash e)
+    journaled;
+  let entries = Hashtbl.create 64 in
+  let skipped = ref 0 in
+  let pending = ref [] in
+  Array.iteri
+    (fun i (point : Sweep_spec.point) ->
+      match Hashtbl.find_opt by_hash all_hashes.(i) with
+      | Some e ->
+        incr skipped;
+        Hashtbl.replace entries point.Sweep_spec.id
+          { e with Sweep_journal.id = point.Sweep_spec.id }
+      | None -> pending := (point, all_hashes.(i)) :: !pending)
+    all_points;
+  let pending = Array.of_list (List.rev !pending) in
+  Obs.count "sweep.points.skipped" !skipped;
+  if conf.progress && !skipped > 0 then
+    Printf.eprintf "varsim sweep: resuming: %d/%d point(s) journaled\n%!"
+      !skipped (Array.length all_points);
+  match Sweep_journal.open_append jpath with
+  | exception Unix.Unix_error (err, _, _) ->
+    Error
+      (Printf.sprintf "cannot open journal %s: %s" jpath
+         (Unix.error_message err))
+  | journal ->
+    let st =
+      {
+        conf;
+        spec;
+        points = Array.map fst pending;
+        hashes = Array.map snd pending;
+        entries;
+        journal;
+        state_mutex = Mutex.create ();
+        retries_used = 0;
+        done_count = 0;
+        to_run_total = Array.length pending;
+      }
+    in
+    let expired =
+      Fun.protect
+        ~finally:(fun () -> Sweep_journal.close journal)
+        (fun () ->
+          Obs.span "sweep.points" (fun () ->
+              if Array.length pending = 0 then false
+              else
+                match resolve_isolation spec conf.isolation with
+                | Domains -> run_domains st
+                | Process | Auto_iso -> run_process st))
+    in
+    let completed = Hashtbl.length entries in
+    let partial = expired && completed < Array.length all_points in
+    Obs.span "sweep.artifacts" (fun () ->
+        write_atomic (csv_path conf.out_prefix)
+          (csv_content spec all_points entries ~completed ~partial);
+        write_atomic (json_path conf.out_prefix)
+          (json_content spec all_points entries ~completed ~partial));
+    let sum =
+      Hashtbl.fold
+        (fun _ (e : Sweep_journal.entry) sum ->
+          count_outcome sum e.Sweep_journal.outcome)
+        entries
+        {
+          total = Array.length all_points;
+          skipped = !skipped;
+          ok = 0;
+          degraded = 0;
+          timed_out = 0;
+          crashed = 0;
+          failed = 0;
+          retries = st.retries_used;
+          partial;
+        }
+    in
+    Ok sum

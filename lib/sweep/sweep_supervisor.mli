@@ -1,0 +1,75 @@
+(** The sweep parent: scheduling, supervision, retries, journal,
+    artifacts (docs/robustness.md, "Sweeps and supervision").
+
+    The headline property is {e survival}: one bad point — a crash, a
+    hang, an OOM kill, a typed analysis failure — costs at most that
+    point's bounded retries, never the run.  Process isolation
+    (default for the PSS-heavy analyses) runs every point in a
+    supervised child (the hidden [varsim worker] mode, result returned
+    as one JSON line over a pipe), with per-point wall deadlines
+    enforced by SIGTERM-then-SIGKILL; domain isolation fans cheap
+    points out over a {!Domain_pool} in-process.  Every completed point
+    is appended (fsynced) to [<prefix>.journal] before it counts, so
+    [kill -9] of the parent at any instant loses at most the points in
+    flight; a re-run with [resume = true] skips journaled points and
+    converges to a final CSV/JSON artifact bit-identical to an
+    uninterrupted run's. *)
+
+type isolation =
+  | Process  (** fork/exec of the own binary per point *)
+  | Domains  (** in-process {!Domain_pool} lanes (no crash isolation) *)
+  | Auto_iso  (** [Domains] for direct DC analyses, [Process] otherwise *)
+
+val isolation_of_string : string -> isolation option
+val isolation_to_string : isolation -> string
+
+type config = {
+  spec_path : string;  (** the spec file workers re-read *)
+  out_prefix : string;  (** artifacts: [<prefix>.csv], [.json], [.journal] *)
+  isolation : isolation;
+  jobs : int;  (** concurrent workers / pool lanes *)
+  resume : bool;  (** skip points already in the journal *)
+  grace_s : float;  (** SIGTERM→SIGKILL grace for deadline kills *)
+  budget : Budget.t option;  (** global budget; expiry yields a partial run *)
+  progress : bool;  (** per-point progress lines on stderr *)
+}
+
+type summary = {
+  total : int;
+  skipped : int;  (** journaled points reused by [resume] *)
+  ok : int;
+  degraded : int;
+  timed_out : int;
+  crashed : int;
+  failed : int;
+  retries : int;  (** extra attempts consumed across all points *)
+  partial : bool;  (** global budget expired before the grid completed *)
+}
+
+val run : config -> Sweep_spec.t -> (summary, string) result
+(** Run (or resume) the sweep and write the artifacts.  [Error] is
+    reserved for setup problems (unwritable journal/artifacts); per-point
+    failures are data, not errors. *)
+
+val csv_path : string -> string
+val json_path : string -> string
+val journal_path : string -> string
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** {1 Pure retry planning (exposed for tests)} *)
+
+type attempt_event = {
+  attempt : int;  (** 1-based *)
+  delay_before_s : float;  (** backoff slept before this attempt *)
+}
+
+val plan_attempts :
+  max_retries:int -> backoff_s:float -> retriable:(int -> bool) ->
+  attempt_event list
+(** The deterministic attempt timeline of one point: attempt [k] is
+    re-tried iff [retriable k] (a crash/hang verdict) and the retry
+    bound is not exhausted; the delay before attempt [k+1] is
+    {!Retry.backoff_delay}.  The supervisor's scheduling loop follows
+    exactly this plan, so same policy + same injected failures ⇒ same
+    timeline. *)

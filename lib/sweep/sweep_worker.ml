@@ -1,0 +1,275 @@
+type result = {
+  outcome : [ `Ok | `Degraded | `Timed_out | `Failed of string ];
+  metric : string;
+  value : float option;
+  degraded : int;
+  elapsed_s : float;
+}
+
+(* ------------------------------------------------------------------ *)
+(* point parameters: engine knobs + target overrides *)
+
+let num_assign point name =
+  match List.assoc_opt name point.Sweep_spec.assigns with
+  | Some (Sweep_spec.Num v) -> Some v
+  | Some (Sweep_spec.Sym _) | None -> None
+
+let sym_assign point name =
+  match List.assoc_opt name point.Sweep_spec.assigns with
+  | Some (Sweep_spec.Sym s) -> Some s
+  | Some (Sweep_spec.Num _) | None -> None
+
+type knobs = {
+  steps : int option;
+  period : float option;
+  backend : Linsys.backend;
+  krylov : Linsys.krylov;
+}
+
+let knobs_of (spec : Sweep_spec.t) point =
+  {
+    steps =
+      (match num_assign point "steps" with
+       | Some v -> Some (int_of_float v)
+       | None -> spec.Sweep_spec.steps);
+    period =
+      (match num_assign point "period" with
+       | Some v -> Some v
+       | None -> spec.Sweep_spec.period);
+    backend =
+      (match sym_assign point "backend" with
+       | Some s -> Option.value (Linsys.backend_of_string s)
+                     ~default:spec.Sweep_spec.backend
+       | None -> spec.Sweep_spec.backend);
+    krylov =
+      (match sym_assign point "krylov" with
+       | Some s -> Option.value (Linsys.krylov_of_string s)
+                     ~default:spec.Sweep_spec.krylov
+       | None -> spec.Sweep_spec.krylov);
+  }
+
+let mirror_params point =
+  let p = ref Current_mirror.default_params in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Sweep_spec.Sym _ -> ()
+      | Sweep_spec.Num v -> (
+        let q = !p in
+        match name with
+        | "i_ref" -> p := { q with Current_mirror.i_ref = v }
+        | "w" -> p := { q with Current_mirror.w = v }
+        | "l" -> p := { q with Current_mirror.l = v }
+        | "r_load" -> p := { q with Current_mirror.r_load = v }
+        | "vdd" -> p := { q with Current_mirror.vdd = v }
+        | _ -> ()))
+    point.Sweep_spec.assigns;
+  !p
+
+let comparator_params point =
+  let p = ref Strongarm.default_params in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Sweep_spec.Sym _ -> ()
+      | Sweep_spec.Num v -> (
+        let q = !p in
+        match name with
+        | "vdd" -> p := { q with Strongarm.vdd = v }
+        | "vcm" -> p := { q with Strongarm.vcm = v }
+        | "w_in" -> p := { q with Strongarm.w_in = v }
+        | "w_tail" -> p := { q with Strongarm.w_tail = v }
+        | "w_cross_n" -> p := { q with Strongarm.w_cross_n = v }
+        | "w_cross_p" -> p := { q with Strongarm.w_cross_p = v }
+        | "w_pre" -> p := { q with Strongarm.w_pre = v }
+        | "w_pre_int" -> p := { q with Strongarm.w_pre_int = v }
+        | "w_eq" -> p := { q with Strongarm.w_eq = v }
+        | "l" -> p := { q with Strongarm.l = v }
+        | "c_out" -> p := { q with Strongarm.c_out = v }
+        | "clk_period" -> p := { q with Strongarm.clk_period = v }
+        | "clk_transition" -> p := { q with Strongarm.clk_transition = v }
+        | "gm_fb" -> p := { q with Strongarm.gm_fb = v }
+        | "c_fb" -> p := { q with Strongarm.c_fb = v }
+        | _ -> ()))
+    point.Sweep_spec.assigns;
+  !p
+
+let ringosc_params point =
+  let p = ref Ring_osc.default_params in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Sweep_spec.Sym _ -> ()
+      | Sweep_spec.Num v -> (
+        let q = !p in
+        match name with
+        | "vdd" -> p := { q with Ring_osc.vdd = v }
+        | "wn" -> p := { q with Ring_osc.wn = v }
+        | "wp" -> p := { q with Ring_osc.wp = v }
+        | "l" -> p := { q with Ring_osc.l = v }
+        | "c_stage" -> p := { q with Ring_osc.c_stage = v }
+        | "mismatch_scale" -> p := { q with Ring_osc.mismatch_scale = v }
+        | _ -> ()))
+    point.Sweep_spec.assigns;
+  !p
+
+(* ------------------------------------------------------------------ *)
+(* the point body *)
+
+let compute (spec : Sweep_spec.t) point ~policy ~budget =
+  let k = knobs_of spec point in
+  let backend = k.backend and krylov = k.krylov in
+  let circuit, period, f_guess =
+    match spec.Sweep_spec.target with
+    | Sweep_spec.Deck path ->
+      let deck = Spice_elab.load_file path in
+      (deck.Spice_elab.circuit, k.period, None)
+    | Sweep_spec.Cell "mirror" ->
+      (Current_mirror.build ~params:(mirror_params point) (), k.period, None)
+    | Sweep_spec.Cell "comparator" ->
+      let p = comparator_params point in
+      let period =
+        (* a swept clk_period is the PSS fundamental unless the spec
+           pinned an explicit period *)
+        match num_assign point "period", num_assign point "clk_period" with
+        | Some t, _ -> Some t
+        | None, Some t -> Some t
+        | None, None -> k.period
+      in
+      (Strongarm.testbench ~params:p (), period, None)
+    | Sweep_spec.Cell "ringosc" ->
+      let p = ringosc_params point in
+      (Ring_osc.build ~params:p (), k.period, Some (Ring_osc.f_guess p))
+    | Sweep_spec.Cell c -> invalid_arg ("Sweep_worker: unknown cell " ^ c)
+  in
+  let output = spec.Sweep_spec.output in
+  (* fail typed, not with a bare Not_found from deep inside a reading:
+     the verdict lands in the CSV as failed:<reason> *)
+  (match Circuit.node circuit output with
+   | _ -> ()
+   | exception Not_found ->
+     failwith
+       (Printf.sprintf "output node %S does not exist in the target" output));
+  match spec.Sweep_spec.analysis with
+  | Sweep_spec.Op ->
+    let x = Dc.solve ~backend ~policy ?budget circuit in
+    ("v", x.(Circuit.node_row circuit output))
+  | Sweep_spec.Dc_match ->
+    let rep = Sens.dc_match ~backend circuit ~output in
+    ("sigma", rep.Sens.sigma)
+  | Sweep_spec.Mismatch ->
+    let period =
+      match period with
+      | Some t -> t
+      | None -> failwith "mismatch point has no period"
+    in
+    let ctx =
+      Analysis.prepare ?steps:k.steps ~backend ~krylov ~policy ?budget
+        circuit ~period
+    in
+    let rep = Analysis.dc_variation ctx ~output in
+    ("sigma", rep.Report.sigma)
+  | Sweep_spec.Freq ->
+    let f_guess =
+      match f_guess with
+      | Some f -> f
+      | None -> failwith "freq analysis needs cell = ringosc"
+    in
+    let rep, _osc =
+      Analysis.frequency_variation ?steps:k.steps ~backend ~policy ?budget
+        circuit ~anchor:output ~f_guess
+    in
+    ("sigma", rep.Report.sigma)
+
+let run_point ?budget_s (spec : Sweep_spec.t) point =
+  let label = Printf.sprintf "sweep point %d" point.Sweep_spec.id in
+  let policy =
+    { Retry.default with Retry.max_retries = spec.Sweep_spec.max_retries }
+  in
+  let budget = Option.map (fun s -> Budget.make ~wall_s:s ~label ()) budget_s in
+  let out =
+    Resilient.run ?budget ~label (fun () -> compute spec point ~policy ~budget)
+  in
+  let degraded = out.Resilient.degradations + out.Resilient.krylov_fallbacks in
+  match out.Resilient.result with
+  | Ok (metric, value) ->
+    {
+      outcome = (if degraded > 0 then `Degraded else `Ok);
+      metric;
+      value = Some value;
+      degraded;
+      elapsed_s = out.Resilient.elapsed_s;
+    }
+  | Error (Resilient.Timed_out _) ->
+    { outcome = `Timed_out; metric = "none"; value = None; degraded;
+      elapsed_s = out.Resilient.elapsed_s }
+  | Error f ->
+    { outcome = `Failed (Resilient.describe f); metric = "none"; value = None;
+      degraded; elapsed_s = out.Resilient.elapsed_s }
+
+let outcome_string = function
+  | `Ok -> "ok"
+  | `Degraded -> "degraded"
+  | `Timed_out -> "timed_out"
+  | `Failed msg -> "failed:" ^ msg
+
+let result_to_entry ~hash ~id ~attempts r =
+  {
+    Sweep_journal.hash;
+    id;
+    outcome = outcome_string r.outcome;
+    metric = r.metric;
+    value = r.value;
+    degraded = r.degraded;
+    attempts;
+    elapsed_s = r.elapsed_s;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* worker-process entry *)
+
+let protocol_error fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "varsim worker: %s\n%!" m;
+      2)
+    fmt
+
+let main ?(crash = false) ~spec_path ~index ~hash ~budget_s () =
+  (* injected crash (armed parent-side, delivered here so the death is
+     deterministic): die by SIGKILL before touching the point, exactly
+     like an OOM kill would *)
+  if crash then Unix.kill (Unix.getpid ()) Sys.sigkill;
+  match Sweep_spec.load_file spec_path with
+  | Error m -> protocol_error "%s: %s" spec_path m
+  | Ok spec -> (
+    let points = Sweep_spec.expand spec in
+    if index < 0 || index >= Array.length points then
+      protocol_error "point index %d out of range (grid has %d points)" index
+        (Array.length points)
+    else
+      let point = points.(index) in
+      let computed = Sweep_spec.point_hash spec point in
+      match hash with
+      | Some h when h <> computed ->
+        protocol_error
+          "point %d hash mismatch (spec edited mid-sweep?): expected %s, \
+           spec yields %s"
+          index h computed
+      | _ ->
+        (* injected hang: park forever; the supervisor's per-point
+           deadline must reap us *)
+        (match Faultsim.fire "sweep.worker.hang" with
+         | Some _ ->
+           while true do
+             Unix.sleepf 3600.0
+           done
+         | None -> ());
+        let r = run_point ?budget_s spec point in
+        let entry =
+          result_to_entry ~hash:computed ~id:point.Sweep_spec.id ~attempts:1 r
+        in
+        print_string (Sweep_journal.entry_to_json entry);
+        print_newline ();
+        flush stdout;
+        0)

@@ -1,0 +1,371 @@
+(* The sweep subsystem: spec parsing and grid expansion, the content
+   hash that keys the resume journal, the journal's durability
+   contract, the pure retry planning, and the domain-mode supervisor
+   end to end (docs/robustness.md, "Sweeps and supervision").
+
+   The durability property checked by QCheck below is the journal's
+   whole reason to exist: an {e acked} append (the call returned, the
+   fsync happened) survives any crash, simulated here as truncating
+   the file at an arbitrary byte — reload recovers exactly the acked
+   prefix, never a corrupted or phantom entry.  The process-level side
+   (kill -9 of the real supervisor, byte-identical resume) lives in
+   the [cli_check] driver, which exercises the installed binary. *)
+
+let spec_text =
+  "# offset sigma of the mirror vs width and supply\n\
+   cell = mirror\n\
+   analysis = dcmatch\n\
+   sweep w = 1u, 2u\n\
+   sweep vdd = 1.1, 1.2\n"
+
+let parse_ok text =
+  match Sweep_spec.parse text with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "spec did not parse: %s" e
+
+(* ----------------------------------------------------------- specs *)
+
+let test_spec_parse () =
+  let s = parse_ok spec_text in
+  Alcotest.(check int) "axes" 2 (List.length s.Sweep_spec.axes);
+  (match s.Sweep_spec.target with
+   | Sweep_spec.Cell "mirror" -> ()
+   | _ -> Alcotest.fail "target");
+  Alcotest.(check string) "default output" Current_mirror.output_node
+    s.Sweep_spec.output;
+  Alcotest.(check int) "default retries" 2 s.Sweep_spec.max_retries
+
+let expect_error label text =
+  match Sweep_spec.parse text with
+  | Ok _ -> Alcotest.failf "%s: expected a parse error" label
+  | Error _ -> ()
+
+let test_spec_errors () =
+  expect_error "no target" "analysis = op\n";
+  expect_error "unknown key" "cell = mirror\nfrobnicate = 3\n";
+  expect_error "unknown cell" "cell = nonsuch\n";
+  expect_error "unknown axis"
+    "cell = mirror\nanalysis = op\nsweep w_tail = 1u\n";
+  expect_error "mismatch needs period"
+    "cell = mirror\nanalysis = mismatch\nsweep w = 1u\n";
+  expect_error "freq needs ringosc"
+    "cell = mirror\nanalysis = freq\nsweep w = 1u\n";
+  expect_error "bad ramp" "cell = mirror\nsweep w = 1u:4u:0\n"
+
+let test_expand_row_major () =
+  let s = parse_ok spec_text in
+  let pts = Sweep_spec.expand s in
+  Alcotest.(check int) "grid size" 4 (Array.length pts);
+  (* last axis (vdd) fastest *)
+  let assigns i = List.map snd pts.(i).Sweep_spec.assigns in
+  Alcotest.(check bool) "point 0" true
+    (assigns 0 = [ Sweep_spec.Num 1e-6; Sweep_spec.Num 1.1 ]);
+  Alcotest.(check bool) "point 1" true
+    (assigns 1 = [ Sweep_spec.Num 1e-6; Sweep_spec.Num 1.2 ]);
+  Alcotest.(check bool) "point 2" true
+    (assigns 2 = [ Sweep_spec.Num 2e-6; Sweep_spec.Num 1.1 ]);
+  Array.iteri (fun i p -> Alcotest.(check int) "id" i p.Sweep_spec.id) pts;
+  (* expansion is a pure function of the spec *)
+  Alcotest.(check bool) "deterministic" true (Sweep_spec.expand s = pts)
+
+let test_expand_empty () =
+  let s = parse_ok "cell = mirror\nanalysis = op\n" in
+  let pts = Sweep_spec.expand s in
+  Alcotest.(check int) "one nominal point" 1 (Array.length pts);
+  Alcotest.(check bool) "no assigns" true (pts.(0).Sweep_spec.assigns = [])
+
+(* ----------------------------------------------------------- hashes *)
+
+let test_point_hash () =
+  let s = parse_ok spec_text in
+  let pts = Sweep_spec.expand s in
+  let hashes =
+    Array.to_list (Array.map (Sweep_spec.point_hash s) pts)
+  in
+  Alcotest.(check int) "all distinct" 4
+    (List.length (List.sort_uniq compare hashes));
+  (* engine knobs are part of the identity... *)
+  let s' = { s with Sweep_spec.backend = Linsys.Dense } in
+  Alcotest.(check bool) "backend changes the hash" false
+    (Sweep_spec.point_hash s' pts.(0) = Sweep_spec.point_hash s pts.(0));
+  (* ...budgets and retry policy are not: resuming with a different
+     budget must still recognize journaled points *)
+  let s'' =
+    { s with Sweep_spec.point_budget_s = Some 1.0; max_retries = 9;
+      retry_backoff_s = 3.0 }
+  in
+  Alcotest.(check bool) "budget does not change the hash" true
+    (Sweep_spec.point_hash s'' pts.(0) = Sweep_spec.point_hash s pts.(0))
+
+(* ---------------------------------------------------------- journal *)
+
+let entry i =
+  {
+    Sweep_journal.hash = Digest.to_hex (Digest.string (string_of_int i));
+    id = i;
+    outcome = (if i mod 3 = 0 then "ok" else "crashed:SIGKILL");
+    metric = "sigma";
+    value = (if i mod 2 = 0 then Some (1.234e-3 *. float_of_int (i + 1))
+             else None);
+    degraded = i mod 2;
+    attempts = 1 + (i mod 3);
+    elapsed_s = 0.25 *. float_of_int i;
+  }
+
+let entry_eq (a : Sweep_journal.entry) (b : Sweep_journal.entry) =
+  a.Sweep_journal.hash = b.Sweep_journal.hash
+  && a.Sweep_journal.id = b.Sweep_journal.id
+  && a.Sweep_journal.outcome = b.Sweep_journal.outcome
+  && a.Sweep_journal.metric = b.Sweep_journal.metric
+  && a.Sweep_journal.value = b.Sweep_journal.value
+  && a.Sweep_journal.degraded = b.Sweep_journal.degraded
+
+let temp_path name =
+  Filename.temp_file ("varsim_sweep_" ^ name) ".journal"
+
+let test_journal_roundtrip () =
+  (match Sweep_journal.entry_of_json
+           (Sweep_journal.entry_to_json (entry 5)) with
+   | Some e -> Alcotest.(check bool) "json roundtrip" true (entry_eq e (entry 5))
+   | None -> Alcotest.fail "entry_of_json rejected its own encoding");
+  let path = temp_path "rt" in
+  let j = Sweep_journal.open_append path in
+  List.iter (fun i -> Sweep_journal.append j (entry i)) [ 0; 1; 2 ];
+  Sweep_journal.close j;
+  let back = Sweep_journal.load path in
+  Alcotest.(check int) "count" 3 (List.length back);
+  List.iteri
+    (fun i e -> Alcotest.(check bool) "entry" true (entry_eq e (entry i)))
+    back;
+  Sys.remove path
+
+let test_journal_truncated_tail () =
+  let path = temp_path "tail" in
+  let j = Sweep_journal.open_append path in
+  List.iter (fun i -> Sweep_journal.append j (entry i)) [ 0; 1 ];
+  Sweep_journal.close j;
+  (* crash mid-append: a partial third line with no newline *)
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc (String.sub (Sweep_journal.entry_to_json (entry 2)) 0 17);
+  close_out oc;
+  Alcotest.(check int) "partial tail dropped" 2
+    (List.length (Sweep_journal.load path));
+  Sys.remove path
+
+let test_journal_torn_middle () =
+  let path = temp_path "torn" in
+  let j = Sweep_journal.open_append path in
+  List.iter (fun i -> Sweep_journal.append j (entry i)) [ 0; 1; 2 ];
+  Sweep_journal.close j;
+  let lines =
+    String.split_on_char '\n' (In_channel.with_open_bin path In_channel.input_all)
+  in
+  let oc = open_out_bin path in
+  output_string oc (List.nth lines 0);
+  output_string oc "\n{\"hash\":42garbage\n";
+  output_string oc (List.nth lines 2);
+  output_string oc "\n";
+  close_out oc;
+  (* a torn line in the middle ends trust there: the good prefix only *)
+  Alcotest.(check int) "stops at last good prefix" 1
+    (List.length (Sweep_journal.load path));
+  Sys.remove path
+
+(* crash = truncate at an arbitrary byte: reload recovers exactly the
+   entries whose full line (newline included) survived — acked points
+   are never lost, phantom points never appear *)
+let journal_crash_property =
+  QCheck.Test.make ~count:60 ~name:"journal truncation keeps the acked prefix"
+    QCheck.(pair (int_range 1 8) (int_bound 1000))
+    (fun (n, cut_seed) ->
+      let path = temp_path "qc" in
+      Fun.protect ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+      @@ fun () ->
+      let j = Sweep_journal.open_append path in
+      for i = 0 to n - 1 do
+        Sweep_journal.append j (entry i)
+      done;
+      Sweep_journal.close j;
+      let bytes = In_channel.with_open_bin path In_channel.input_all in
+      let cut = cut_seed mod (String.length bytes + 1) in
+      let oc = open_out_bin path in
+      output_string oc (String.sub bytes 0 cut);
+      close_out oc;
+      (* how many whole lines fit in [cut] bytes? *)
+      let expected =
+        let rec go i off =
+          if i >= n then i
+          else
+            let len =
+              String.length (Sweep_journal.entry_to_json (entry i)) + 1
+            in
+            if off + len <= cut then go (i + 1) (off + len) else i
+        in
+        go 0 0
+      in
+      let back = Sweep_journal.load path in
+      List.length back = expected
+      && List.for_all2 entry_eq back
+           (List.init expected entry))
+
+(* ------------------------------------------------- retry planning *)
+
+let test_backoff_delay () =
+  let d k = Retry.backoff_delay ~base:0.1 ~attempt:k in
+  Alcotest.(check (float 1e-12)) "attempt 1" 0.1 (d 1);
+  Alcotest.(check (float 1e-12)) "attempt 2" 0.2 (d 2);
+  Alcotest.(check (float 1e-12)) "attempt 3" 0.4 (d 3);
+  Alcotest.(check bool) "pure" true (d 4 = d 4);
+  match Retry.backoff_delay ~base:0.1 ~attempt:0 with
+  | _ -> Alcotest.fail "attempt 0 should be rejected"
+  | exception Invalid_argument _ -> ()
+
+let test_plan_attempts () =
+  let plan =
+    Sweep_supervisor.plan_attempts ~max_retries:2 ~backoff_s:0.1
+      ~retriable:(fun _ -> true)
+  in
+  Alcotest.(check (list int)) "attempts" [ 1; 2; 3 ]
+    (List.map (fun e -> e.Sweep_supervisor.attempt) plan);
+  Alcotest.(check bool) "delays follow the geometric backoff" true
+    (List.map (fun e -> e.Sweep_supervisor.delay_before_s) plan
+     = [ 0.0; Retry.backoff_delay ~base:0.1 ~attempt:1;
+         Retry.backoff_delay ~base:0.1 ~attempt:2 ]);
+  (* same policy + same verdicts => the identical timeline *)
+  Alcotest.(check bool) "deterministic" true
+    (plan
+     = Sweep_supervisor.plan_attempts ~max_retries:2 ~backoff_s:0.1
+         ~retriable:(fun _ -> true));
+  let first_only =
+    Sweep_supervisor.plan_attempts ~max_retries:5 ~backoff_s:0.1
+      ~retriable:(fun k -> k = 1)
+  in
+  Alcotest.(check int) "stops when the verdict is terminal" 2
+    (List.length first_only)
+
+(* ------------------------------------------------------ run_point *)
+
+let test_run_point_mirror () =
+  let s = parse_ok spec_text in
+  let pts = Sweep_spec.expand s in
+  let r = Sweep_worker.run_point s pts.(0) in
+  (match r.Sweep_worker.outcome with
+   | `Ok -> ()
+   | _ -> Alcotest.fail "expected `Ok");
+  Alcotest.(check string) "metric" "sigma" r.Sweep_worker.metric;
+  (match r.Sweep_worker.value with
+   | Some v -> Alcotest.(check bool) "sigma > 0" true (v > 0.0)
+   | None -> Alcotest.fail "no value")
+
+(* ------------------------------------------- supervisor, in-process *)
+
+let with_temp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "varsim_sweep_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  f dir
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let test_supervisor_domains () =
+  with_temp_dir @@ fun dir ->
+  let spec_path = Filename.concat dir "mirror.spec" in
+  Out_channel.with_open_bin spec_path (fun oc ->
+      Out_channel.output_string oc spec_text);
+  let spec = parse_ok spec_text in
+  let conf resume =
+    {
+      Sweep_supervisor.spec_path;
+      out_prefix = Filename.concat dir "out";
+      isolation = Sweep_supervisor.Domains;
+      jobs = 2;
+      resume;
+      grace_s = 1.0;
+      budget = None;
+      progress = false;
+    }
+  in
+  let sum =
+    match Sweep_supervisor.run (conf false) spec with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "sweep failed: %s" e
+  in
+  Alcotest.(check int) "total" 4 sum.Sweep_supervisor.total;
+  Alcotest.(check int) "ok" 4 sum.Sweep_supervisor.ok;
+  Alcotest.(check bool) "not partial" false sum.Sweep_supervisor.partial;
+  let csv = read_file (Sweep_supervisor.csv_path (Filename.concat dir "out")) in
+  Alcotest.(check int) "csv rows" 5
+    (List.length
+       (List.filter (fun l -> l <> "") (String.split_on_char '\n' csv)));
+  (* resume skips every journaled point and reproduces the artifact *)
+  let sum2 =
+    match Sweep_supervisor.run (conf true) spec with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "resume failed: %s" e
+  in
+  Alcotest.(check int) "all skipped" 4 sum2.Sweep_supervisor.skipped;
+  let csv2 =
+    read_file (Sweep_supervisor.csv_path (Filename.concat dir "out"))
+  in
+  Alcotest.(check string) "csv byte-identical" csv csv2
+
+(* ------------------------------------------------- site validation *)
+
+let test_validate_sites () =
+  let t site = { Faultsim.site; visit = 0; fault = Faultsim.Nan } in
+  (match Faultsim.validate_sites [ t "sweep.worker.crash"; t "tran.step" ] with
+   | Ok () -> ()
+   | Error e -> Alcotest.failf "valid sites rejected: %s" e);
+  (match Faultsim.validate_sites [ t "sweep.worker.crush" ] with
+   | Ok () -> Alcotest.fail "typo accepted"
+   | Error e ->
+     Alcotest.(check bool) "names the typo" true
+       (let re = Str.regexp_string "sweep.worker.crush" in
+        (try ignore (Str.search_forward re e 0); true
+         with Not_found -> false));
+     Alcotest.(check bool) "lists the vocabulary" true
+       (let re = Str.regexp_string "tran.step" in
+        (try ignore (Str.search_forward re e 0); true
+         with Not_found -> false)));
+  Alcotest.(check bool) "sweep sites are registered" true
+    (List.for_all
+       (fun s -> List.mem s (Faultsim.known_sites ()))
+       [ "sweep.worker.spawn"; "sweep.worker.crash"; "sweep.worker.hang";
+         "sweep.journal.write" ])
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "spec",
+        [
+          Alcotest.test_case "parse" `Quick test_spec_parse;
+          Alcotest.test_case "errors" `Quick test_spec_errors;
+          Alcotest.test_case "row-major expansion" `Quick
+            test_expand_row_major;
+          Alcotest.test_case "empty grid" `Quick test_expand_empty;
+          Alcotest.test_case "point hash" `Quick test_point_hash;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "truncated tail" `Quick
+            test_journal_truncated_tail;
+          Alcotest.test_case "torn middle" `Quick test_journal_torn_middle;
+          QCheck_alcotest.to_alcotest journal_crash_property;
+        ] );
+      ( "retry",
+        [
+          Alcotest.test_case "backoff delay" `Quick test_backoff_delay;
+          Alcotest.test_case "attempt plan" `Quick test_plan_attempts;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "run_point mirror" `Quick test_run_point_mirror;
+          Alcotest.test_case "domain-mode end to end" `Quick
+            test_supervisor_domains;
+        ] );
+      ( "faultsim",
+        [ Alcotest.test_case "site validation" `Quick test_validate_sites ] );
+    ]
