@@ -11,6 +11,11 @@
                                  (crash-isolated workers, resumable
                                  journal; docs/robustness.md)
      varsim worker ...           internal: one supervised sweep point
+     varsim serve                job daemon on a Unix socket with a
+                                 content-addressed result/state cache
+                                 (docs/serving.md)
+     varsim submit <deck.sp>     send a deck to a running daemon
+     varsim version              version / build / default-knob provenance
 
    Exit codes: 0 success; 123 typed analysis/setup failure; 124 budget
    expiry (partial artifacts are still written first); 3 a sweep that
@@ -134,6 +139,36 @@ let budget_of r ~label =
   Option.map (fun s -> Budget.make ~wall_s:s ~label ()) r.budget_s
 
 (* ------------------------------------------------------------------ *)
+(* cache options (docs/serving.md) *)
+
+let cache_dir_arg =
+  Arg.(value & opt (some string) None & info [ "cache" ] ~docv:"DIR"
+         ~doc:"Durable content-addressed cache directory (created as \
+               needed).  Re-running an identical deck with identical \
+               knobs replays the stored result byte-identically, \
+               skipping all plan and PSS work (docs/serving.md)")
+
+let mem_cache_arg =
+  Arg.(value & opt int 32 & info [ "mem-cache" ] ~docv:"N"
+         ~doc:"In-memory cache capacity, in entries per tier (LRU \
+               eviction)")
+
+(* An unusable cache directory degrades to compute-through with a
+   warning, never a failure: caching is an accelerator, not a
+   dependency. *)
+let cache_of ~dir ~mem =
+  match dir with
+  | None -> None
+  | Some d -> (
+    match
+      Cache.create ~mem_capacity:mem ~dir:d ~meta:(Version.provenance ()) ()
+    with
+    | Ok c -> Some c
+    | Error m ->
+      Printf.eprintf "varsim: warning: cache disabled: %s\n%!" m;
+      None)
+
+(* ------------------------------------------------------------------ *)
 (* telemetry options *)
 
 type obs_opts = {
@@ -224,20 +259,41 @@ let run_resilient obs res ~label f =
   out.Resilient.result
 
 let run_cmd =
-  let run path domains backend krylov res obs =
+  let run path domains backend krylov cache_dir mem_cache res obs =
     match read_deck path with
     | Error e -> fail_exit e
-    | Ok deck ->
-      handle_run
-        (run_resilient obs res ~label:("run " ^ path)
-           (fun ~policy ~budget ->
-             Spice_run.run ~domains ~backend ~krylov ~policy ?budget
-               Format.std_formatter deck))
+    | Ok deck -> (
+      match cache_of ~dir:cache_dir ~mem:mem_cache with
+      | None ->
+        handle_run
+          (run_resilient obs res ~label:("run " ^ path)
+             (fun ~policy ~budget ->
+               Spice_run.run ~domains ~backend ~krylov ~policy ?budget
+                 Format.std_formatter deck))
+      | Some cache ->
+        (* the cached path goes through the typed job API so a hit
+           replays the stored bytes verbatim (byte-identical output) *)
+        handle_run
+          (match
+             run_resilient obs res ~label:("run " ^ path)
+               (fun ~policy ~budget ->
+                 Spice_job.submit
+                   (Spice_job.request ~domains ~backend ~krylov ~policy
+                      ?budget ~cache deck))
+           with
+           | Ok o ->
+             print_string o.Spice_job.output;
+             flush stdout;
+             if o.Spice_job.cache_hit then
+               Printf.eprintf "varsim: cache hit (%s)\n%!"
+                 o.Spice_job.fingerprint;
+             Ok ()
+           | Error _ as e -> e))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run every analysis card in a netlist deck")
     Term.(ret (const run $ deck_arg $ domains_arg $ backend_arg $ krylov_arg
-               $ res_term $ obs_term))
+               $ cache_dir_arg $ mem_cache_arg $ res_term $ obs_term))
 
 let op_cmd =
   let run path backend res obs =
@@ -543,13 +599,186 @@ let worker_cmd =
     Term.(ret (const run $ spec_arg $ index_arg $ hash_arg $ pb_arg
                $ crash_arg))
 
+(* ------------------------------------------------------------------ *)
+(* serve / submit: the job daemon and its client (docs/serving.md) *)
+
+let socket_arg =
+  Arg.(value & opt string "varsim.sock" & info [ "socket" ] ~docv:"PATH"
+         ~doc:"Unix-domain socket path of the daemon")
+
+let serve_cmd =
+  let lanes_arg =
+    Arg.(value & opt int 2 & info [ "lanes" ] ~docv:"N"
+           ~doc:"Concurrent job lanes (OCaml domains); requests from \
+                 different connections are scheduled round-robin across \
+                 them")
+  in
+  let job_domains_arg =
+    Arg.(value & opt int 1 & info [ "job-domains" ] ~docv:"N"
+           ~doc:"Default LPTV/PNOISE domains per job (a request may \
+                 override with its own $(b,domains) field)")
+  in
+  let run socket lanes job_domains cache_dir mem_cache res obs =
+    (* serve always runs with at least the in-memory cache: the second
+       identical submission answering from cache is the point of the
+       daemon.  --cache DIR adds the durable tier. *)
+    let cache =
+      match
+        Cache.create ~mem_capacity:mem_cache ?dir:cache_dir
+          ~meta:(Version.provenance ()) ()
+      with
+      | Ok c -> Some c
+      | Error m ->
+        Printf.eprintf "varsim serve: warning: disk cache disabled: %s\n%!" m;
+        (match Cache.create ~mem_capacity:mem_cache () with
+         | Ok c -> Some c
+         | Error _ -> None)
+    in
+    let cfg =
+      Serve.default_config ~lanes ~job_domains ?cache
+        ?default_budget_s:res.budget_s socket
+    in
+    (* Serve.run owns Obs.enable (stats must see live counters even
+       with no --metrics), so the with_obs wrapper does not apply; the
+       requested files are written after the drain completes *)
+    match Serve.run cfg with
+    | () ->
+      Option.iter Obs.write_metrics obs.metrics;
+      Option.iter Obs.write_trace obs.trace;
+      `Ok ()
+    | exception Failure m -> fail_exit m
+    | exception Unix.Unix_error (e, fn, _) ->
+      fail_exit (Printf.sprintf "%s: %s" fn (Unix.error_message e))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve analysis jobs over a Unix socket: newline-delimited \
+             JSON requests, fair round-robin lanes, a content-addressed \
+             plan/result cache, streaming progress events and a clean \
+             SIGTERM drain (docs/serving.md)")
+    Term.(ret (const run $ socket_arg $ lanes_arg $ job_domains_arg
+               $ cache_dir_arg $ mem_cache_arg $ res_term $ obs_term))
+
+let submit_cmd =
+  let stats_arg =
+    Arg.(value & flag & info [ "stats" ]
+           ~doc:"Query daemon statistics (version, cache, live \
+                 counters) instead of submitting a deck")
+  in
+  let deck_opt_arg =
+    Arg.(value & pos 0 (some file) None & info [] ~docv:"DECK"
+           ~doc:"SPICE-style netlist file to submit")
+  in
+  let id_arg =
+    Arg.(value & opt string "" & info [ "id" ] ~docv:"ID"
+           ~doc:"Client-chosen request id echoed in the response")
+  in
+  let steps_arg =
+    Arg.(value & opt (some int) None & info [ "steps" ] ~docv:"N"
+           ~doc:"PSS grid steps (server default: 200)")
+  in
+  let f_offset_arg =
+    Arg.(value & opt (some float) None & info [ "f-offset" ] ~docv:"HZ"
+           ~doc:"Pseudo-noise offset frequency (server default: 1)")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ]
+           ~doc:"Stream the server's phase events to stderr while the \
+                 job runs")
+  in
+  let on_event j =
+    let str k =
+      match Obs_json.member k j with
+      | Some (Obs_json.Str s) -> Some s
+      | _ -> None
+    in
+    match str "phase", str "state" with
+    | Some p, Some "begin" -> Printf.eprintf "varsim: %s ...\n%!" p
+    | Some p, Some "end" ->
+      let dt =
+        match Obs_json.member "elapsed_s" j with
+        | Some (Obs_json.Num v) -> v
+        | _ -> 0.0
+      in
+      Printf.eprintf "varsim: %s done (%.3f s)\n%!" p dt
+    | _ -> ()
+  in
+  let run socket stats deck_path id steps f_offset domains backend krylov
+      progress res =
+    if stats then
+      match Serve.call ~socket_path:socket Serve.stats_request with
+      | Error m -> fail_exit m
+      | Ok (line, _) ->
+        print_endline line;
+        `Ok ()
+    else
+      match deck_path with
+      | None -> fail_exit "submit needs a DECK argument (or --stats)"
+      | Some path -> (
+        let deck_text =
+          try In_channel.with_open_bin path In_channel.input_all
+          with Sys_error m -> fail_exit m
+        in
+        let reqline =
+          Serve.request_json ~id ?steps ?f_offset ~backend ~krylov
+            ?budget_s:res.budget_s ~domains ~events:progress deck_text
+        in
+        match
+          Serve.call ~on_event:(if progress then on_event else fun _ -> ())
+            ~socket_path:socket reqline
+        with
+        | Error m -> fail_exit m
+        | Ok (_, j) -> (
+          let str k =
+            match Obs_json.member k j with
+            | Some (Obs_json.Str s) -> Some s
+            | _ -> None
+          in
+          (match str "output" with
+           | Some o ->
+             print_string o;
+             flush stdout
+           | None -> ());
+          (match Obs_json.member "cache_hit" j with
+           | Some (Obs_json.Bool true) ->
+             Printf.eprintf "varsim: cache hit\n%!"
+           | _ -> ());
+          match Option.value (str "outcome") ~default:"failed:no outcome" with
+          | "ok" -> `Ok ()
+          | "degraded" ->
+            Printf.eprintf
+              "varsim: warning: the run degraded to fallback solvers\n%!";
+            `Ok ()
+          | "timed_out" ->
+            Printf.eprintf "varsim: server-side budget expired\n%!";
+            exit 124
+          | other -> fail_exit ("server: " ^ other)))
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:"Submit a deck to a running $(b,varsim serve) daemon and \
+             print the rendered result (exit codes match local runs: \
+             124 on budget expiry, 123 on typed failure)")
+    Term.(ret (const run $ socket_arg $ stats_arg $ deck_opt_arg $ id_arg
+               $ steps_arg $ f_offset_arg $ domains_arg $ backend_arg
+               $ krylov_arg $ progress_arg $ res_term))
+
+let version_cmd =
+  let run () = Format.printf "%a@." Version.pp () in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:"Print version, git build, OCaml version and the default \
+             engine knobs (the provenance stamped into cache entries \
+             and serve responses)")
+    Term.(const run $ const ())
+
 let main =
   Cmd.group
-    (Cmd.info "varsim" ~version:"1.0.0"
+    (Cmd.info "varsim" ~version:Version.version
        ~doc:"Transient mismatch variation analysis via pseudo-noise LPTV \
              simulation")
     [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd;
-      sweep_cmd; worker_cmd ]
+      sweep_cmd; worker_cmd; serve_cmd; submit_cmd; version_cmd ]
 
 let () =
   Faultsim.arm_env ();

@@ -1,0 +1,39 @@
+(** Content-addressed on-disk byte store (the optional durable tier of
+    {!Cache}).
+
+    One self-verifying file per key (magic, format version, lengths,
+    payload MD5, the full key, a provenance meta string), written
+    atomically — tmp file, [fsync(2)], [rename(2)] — so readers never
+    observe a half-written entry.  Any torn, truncated or corrupted
+    entry is treated as a miss, never an error; the ["cache.read"] /
+    ["cache.write"] {!Faultsim} sites prove that a faulty store only
+    ever costs recomputation (docs/serving.md).
+
+    Counters: [cache.disk.hits], [cache.disk.misses],
+    [cache.disk.writes], [cache.disk.corrupt],
+    [cache.disk.read_errors], [cache.disk.write_errors]. *)
+
+type t
+
+val open_dir : string -> (t, string) result
+(** Open a store rooted at a directory, creating it (and parents) as
+    needed. *)
+
+val dir : t -> string
+
+val get : t -> key:string -> string option
+(** Verified payload lookup; torn/corrupt/missing entries and injected
+    ["cache.read"] faults are all misses. *)
+
+val get_entry : t -> key:string -> (string * string) option
+(** Like {!get} but also returns the entry's provenance meta string. *)
+
+val put : t -> key:string -> ?meta:string -> string -> unit
+(** Atomically persist a payload under a key.  [meta] records
+    provenance (writer version — see [Version.provenance]).  A write
+    failure — injected ["cache.write"] fault or a real I/O error — is
+    swallowed and counted: the analysis result was already computed and
+    a missing cache entry only costs recomputation later. *)
+
+val entry_path : t -> key:string -> string
+(** On-disk path of a key's entry — exposed for the truncation tests. *)

@@ -1,0 +1,34 @@
+(** Bounded in-memory LRU map with string keys.
+
+    Thread-safe (one mutex per cache); safe to share across
+    {!Domain_pool} lanes and serve worker domains.  Every lookup counts
+    into [cache.<name>.hits] / [cache.<name>.misses] and every eviction
+    into [cache.<name>.evictions], so cache behavior is visible through
+    [--metrics] with zero extra plumbing (docs/serving.md). *)
+
+type 'a t
+
+val create : ?capacity:int -> string -> 'a t
+(** [create name] — [name] prefixes the telemetry counters.  Default
+    capacity 64; capacity 0 disables the cache (every [find] misses,
+    [put] is a no-op). *)
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or replace; evicts the least-recently-used entry when at
+    capacity. *)
+
+val mem : 'a t -> string -> bool
+(** Membership without touching recency or counters. *)
+
+val length : 'a t -> int
+val clear : 'a t -> unit
+
+val set_capacity : 'a t -> int -> unit
+(** Shrinking evicts LRU-first down to the new capacity; 0 empties and
+    disables. *)
+
+val keys : 'a t -> string list
+(** Current keys, unordered — for tests. *)

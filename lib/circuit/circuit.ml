@@ -127,6 +127,101 @@ let apply_deltas t deltas =
     params;
   { t with devices; by_name = t.by_name }
 
+(* ------------------------------------------------------------------ *)
+(* content fingerprint (docs/serving.md)
+
+   The canonical form references nodes by NAME and serializes devices
+   in name-sorted order, so the digest is invariant to declaration
+   order (and, upstream, to comment/whitespace noise that the parser
+   already strips) while still pinning every electrically meaningful
+   quantity: topology, values, model parameters and mismatch
+   tolerances.  Branch-current references (CCCS/CCVS) canonicalize to
+   the owning device's name, not the branch index, because indices
+   depend on declaration order. *)
+
+let fingerprint t =
+  let g v = Printf.sprintf "%.17g" v in
+  let node id = node_name t id in
+  let branch_owner = Array.make (Stdlib.max t.num_branches 1) "?" in
+  Array.iter
+    (fun d ->
+      match Device.branch d with
+      | Some b -> branch_owner.(b) <- Device.name d
+      | None -> ())
+    t.devices;
+  let wave = function
+    | Wave.Dc v -> "dc(" ^ g v ^ ")"
+    | Wave.Pulse p ->
+      Printf.sprintf "pulse(%s %s %s %s %s %s %s)" (g p.Wave.v1) (g p.Wave.v2)
+        (g p.Wave.delay) (g p.Wave.rise) (g p.Wave.fall) (g p.Wave.width)
+        (g p.Wave.period)
+    | Wave.Sin s ->
+      Printf.sprintf "sin(%s %s %s %s)" (g s.Wave.offset) (g s.Wave.ampl)
+        (g s.Wave.freq) (g s.Wave.phase_deg)
+    | Wave.Pwl pts ->
+      "pwl("
+      ^ String.concat ","
+          (Array.to_list (Array.map (fun (t, v) -> g t ^ ":" ^ g v) pts))
+      ^ ")"
+    | Wave.Pwl_periodic (period, pts) ->
+      "pwlp(" ^ g period ^ ";"
+      ^ String.concat ","
+          (Array.to_list (Array.map (fun (t, v) -> g t ^ ":" ^ g v) pts))
+      ^ ")"
+  in
+  let mosfet_model (m : Mosfet.model) =
+    Printf.sprintf "%s %s %s %s %s %s %s %s %s %s %s %s"
+      (match m.Mosfet.polarity with Mosfet.Nmos -> "nmos" | Mosfet.Pmos -> "pmos")
+      (g m.Mosfet.vt0) (g m.Mosfet.kp) (g m.Mosfet.slope) (g m.Mosfet.lambda)
+      (g m.Mosfet.phi_t) (g m.Mosfet.cox) (g m.Mosfet.cov) (g m.Mosfet.cj)
+      (g m.Mosfet.avt) (g m.Mosfet.abeta) (g m.Mosfet.kf)
+  in
+  let bjt_model (m : Bjt.model) =
+    Printf.sprintf "%s %s %s %s %s"
+      (match m.Bjt.polarity with Bjt.Npn -> "npn" | Bjt.Pnp -> "pnp")
+      (g m.Bjt.is_sat) (g m.Bjt.beta_f) (g m.Bjt.phi_t) (g m.Bjt.a_is)
+  in
+  let dev = function
+    | Device.Resistor { name; p; n; r; r_tol } ->
+      Printf.sprintf "R %s %s %s %s %s" name (node p) (node n) (g r) (g r_tol)
+    | Device.Capacitor { name; p; n; c; c_tol } ->
+      Printf.sprintf "C %s %s %s %s %s" name (node p) (node n) (g c) (g c_tol)
+    | Device.Inductor { name; p; n; l; branch = _ } ->
+      Printf.sprintf "L %s %s %s %s" name (node p) (node n) (g l)
+    | Device.Vsource { name; p; n; wave = w; branch = _ } ->
+      Printf.sprintf "V %s %s %s %s" name (node p) (node n) (wave w)
+    | Device.Isource { name; p; n; wave = w } ->
+      Printf.sprintf "I %s %s %s %s" name (node p) (node n) (wave w)
+    | Device.Vcvs { name; p; n; cp; cn; gain; branch = _ } ->
+      Printf.sprintf "E %s %s %s %s %s %s" name (node p) (node n) (node cp)
+        (node cn) (g gain)
+    | Device.Vccs { name; p; n; cp; cn; gm } ->
+      Printf.sprintf "G %s %s %s %s %s %s" name (node p) (node n) (node cp)
+        (node cn) (g gm)
+    | Device.Cccs { name; p; n; ctrl_branch; gain } ->
+      Printf.sprintf "F %s %s %s %s %s" name (node p) (node n)
+        branch_owner.(ctrl_branch) (g gain)
+    | Device.Ccvs { name; p; n; ctrl_branch; r; branch = _ } ->
+      Printf.sprintf "H %s %s %s %s %s" name (node p) (node n)
+        branch_owner.(ctrl_branch) (g r)
+    | Device.Diode { name; p; n; is_sat; nf } ->
+      Printf.sprintf "D %s %s %s %s %s" name (node p) (node n) (g is_sat) (g nf)
+    | Device.Bjt { name; c; b; e; model; area; dis } ->
+      Printf.sprintf "Q %s %s %s %s %s %s %s" name (node c) (node b) (node e)
+        (bjt_model model) (g area) (g dis)
+    | Device.Mosfet { name; d; g = gn; s; b; inst } ->
+      Printf.sprintf "M %s %s %s %s %s %s %s %s %s %s" name (node d) (node gn)
+        (node s) (node b) (g inst.Device.w) (g inst.Device.l)
+        (g inst.Device.dvt) (g inst.Device.dbeta)
+        (mosfet_model inst.Device.model)
+  in
+  let fp = Fingerprint.create "circuit" in
+  Fingerprint.list fp Fingerprint.str
+    (List.sort compare (Array.to_list (Array.map dev t.devices)));
+  Fingerprint.list fp Fingerprint.str
+    (List.sort compare (Array.to_list t.node_names));
+  Fingerprint.digest fp
+
 let kind_to_string = function
   | Delta_vt -> "dVT"
   | Delta_beta -> "dBeta"

@@ -63,5 +63,16 @@ val apply_deltas : t -> float array -> t
     mismatch parameter shifted by the corresponding entry of [deltas]
     (indexed by [param_index]).  Used by the Monte-Carlo driver. *)
 
+val fingerprint : t -> string
+(** Canonical content hash of the elaborated circuit (32 hex chars).
+
+    Devices are serialized with node {e names} (not ids) in name-sorted
+    order, so the digest is invariant to device/node declaration order
+    — and, upstream, to deck comments and whitespace, which never reach
+    elaboration — while pinning every electrically meaningful quantity:
+    topology, element values, source waveforms, model parameters and
+    mismatch tolerances.  The content-addressed plan/result cache and
+    the sweep journal key on this digest (docs/serving.md). *)
+
 val kind_to_string : mismatch_kind -> string
 val pp : Format.formatter -> t -> unit

@@ -59,14 +59,14 @@ let sparse_factorize (s : asparse) ~freq =
     match s.plan with
     | Some p -> p
     | None ->
-      let p = Csplu.plan s.pat zvals in
+      let p = Linsys.csplu_plan s.pat zvals in
       s.plan <- Some p;
       p
   in
   match Csplu.factorize plan s.pat zvals with
   | f -> f
   | exception Csplu.Singular _ ->
-    let p = Csplu.plan s.pat zvals in
+    let p = Linsys.csplu_plan s.pat zvals in
     s.plan <- Some p;
     Csplu.factorize p s.pat zvals
 

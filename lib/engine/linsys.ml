@@ -90,6 +90,45 @@ let make ?(backend = Auto) circuit =
 
 type rfact = Fdense of Lu.t | Fsparse of Splu.t
 
+(* ------------------------------------------------------------------ *)
+(* process-global plan cache (docs/serving.md)
+
+   Keyed on the exact pattern AND the exact planning values (raw
+   IEEE-754 bits), so a hit returns precisely the plan a fresh
+   Splu.plan/Csplu.plan call would have computed: replayed pivots are
+   identical, results are bit-identical, and the cache is observable
+   only as fewer "symbolic.plan" increments.  Shared across analyses in
+   one process — this is what lets a domain-isolated sweep (or the
+   serve daemon) plan a shared circuit once instead of once per
+   point. *)
+
+let plan_cache : Splu.plan Lru.t = Lru.create ~capacity:64 "plan"
+let cplan_cache : Csplu.plan Lru.t = Lru.create ~capacity:64 "plan"
+
+let set_plan_cache_capacity n =
+  Lru.set_capacity plan_cache n;
+  Lru.set_capacity cplan_cache n
+
+let splu_plan ?(counter = "linsys.splu.plans") pat =
+  let key = Plan_key.reals ~tag:"splu" pat pat.Csr.v in
+  match Lru.find plan_cache key with
+  | Some p when Splu.plan_dim p = Csr.rows pat -> p
+  | Some _ | None ->
+    let p = Splu.plan pat in
+    Obs.count counter 1;
+    Lru.put plan_cache key p;
+    p
+
+let csplu_plan ?counter pat zvals =
+  let key = Plan_key.complexes ~tag:"csplu" pat zvals in
+  match Lru.find cplan_cache key with
+  | Some p when Csplu.plan_dim p = Csr.rows pat -> p
+  | Some _ | None ->
+    let p = Csplu.plan pat zvals in
+    (match counter with Some c -> Obs.count c 1 | None -> ());
+    Lru.put cplan_cache key p;
+    p
+
 (* the current sparse values as a dense matrix — the last resort when
    sparse pivoting dies on values the dense code can still eliminate *)
 let dense_of_csr pat =
@@ -141,9 +180,8 @@ let factorize ?(allow_degradation = true) sys =
       end
     in
     let replan_or_degrade () =
-      match Splu.plan s.pat with
+      match splu_plan s.pat with
       | p -> begin
-        Obs.count "linsys.splu.plans" 1;
         s.plan <- Some p;
         match Splu.factorize p s.pat with
         | f -> done_ f

@@ -84,6 +84,27 @@ val degradation_count : unit -> int
     concurrently. *)
 type rfact = Fdense of Lu.t | Fsparse of Splu.t
 
+(** {2 Plan cache}
+
+    A process-global {!Lru} of symbolic factorization plans, keyed on
+    the exact pattern and the exact planning values ({!Plan_key}), so a
+    hit returns precisely the plan a fresh analysis would have computed
+    — bit-identical replays, observable only as speed and as fewer
+    ["symbolic.plan"] counter increments.  Hits/misses/evictions are
+    the ["cache.plan.*"] counters (docs/serving.md). *)
+
+val splu_plan : ?counter:string -> Csr.t -> Splu.plan
+(** Plan (or fetch a cached plan for) a real pattern on its current
+    values.  [counter] (default ["linsys.splu.plans"]) is bumped only
+    when a plan is actually constructed. *)
+
+val csplu_plan : ?counter:string -> Csr.t -> Cx.t array -> Csplu.plan
+(** The complex twin, for the AC/LPTV [Csplu] planning sites. *)
+
+val set_plan_cache_capacity : int -> unit
+(** Resize both plan caches (default 64 entries each); 0 disables
+    them. *)
+
 val factorize : ?allow_degradation:bool -> rsys -> rfact
 (** Factorize the current values.  Sparse: plans on first call; if a
     replay hits a dead pivot (values drifted far from the planning

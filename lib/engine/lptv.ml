@@ -194,8 +194,7 @@ let build ?(domains = 1) ?backend ?(krylov = Linsys.Kauto)
         let zvals = Array.make nnz Cx.zero in
         stamp_into g_buf gcsr 1;
         zvals_at gcsr zvals;
-        Obs.count "lptv.csplu.plans" 1;
-        Csplu.plan pat zvals
+        Linsys.csplu_plan ~counter:"lptv.csplu.plans" pat zvals
       in
       let fs = Array.make m None in
       Retry.with_transients ~policy ~label:"lptv" (fun () ->
@@ -307,7 +306,7 @@ let wrap_fallback_lu t =
           st.dense <- Some lu;
           lu)
 
-let gmres_restart = 30
+let gmres_restart = Gmres.default_restart
 
 (* (I - Φ(ω))·x = rhs, fresh [x]; GMRES on the krylov wrap with the
    dense rung on stagnation (or an injected ["lptv.gmres"] fault) *)

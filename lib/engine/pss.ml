@@ -167,7 +167,7 @@ let solve ?(steps = 200) ?(max_iter = 40) ?(tol = 1e-7) ?backend
      shooting run onto the dense rung, so the fallback trajectory is
      bit-identical to a dense-only run *)
   let use_k = ref (Linsys.use_krylov krylov n) in
-  let gws = lazy (Gmres.make_ws ~n ~restart:30) in
+  let gws = lazy (Gmres.make_ws ~n ~restart:Gmres.default_restart) in
   let dense_delta mono r =
     (* Newton on x(T;x0) - x0: (Φ - I)·δ = -r *)
     let j = Mat.sub mono (Mat.identity n) in

@@ -22,6 +22,10 @@ type ws = {
   xb : Cvec.t;             (* best iterate seen across cycles *)
 }
 
+(* the restart length every engine workspace uses unless a caller has a
+   reason to deviate; reported by `varsim version` *)
+let default_restart = 30
+
 let make_ws ~n ~restart =
   if restart < 1 then invalid_arg "Gmres.make_ws: restart < 1";
   let k = Stdlib.min restart (Stdlib.max n 1) in

@@ -22,6 +22,10 @@
 
 type ws
 
+val default_restart : int
+(** The restart length the engines pass to {!make_ws} (30) — reported
+    by [varsim version] as a default knob. *)
+
 val make_ws : n:int -> restart:int -> ws
 (** Workspace for systems of dimension [n] with restart length
     [min restart n] ([restart >= 1]).  Reusable across solves of the

@@ -17,7 +17,11 @@ type t = private {
 }
 
 val analyze : ?ordering:ordering -> Csr.t -> t
-(** [analyze pat] computes an ordering for the square pattern [pat]
+(** Counted as ["symbolic.plan"] — every {!Splu.plan} / {!Csplu.plan}
+    passes through here once, so the counter measures symbolic analyses
+    actually performed (a warm plan cache shows fewer increments).
+
+    [analyze pat] computes an ordering for the square pattern [pat]
     (default [Rcm]).  Raises [Invalid_argument] on non-square input. *)
 
 val identity : int -> t

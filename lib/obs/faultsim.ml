@@ -67,6 +67,12 @@ let check_exn site =
   | Some (Exn msg) -> raise (Injected msg)
   | Some (Singular _ | Nan | Clock_skip _) | None -> ()
 
+let armed_sites () =
+  if not (Atomic.get armed) then []
+  else
+    locked (fun () ->
+        List.sort_uniq compare (List.map (fun t -> t.site) !schedule))
+
 let visits site =
   if not (Atomic.get armed) then 0
   else
@@ -130,10 +136,10 @@ let parse_schedule s =
 (* Every site the engines fire, in one place: an unknown name in a
    schedule is a typo that would otherwise silently inject nothing. *)
 let known_sites () =
-  [ "budget.clock"; "linsys.splu"; "lptv.factor"; "lptv.gmres";
-    "newton.factorize"; "newton.residual"; "pnoise.transfer"; "pss.gmres";
-    "sweep.journal.write"; "sweep.worker.crash"; "sweep.worker.hang";
-    "sweep.worker.spawn"; "tran.step" ]
+  [ "budget.clock"; "cache.read"; "cache.write"; "linsys.splu"; "lptv.factor";
+    "lptv.gmres"; "newton.factorize"; "newton.residual"; "pnoise.transfer";
+    "pss.gmres"; "sweep.journal.write"; "sweep.worker.crash";
+    "sweep.worker.hang"; "sweep.worker.spawn"; "tran.step" ]
 
 let validate_sites triggers =
   let sites = known_sites () in

@@ -37,7 +37,10 @@
       forever; the supervisor's per-point deadline must reap it
       (worker-side: every attempt of the point re-fires visit 0)
     - ["sweep.journal.write"] — [Exn] fails one journal append; the
-      sweep warns and continues (the point is re-run on resume) *)
+      sweep warns and continues (the point is re-run on resume)
+    - ["cache.read"], ["cache.write"] — [Exn] fails one on-disk cache
+      store access; reads degrade to a miss, writes are swallowed, so
+      a faulty cache only ever costs recomputation (docs/serving.md) *)
 
 type fault =
   | Singular of int  (** behave as a singular factorization at row [k] *)
@@ -72,6 +75,13 @@ val fire : string -> fault option
 val check_exn : string -> unit
 (** [fire] the site and raise {!Injected} if an [Exn] fault is due;
     other fault kinds at the site are ignored. *)
+
+val armed_sites : unit -> string list
+(** Distinct site names in the current schedule, sorted; [[]] when
+    disarmed.  Lets the result cache refuse to serve or store bytes
+    computed under engine-fault injection (a degraded run must never be
+    replayed as if it were clean) while still exercising its own
+    ["cache.*"] sites. *)
 
 val visits : string -> int
 (** Visits counted at a site since the last {!arm}/{!disarm} (0 when

@@ -45,6 +45,12 @@ let progress : (string -> [ `Begin | `End of float ] -> unit) option ref =
 
 let set_progress f = progress := f
 
+let progress_all :
+    (int -> string -> [ `Begin | `End of float ] -> unit) option ref =
+  ref None
+
+let set_progress_all f = progress_all := f
+
 let ctx_key =
   Domain.DLS.new_key (fun () ->
       let c =
@@ -108,8 +114,11 @@ let span_begin name =
     in
     let node = find_or_add parent name in
     c.cstack <- (node, now ()) :: c.cstack;
-    match !progress with
-    | Some f when is_owner c && depth < progress_depth -> f name `Begin
+    (match !progress with
+     | Some f when is_owner c && depth < progress_depth -> f name `Begin
+     | _ -> ());
+    match !progress_all with
+    | Some f when depth < progress_depth -> f c.cid name `Begin
     | _ -> ()
   end
 
@@ -145,6 +154,10 @@ let span_end name =
       (match !progress with
        | Some f when is_owner c && List.length rest < progress_depth ->
          f node.nname (`End dt)
+       | _ -> ());
+      (match !progress_all with
+       | Some f when List.length rest < progress_depth ->
+         f c.cid node.nname (`End dt)
        | _ -> ())
   end
 

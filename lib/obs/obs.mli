@@ -92,6 +92,13 @@ val set_progress : (string -> [ `Begin | `End of float ] -> unit) option -> unit
     nesting depth <= 2 on the owner domain ([`End] carries the span's
     wall seconds).  [None] uninstalls. *)
 
+val set_progress_all :
+  (int -> string -> [ `Begin | `End of float ] -> unit) option -> unit
+(** Like {!set_progress} but fires on {e every} domain, passing the
+    recording domain's id first — for services (varsim serve) whose
+    analysis work runs on non-owner lanes.  Independent of
+    {!set_progress}; both may be installed. *)
+
 (** {1 Snapshots and export} *)
 
 type span_tree = {

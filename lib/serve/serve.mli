@@ -1,0 +1,54 @@
+(** [varsim serve] — a Unix-domain-socket job daemon around
+    {!Spice_job.submit}, plus the client used by [varsim submit]
+    (docs/serving.md).
+
+    Protocol: newline-delimited JSON, one request line in, event lines
+    (optional) and exactly one response line out per request.  A
+    request is [{"op":"run","deck":"...", ...}] or [{"op":"stats"}];
+    responses reuse the sweep journal's field vocabulary ([outcome],
+    [degraded], [elapsed_s]) plus the job outcome ([output],
+    [fingerprint], [cache_hit], [provenance]).
+
+    Scheduling is fair round-robin across client connections over
+    [lanes] OCaml domains; each request may carry its own wall budget.
+    SIGTERM/SIGINT drain: stop accepting, finish everything queued,
+    flush responses, unlink the socket, return. *)
+
+type config = {
+  socket_path : string;
+  lanes : int;  (** concurrent job lanes (domains) *)
+  job_domains : int;  (** default LPTV/PNOISE domains per job *)
+  cache : Cache.t option;  (** shared result/state cache *)
+  default_budget_s : float option;  (** per-request default wall budget *)
+}
+
+val default_config :
+  ?lanes:int -> ?job_domains:int -> ?cache:Cache.t ->
+  ?default_budget_s:float -> string -> config
+(** [default_config socket_path] — 2 lanes, 1 domain per job, no cache,
+    no default budget. *)
+
+val run : config -> unit
+(** Bind, serve, block until a SIGTERM/SIGINT drain completes.  Raises
+    [Failure] when the socket path is unusable (already served, or a
+    non-socket file).  Enables {!Obs} so the [stats] op always answers
+    with live counters. *)
+
+(** {1 Client side} *)
+
+val request_json :
+  ?id:string -> ?steps:int -> ?f_offset:float -> ?backend:Linsys.backend ->
+  ?krylov:Linsys.krylov -> ?budget_s:float -> ?domains:int ->
+  ?events:bool -> string -> string
+(** [request_json deck_text] builds a one-line run request.  [events]
+    asks the server to stream phase events while the job runs. *)
+
+val stats_request : string
+(** The one-line statistics request. *)
+
+val call :
+  ?on_event:(Obs_json.t -> unit) -> socket_path:string -> string ->
+  (string * Obs_json.t, string) result
+(** [call ~socket_path line] sends one request line and reads until the
+    response, feeding any event lines to [on_event]; returns the raw
+    response line and its parsed form, or a human-readable error. *)

@@ -154,3 +154,69 @@ let load_file path =
   let text = really_input_string ic n in
   close_in ic;
   load_string text
+
+(* ------------------------------------------------------------------ *)
+(* canonical content identity (docs/serving.md)
+
+   The analysis signature serializes every card variant through
+   Fingerprint's typed fields — a new payload field or variant must be
+   added here, which is why each arm lists its payload exhaustively
+   instead of going through a catch-all. *)
+
+let analysis_signature (a : Spice_ast.analysis) =
+  let fp = Fingerprint.create "analysis" in
+  (match a with
+   | Spice_ast.A_op -> Fingerprint.str fp "op"
+   | Spice_ast.A_dc_match { output } ->
+     Fingerprint.str fp "dcmatch";
+     Fingerprint.field fp "output" output
+   | Spice_ast.A_tran { dt; tstop; nodes } ->
+     Fingerprint.str fp "tran";
+     Fingerprint.num fp dt;
+     Fingerprint.num fp tstop;
+     Fingerprint.list fp Fingerprint.str nodes
+   | Spice_ast.A_ac { freqs; input; output } ->
+     Fingerprint.str fp "ac";
+     Fingerprint.list fp Fingerprint.num freqs;
+     Fingerprint.field fp "input" input;
+     Fingerprint.field fp "output" output
+   | Spice_ast.A_noise { output; freqs } ->
+     Fingerprint.str fp "noise";
+     Fingerprint.field fp "output" output;
+     Fingerprint.list fp Fingerprint.num freqs
+   | Spice_ast.A_pss { period } ->
+     Fingerprint.str fp "pss";
+     Fingerprint.num fp period
+   | Spice_ast.A_mismatch_dc { output; period } ->
+     Fingerprint.str fp "mismatch_dc";
+     Fingerprint.field fp "output" output;
+     Fingerprint.num fp period
+   | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
+     Fingerprint.str fp "mismatch_delay";
+     Fingerprint.field fp "output" output;
+     Fingerprint.num fp period;
+     Fingerprint.num fp threshold;
+     Fingerprint.num fp after;
+     Fingerprint.int fp (if rising then 1 else 0)
+   | Spice_ast.A_mismatch_freq { anchor; f_guess } ->
+     Fingerprint.str fp "mismatch_freq";
+     Fingerprint.field fp "anchor" anchor;
+     Fingerprint.num fp f_guess
+   | Spice_ast.A_monte_carlo { n; seed } ->
+     Fingerprint.str fp "monte_carlo";
+     Fingerprint.int fp n;
+     Fingerprint.int fp seed);
+  Fingerprint.digest fp
+
+let fingerprint t =
+  let fp = Fingerprint.create "deck" in
+  (* the title is presentation (it is echoed into the output header),
+     so it IS part of the identity of the rendered result *)
+  Fingerprint.field fp "title" t.title;
+  Fingerprint.str fp (Circuit.fingerprint t.circuit);
+  (* line numbers are presentation-only noise; card order matters
+     because analyses execute (and print) in order *)
+  Fingerprint.list fp
+    (fun fp (_ln, a) -> Fingerprint.str fp (analysis_signature a))
+    t.analyses;
+  Fingerprint.digest fp

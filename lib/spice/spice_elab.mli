@@ -23,3 +23,17 @@ val load_file : string -> t
 (** Parse + elaborate a deck file. *)
 
 val load_string : string -> t
+
+val analysis_signature : Spice_ast.analysis -> string
+(** Canonical digest of one analysis card ({!Fingerprint}-based):
+    covers every payload field of every variant, numerically exact for
+    floats.  Two cards have equal signatures iff they request the same
+    computation. *)
+
+val fingerprint : t -> string
+(** Canonical digest of an elaborated deck: title +
+    {!Circuit.fingerprint} + the analysis-card signatures in execution
+    order.  Invariant to comment/whitespace noise and to device/node
+    declaration order in the source text; sensitive to anything that
+    changes the computed (or printed) result.  This is the content half
+    of every job/result cache key (docs/serving.md). *)

@@ -10,27 +10,60 @@ let span_name = function
   | Spice_ast.A_mismatch_freq _ -> "spice.mismatch_freq"
   | Spice_ast.A_monte_carlo _ -> "spice.monte_carlo"
 
+(* Typed outcome of one analysis card: what {!execute} computes and
+   {!render} prints.  The split is what lets the job layer
+   ({!Spice_job}) and the serve daemon run cards without committing to
+   a formatter, while {!run_analysis} keeps the CLI's historical
+   byte-exact output. *)
+type result =
+  | R_op of Vec.t
+  | R_dc_match of Sens.report
+  | R_tran of Waveform.t * string list
+  | R_ac of (float * Cx.t) list
+  | R_noise of Noise_lti.point array
+  | R_pss of Pss.t
+  | R_report of Report.t
+  | R_freq of Report.t * Pss_osc.t
+  | R_mc of Monte_carlo.result
+
+(* Key prefix for the engine-state cache entries of one PSS context:
+   the circuit content plus every knob that shapes the solution
+   (period, grid steps, offset frequency, backend, krylov).  The
+   remaining Analysis.prepare defaults (Pss tol = 1e-7, warmup) are
+   constants of the fp1 scheme — parameterizing any of them means
+   adding it here and bumping {!Fingerprint.scheme_version}. *)
+let ctx_prefix circuit ?backend ?krylov ~steps ~f_offset ~period () =
+  Fingerprint.strings "pssctx"
+    [ Circuit.fingerprint circuit;
+      Printf.sprintf "%.17g" period;
+      string_of_int steps;
+      Printf.sprintf "%.17g" f_offset;
+      (match backend with
+       | Some b -> Linsys.backend_to_string b
+       | None -> "-");
+      (match krylov with
+       | Some k -> Linsys.krylov_to_string k
+       | None -> "-") ]
+
 (* [policy]/[budget] thread into the nonlinear engines (DC, transient,
    PSS, the mismatch analyses, Monte Carlo).  The LTI small-signal
    analyses (.ac, .noise, .dcmatch sensitivities) are single direct
    solves with no iteration to bound and stay untouched. *)
-let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
-    (deck : Spice_elab.t) analysis =
+let execute ?(domains = 1) ?(steps = 200) ?(f_offset = 1.0) ?backend ?krylov
+    ?policy ?budget ?cache (deck : Spice_elab.t) analysis =
   Obs.span (span_name analysis) @@ fun () ->
   Obs.count "spice.analyses" 1;
   let circuit = deck.Spice_elab.circuit in
+  let ctx_cache ~period =
+    match cache with
+    | None -> None
+    | Some c ->
+      Some (c, ctx_prefix circuit ?backend ?krylov ~steps ~f_offset ~period ())
+  in
   match analysis with
-  | Spice_ast.A_op ->
-    let x = Dc.solve ?backend ?policy ?budget circuit in
-    Format.fprintf ppf "@[<v>.op operating point:@,";
-    for id = 1 to Circuit.num_nodes circuit do
-      Format.fprintf ppf "  v(%s) = %.6g@," (Circuit.node_name circuit id)
-        x.(id - 1)
-    done;
-    Format.fprintf ppf "@]@."
+  | Spice_ast.A_op -> R_op (Dc.solve ?backend ?policy ?budget circuit)
   | Spice_ast.A_dc_match { output } ->
-    Format.fprintf ppf "%a@." Sens.pp_report
-      (Sens.dc_match ?backend circuit ~output)
+    R_dc_match (Sens.dc_match ?backend circuit ~output)
   | Spice_ast.A_tran { dt; tstop; nodes } ->
     let w =
       Tran.run ?backend ?policy ?budget circuit ~tstart:0.0 ~tstop ~dt ()
@@ -42,22 +75,76 @@ let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
             Circuit.node_name circuit (i + 1))
       | ns -> ns
     in
-    Format.fprintf ppf "%s@." (Waveform.to_csv w ~nodes)
+    R_tran (w, nodes)
   | Spice_ast.A_ac { freqs; input; output } ->
     let ac = Ac.prepare ?backend circuit in
+    R_ac
+      (List.map
+         (fun f -> (f, Ac.transfer ac ~freq:f ~input:(Ac.Vsource input) ~output))
+         freqs)
+  | Spice_ast.A_noise { output; freqs } ->
+    R_noise
+      (Noise_lti.analyze ?backend circuit ~output ~freqs:(Array.of_list freqs))
+  | Spice_ast.A_pss { period } ->
+    R_pss (Pss.solve ~steps ?backend ?krylov ?policy ?budget circuit ~period)
+  | Spice_ast.A_mismatch_dc { output; period } ->
+    let ctx =
+      Analysis.prepare ~steps ~f_offset ~domains ?backend ?krylov ?policy
+        ?budget ?cache:(ctx_cache ~period) circuit ~period
+    in
+    R_report (Analysis.dc_variation ctx ~output)
+  | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
+    let ctx =
+      Analysis.prepare ~steps ~f_offset ~domains ?backend ?krylov ?policy
+        ?budget ?cache:(ctx_cache ~period) circuit ~period
+    in
+    let crossing =
+      {
+        Analysis.edge = (if rising then Waveform.Rising else Waveform.Falling);
+        threshold;
+        after;
+      }
+    in
+    R_report (Analysis.delay_variation ctx ~output ~crossing)
+  | Spice_ast.A_mismatch_freq { anchor; f_guess } ->
+    let rep, osc =
+      Analysis.frequency_variation ~steps ?backend ?policy ?budget circuit
+        ~anchor ~f_guess
+    in
+    R_freq (rep, osc)
+  | Spice_ast.A_monte_carlo { n; seed } ->
+    (* generic Monte Carlo over all node voltages at the DC point *)
+    R_mc
+      (Monte_carlo.run ~seed ?budget ~n ~circuit
+         ~measure:(fun c ->
+           let x = Dc.solve ?backend ?policy c in
+           Array.init (Circuit.num_nodes c) (fun i -> x.(i)))
+         ())
+
+let render ppf (deck : Spice_elab.t) analysis result =
+  let circuit = deck.Spice_elab.circuit in
+  match analysis, result with
+  | Spice_ast.A_op, R_op x ->
+    Format.fprintf ppf "@[<v>.op operating point:@,";
+    for id = 1 to Circuit.num_nodes circuit do
+      Format.fprintf ppf "  v(%s) = %.6g@," (Circuit.node_name circuit id)
+        x.(id - 1)
+    done;
+    Format.fprintf ppf "@]@."
+  | Spice_ast.A_dc_match _, R_dc_match rep ->
+    Format.fprintf ppf "%a@." Sens.pp_report rep
+  | Spice_ast.A_tran _, R_tran (w, nodes) ->
+    Format.fprintf ppf "%s@." (Waveform.to_csv w ~nodes)
+  | Spice_ast.A_ac { input; output; _ }, R_ac points ->
     Format.fprintf ppf "@[<v>.ac %s -> %s:@," input output;
     List.iter
-      (fun f ->
-        let tf = Ac.transfer ac ~freq:f ~input:(Ac.Vsource input) ~output in
+      (fun (f, tf) ->
         Format.fprintf ppf "  %12.6g Hz  |H| = %10.6g  phase = %+8.2f deg@," f
           (Cx.abs tf)
           (Cx.arg tf *. 180.0 /. Float.pi))
-      freqs;
+      points;
     Format.fprintf ppf "@]@."
-  | Spice_ast.A_noise { output; freqs } ->
-    let points =
-      Noise_lti.analyze ?backend circuit ~output ~freqs:(Array.of_list freqs)
-    in
+  | Spice_ast.A_noise { output; _ }, R_noise points ->
     Format.fprintf ppf "@[<v>.noise at %s:@," output;
     Array.iter
       (fun (pt : Noise_lti.point) ->
@@ -65,8 +152,7 @@ let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
           pt.Noise_lti.total_psd)
       points;
     Format.fprintf ppf "@]@."
-  | Spice_ast.A_pss { period } ->
-    let pss = Pss.solve ?backend ?krylov ?policy ?budget circuit ~period in
+  | Spice_ast.A_pss _, R_pss pss ->
     Format.fprintf ppf
       ".pss: converged in %d shooting iterations, residual %.3g@."
       pss.Pss.iterations pss.Pss.residual;
@@ -78,43 +164,14 @@ let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
       Format.fprintf ppf "  %s: [%.4g, %.4g], fundamental amplitude %.4g@." name
         lo hi (Pss.amplitude pss name)
     done
-  | Spice_ast.A_mismatch_dc { output; period } ->
-    let ctx =
-      Analysis.prepare ~domains ?backend ?krylov ?policy ?budget circuit
-        ~period
-    in
-    Format.fprintf ppf "%a@." Report.pp (Analysis.dc_variation ctx ~output)
-  | Spice_ast.A_mismatch_delay { output; period; threshold; after; rising } ->
-    let ctx =
-      Analysis.prepare ~domains ?backend ?krylov ?policy ?budget circuit
-        ~period
-    in
-    let crossing =
-      {
-        Analysis.edge = (if rising then Waveform.Rising else Waveform.Falling);
-        threshold;
-        after;
-      }
-    in
-    Format.fprintf ppf "%a@." Report.pp
-      (Analysis.delay_variation ctx ~output ~crossing)
-  | Spice_ast.A_mismatch_freq { anchor; f_guess } ->
-    let rep, osc =
-      Analysis.frequency_variation ?backend ?policy ?budget circuit ~anchor
-        ~f_guess
-    in
+  | Spice_ast.A_mismatch_dc _, R_report rep
+  | Spice_ast.A_mismatch_delay _, R_report rep ->
+    Format.fprintf ppf "%a@." Report.pp rep
+  | Spice_ast.A_mismatch_freq _, R_freq (rep, osc) ->
     Format.fprintf ppf "oscillator frequency: %.6g Hz@."
       osc.Pss_osc.frequency;
     Format.fprintf ppf "%a@." Report.pp rep
-  | Spice_ast.A_monte_carlo { n; seed } ->
-    (* generic Monte Carlo over all node voltages at the DC point *)
-    let mc =
-      Monte_carlo.run ~seed ?budget ~n ~circuit
-        ~measure:(fun c ->
-          let x = Dc.solve ?backend ?policy c in
-          Array.init (Circuit.num_nodes c) (fun i -> x.(i)))
-        ()
-    in
+  | Spice_ast.A_monte_carlo { n; _ }, R_mc mc ->
     if mc.Monte_carlo.timed_out then
       Format.fprintf ppf
         ".mc: budget expired, %d of %d samples completed@."
@@ -128,8 +185,16 @@ let run_analysis ?(domains = 1) ?backend ?krylov ?policy ?budget ppf
           s.Stats.mean s.Stats.std_dev)
       mc.Monte_carlo.summaries;
     Format.fprintf ppf "@]@."
+  | _ -> invalid_arg "Spice_run.render: result does not match the analysis"
 
-let run ?domains ?backend ?krylov ?policy ?budget ppf deck =
+let run_analysis ?domains ?steps ?f_offset ?backend ?krylov ?policy ?budget
+    ?cache ppf (deck : Spice_elab.t) analysis =
+  render ppf deck analysis
+    (execute ?domains ?steps ?f_offset ?backend ?krylov ?policy ?budget ?cache
+       deck analysis)
+
+let run ?domains ?steps ?f_offset ?backend ?krylov ?policy ?budget ?cache ppf
+    deck =
   if deck.Spice_elab.title <> "" then
     Format.fprintf ppf "* %s@.@." deck.Spice_elab.title;
   (* end-of-run degradation summary: sample the process-wide fallback
@@ -141,12 +206,13 @@ let run ?domains ?backend ?krylov ?policy ?budget ppf deck =
   let k0 = Linsys.krylov_fallback_count () in
   (match deck.Spice_elab.analyses with
    | [] ->
-     run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck
-       Spice_ast.A_op
+     run_analysis ?domains ?steps ?f_offset ?backend ?krylov ?policy ?budget
+       ?cache ppf deck Spice_ast.A_op
    | analyses ->
      List.iter
        (fun (_ln, a) ->
-         run_analysis ?domains ?backend ?krylov ?policy ?budget ppf deck a)
+         run_analysis ?domains ?steps ?f_offset ?backend ?krylov ?policy
+           ?budget ?cache ppf deck a)
        analyses);
   let degradations = Linsys.degradation_count () - d0 in
   let krylov_fallbacks = Linsys.krylov_fallback_count () - k0 in

@@ -356,32 +356,51 @@ let expand spec =
       done;
       { id; assigns = !assigns })
 
-let target_to_string = function
-  | Deck path -> "deck:" ^ Filename.basename path
-  | Cell c -> "cell:" ^ c
+(* Deck targets hash by elaborated CONTENT (the canonical deck
+   fingerprint), not by file name: editing a deck invalidates its
+   journal entries instead of silently resuming over stale results,
+   and renaming/moving the file keeps them valid.  Memoized per path —
+   the supervisor hashes every point of a grid against one deck.  An
+   unreadable/unparsable deck falls back to a path-keyed tag so the
+   hash itself never raises (the sweep then fails where it always did,
+   with a per-point error). *)
+let deck_fp_memo : (string, string) Hashtbl.t = Hashtbl.create 4
+let deck_fp_mutex = Mutex.create ()
 
+let target_fingerprint = function
+  | Cell c -> "cell:" ^ c
+  | Deck path ->
+    Mutex.lock deck_fp_mutex;
+    Fun.protect ~finally:(fun () -> Mutex.unlock deck_fp_mutex) @@ fun () ->
+    (match Hashtbl.find_opt deck_fp_memo path with
+     | Some fp -> fp
+     | None ->
+       let fp =
+         match Spice_elab.load_file path with
+         | deck -> "deck:" ^ Spice_elab.fingerprint deck
+         | exception _ -> "deckpath:" ^ path
+       in
+       Hashtbl.add deck_fp_memo path fp;
+       fp)
+
+(* hash scheme v2 ("phv2", docs/robustness.md): built on the canonical
+   Fingerprint accumulator shared with the job pipeline.  Journals
+   written by the v1 ad-hoc scheme no longer match — resume treats
+   their points as not-yet-done and recomputes, which is safe. *)
 let point_hash spec point =
-  let b = Buffer.create 128 in
-  Buffer.add_string b (target_to_string spec.target);
-  Buffer.add_char b '|';
-  Buffer.add_string b (analysis_to_string spec.analysis);
-  Buffer.add_char b '|';
-  Buffer.add_string b spec.output;
-  Buffer.add_char b '|';
+  let fp = Fingerprint.create "phv2" in
+  Fingerprint.str fp (target_fingerprint spec.target);
+  Fingerprint.str fp (analysis_to_string spec.analysis);
+  Fingerprint.str fp spec.output;
   (match spec.period with
-   | Some p -> Buffer.add_string b (Printf.sprintf "T=%.17g" p)
+   | Some p -> Fingerprint.field fp "T" (Printf.sprintf "%.17g" p)
    | None -> ());
   (match spec.steps with
-   | Some s -> Buffer.add_string b (Printf.sprintf "S=%d" s)
+   | Some s -> Fingerprint.field fp "S" (string_of_int s)
    | None -> ());
-  Buffer.add_string b (Linsys.backend_to_string spec.backend);
-  Buffer.add_char b '|';
-  Buffer.add_string b (Linsys.krylov_to_string spec.krylov);
-  List.iter
-    (fun (name, v) ->
-      Buffer.add_char b '|';
-      Buffer.add_string b name;
-      Buffer.add_char b '=';
-      Buffer.add_string b (value_to_string v))
+  Fingerprint.str fp (Linsys.backend_to_string spec.backend);
+  Fingerprint.str fp (Linsys.krylov_to_string spec.krylov);
+  Fingerprint.list fp
+    (fun fp (name, v) -> Fingerprint.field fp name (value_to_string v))
     point.assigns;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+  Fingerprint.digest fp

@@ -83,9 +83,14 @@ val value_to_string : value -> string
 
 val point_hash : t -> point -> string
 (** Content hash (hex digest) of target + analysis + output + engine
-    knobs + the point's assignment.  Budgets and retry policy are
+    knobs + the point's assignment, built on the canonical
+    {!Fingerprint} accumulator shared with the job pipeline (scheme
+    ["phv2"]).  Deck targets hash by elaborated content (memoized per
+    path), so editing a deck invalidates journal entries instead of
+    resuming over stale results.  Budgets and retry policy are
     deliberately excluded: re-running with a different budget must
-    still recognize journaled points. *)
+    still recognize journaled points.  Journals written by the v1
+    scheme are treated as cold (docs/robustness.md). *)
 
 val cell_param_names : string -> string list
 (** Sweepable parameter names of a built-in cell ([invalid_arg] on an

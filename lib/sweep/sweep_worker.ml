@@ -116,6 +116,17 @@ let ringosc_params point =
 (* ------------------------------------------------------------------ *)
 (* the point body *)
 
+(* One in-memory engine-state cache per worker process, shared by every
+   point this process computes.  Under process isolation each worker is
+   fresh, so this is inert; under domain isolation all points share it
+   (and the process-global Linsys plan cache), so points that elaborate
+   the same circuit with the same knobs warm-start each other —
+   observable as fewer "symbolic.plan"/"pss.*" increments, never as
+   different values (docs/serving.md). *)
+let point_cache =
+  lazy
+    (match Cache.create () with Ok c -> Some c | Error _ -> None)
+
 let compute (spec : Sweep_spec.t) point ~policy ~budget =
   let k = knobs_of spec point in
   let backend = k.backend and krylov = k.krylov in
@@ -150,36 +161,40 @@ let compute (spec : Sweep_spec.t) point ~policy ~budget =
    | exception Not_found ->
      failwith
        (Printf.sprintf "output node %S does not exist in the target" output));
-  match spec.Sweep_spec.analysis with
-  | Sweep_spec.Op ->
-    let x = Dc.solve ~backend ~policy ?budget circuit in
-    ("v", x.(Circuit.node_row circuit output))
-  | Sweep_spec.Dc_match ->
-    let rep = Sens.dc_match ~backend circuit ~output in
-    ("sigma", rep.Sens.sigma)
-  | Sweep_spec.Mismatch ->
-    let period =
-      match period with
-      | Some t -> t
-      | None -> failwith "mismatch point has no period"
-    in
-    let ctx =
-      Analysis.prepare ?steps:k.steps ~backend ~krylov ~policy ?budget
-        circuit ~period
-    in
-    let rep = Analysis.dc_variation ctx ~output in
-    ("sigma", rep.Report.sigma)
-  | Sweep_spec.Freq ->
-    let f_guess =
-      match f_guess with
-      | Some f -> f
-      | None -> failwith "freq analysis needs cell = ringosc"
-    in
-    let rep, _osc =
-      Analysis.frequency_variation ?steps:k.steps ~backend ~policy ?budget
-        circuit ~anchor:output ~f_guess
-    in
-    ("sigma", rep.Report.sigma)
+  (* each reading maps onto the analysis card the CLI would run for it,
+     so sweep points go through the same typed execute path as [varsim
+     run] and [varsim serve] — one pipeline, one cache seam *)
+  let card =
+    match spec.Sweep_spec.analysis with
+    | Sweep_spec.Op -> Spice_ast.A_op
+    | Sweep_spec.Dc_match -> Spice_ast.A_dc_match { output }
+    | Sweep_spec.Mismatch ->
+      let period =
+        match period with
+        | Some t -> t
+        | None -> failwith "mismatch point has no period"
+      in
+      Spice_ast.A_mismatch_dc { output; period }
+    | Sweep_spec.Freq ->
+      let f_guess =
+        match f_guess with
+        | Some f -> f
+        | None -> failwith "freq analysis needs cell = ringosc"
+      in
+      Spice_ast.A_mismatch_freq { anchor = output; f_guess }
+  in
+  let deck = { Spice_elab.title = ""; circuit; analyses = [] } in
+  match
+    Spice_run.execute ?steps:k.steps ~backend ~krylov ~policy ?budget
+      ?cache:(Lazy.force point_cache) deck card
+  with
+  | Spice_run.R_op x -> ("v", x.(Circuit.node_row circuit output))
+  | Spice_run.R_dc_match rep -> ("sigma", rep.Sens.sigma)
+  | Spice_run.R_report rep -> ("sigma", rep.Report.sigma)
+  | Spice_run.R_freq (rep, _osc) -> ("sigma", rep.Report.sigma)
+  | Spice_run.R_tran _ | Spice_run.R_ac _ | Spice_run.R_noise _
+  | Spice_run.R_pss _ | Spice_run.R_mc _ ->
+    assert false (* the four cards above only yield the four above *)
 
 let run_point ?budget_s (spec : Sweep_spec.t) point =
   let label = Printf.sprintf "sweep point %d" point.Sweep_spec.id in

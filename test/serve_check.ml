@@ -1,0 +1,178 @@
+(* End-to-end check of the varsim serve daemon against the real binary
+   (argv.(1)), driven through the Serve client helpers
+   (docs/serving.md):
+
+   - an identical deck submitted twice: the second response reports a
+     cache hit and carries byte-identical output;
+   - the daemon survives a restart with the same --cache directory and
+     serves the result from the durable tier;
+   - phase events stream when the request asks for them;
+   - the stats op answers live counters as well-formed JSON;
+   - malformed decks and malformed request lines produce structured
+     failure responses, not connection drops;
+   - SIGTERM drains cleanly: exit 0 and the socket unlinked. *)
+
+let varsim =
+  let p = Sys.argv.(1) in
+  if Filename.is_relative p then Filename.concat (Sys.getcwd ()) p else p
+
+let failures = ref 0
+
+let check name ok =
+  if ok then Printf.printf "ok - %s\n%!" name
+  else begin
+    incr failures;
+    Printf.printf "FAIL - %s\n%!" name
+  end
+
+let deck =
+  "serve check divider\n\
+   V1 in 0 2.0\n\
+   R1 in out 10k tol=0.01\n\
+   R2 out 0 10k tol=0.01\n\
+   .op\n\
+   .dcmatch out\n\
+   .end\n"
+
+let str k j =
+  match Obs_json.member k j with
+  | Some (Obs_json.Str s) -> Some s
+  | _ -> None
+
+let flag k j =
+  match Obs_json.member k j with
+  | Some (Obs_json.Bool b) -> b
+  | _ -> false
+
+let call ?on_event ~socket line =
+  match Serve.call ?on_event ~socket_path:socket line with
+  | Ok r -> r
+  | Error m -> failwith ("call: " ^ m)
+
+let wait_for_socket path =
+  let rec loop n =
+    if n = 0 then failwith ("daemon never bound " ^ path)
+    else if Sys.file_exists path then ()
+    else begin
+      Unix.sleepf 0.1;
+      loop (n - 1)
+    end
+  in
+  loop 100
+
+let start_daemon ~socket ~cache_dir ~log =
+  let logfd =
+    Unix.openfile log [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_RDONLY ] 0 in
+  let pid =
+    Unix.create_process varsim
+      [| varsim; "serve"; "--socket"; socket; "--lanes"; "2"; "--cache";
+         cache_dir |]
+      devnull logfd logfd
+  in
+  Unix.close devnull;
+  Unix.close logfd;
+  wait_for_socket socket;
+  pid
+
+let stop_daemon pid =
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "varsim_serve_%d" (Unix.getpid ()))
+  in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let socket = Filename.concat dir "d.sock" in
+  let cache_dir = Filename.concat dir "cache" in
+  let log = Filename.concat dir "serve.log" in
+
+  let pid = start_daemon ~socket ~cache_dir ~log in
+
+  (* cold, then warm: the second response is a byte-identical hit *)
+  let _, cold = call ~socket (Serve.request_json ~id:"c" deck) in
+  check "cold submit ok" (str "outcome" cold = Some "ok");
+  check "cold submit is a miss" (not (flag "cache_hit" cold));
+  check "cold submit carries provenance"
+    (match str "provenance" cold with
+     | Some p -> String.length p > 0
+     | None -> false);
+  let _, warm = call ~socket (Serve.request_json ~id:"w" deck) in
+  check "warm submit ok" (str "outcome" warm = Some "ok");
+  check "warm submit is a cache hit" (flag "cache_hit" warm);
+  check "warm output byte-identical"
+    (str "output" cold <> None && str "output" cold = str "output" warm);
+  check "request ids echoed"
+    (str "id" cold = Some "c" && str "id" warm = Some "w");
+
+  (* phase events stream when asked for *)
+  let events = ref 0 in
+  let _, ev_resp =
+    call ~socket
+      ~on_event:(fun _ -> incr events)
+      (Serve.request_json ~id:"e" ~events:true
+         (deck ^ "* force a distinct fingerprint\nC9 out 0 1p\n"))
+  in
+  check "events submit ok" (str "outcome" ev_resp = Some "ok");
+  check "phase events streamed" (!events > 0);
+
+  (* stats: live counters as well-formed JSON *)
+  let _, stats = call ~socket Serve.stats_request in
+  check "stats op answers" (str "outcome" stats = Some "stats");
+  let counters =
+    match Obs_json.member "metrics" stats with
+    | Some m -> Obs_json.member "counters" m
+    | None -> None
+  in
+  let counter name =
+    match counters with
+    | Some c -> (
+      match Obs_json.member name c with
+      | Some (Obs_json.Num v) -> int_of_float v
+      | _ -> 0)
+    | None -> 0
+  in
+  check "stats counts the jobs" (counter "serve.jobs" >= 3);
+  check "stats reports the cache hit" (counter "cache.result.hits" >= 1);
+  check "stats reports the disk tier"
+    (flag "disk" (Option.value (Obs_json.member "cache" stats)
+                    ~default:Obs_json.Null));
+
+  (* structured failures, not connection drops *)
+  let _, bad_deck =
+    call ~socket (Serve.request_json ~id:"x" "not a netlist\nR1 oops\n.end\n")
+  in
+  check "malformed deck fails typed"
+    (match str "outcome" bad_deck with
+     | Some o -> String.length o > 7 && String.sub o 0 7 = "failed:"
+     | None -> false);
+  let _, bad_line = call ~socket "this is not json" in
+  check "malformed request line fails typed"
+    (match str "outcome" bad_line with
+     | Some o -> String.length o > 7 && String.sub o 0 7 = "failed:"
+     | None -> false);
+
+  (* SIGTERM drains cleanly *)
+  check "SIGTERM exits 0" (stop_daemon pid = Unix.WEXITED 0);
+  check "socket unlinked on drain" (not (Sys.file_exists socket));
+
+  (* restart with the same cache directory: the durable tier serves *)
+  let pid2 = start_daemon ~socket ~cache_dir ~log in
+  let _, replay = call ~socket (Serve.request_json ~id:"r" deck) in
+  check "restarted daemon serves from the durable tier"
+    (flag "cache_hit" replay);
+  check "replayed bytes identical across restarts"
+    (str "output" replay = str "output" cold);
+  check "restarted daemon drains" (stop_daemon pid2 = Unix.WEXITED 0);
+
+  if !failures > 0 then begin
+    Printf.printf "%d serve check(s) failed; daemon log:\n%!" !failures;
+    (try print_string (In_channel.with_open_bin log In_channel.input_all)
+     with Sys_error _ -> ());
+    exit 1
+  end;
+  print_endline "serve checks passed"

@@ -311,6 +311,72 @@ let test_supervisor_domains () =
   in
   Alcotest.(check string) "csv byte-identical" csv csv2
 
+(* ------------------------------------------- content hashing (phv2) *)
+
+let test_point_hash_deck_content () =
+  with_temp_dir @@ fun dir ->
+  let write name text =
+    let path = Filename.concat dir name in
+    Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc text);
+    path
+  in
+  let divider r2 =
+    Printf.sprintf
+      "divider\nV1 in 0 2.0\nR1 in out 10k tol=0.01\nR2 out 0 %s tol=0.01\n\
+       .op\n.end\n"
+      r2
+  in
+  let spec_for path =
+    parse_ok (Printf.sprintf "deck = %s\nanalysis = op\noutput = out\n" path)
+  in
+  let hash path =
+    let s = spec_for path in
+    Sweep_spec.point_hash s (Sweep_spec.expand s).(0)
+  in
+  let d1 = write "d1.sp" (divider "10k") in
+  let d2 = write "d2.sp" (divider "10k") in
+  let d3 = write "d3.sp" (divider "20k") in
+  Alcotest.(check string)
+    "identical deck content hashes identically regardless of path"
+    (hash d1) (hash d2);
+  Alcotest.(check bool) "changed deck content changes the hash" false
+    (String.equal (hash d1) (hash d3))
+
+(* -------------------------------------- warm plan cache, domain mode *)
+
+(* Points sharing an elaborated circuit (a steps axis leaves the
+   matrices untouched) reuse the process-global symbolic plan cache
+   when they share a process — the domain-isolation payoff
+   (docs/serving.md).  symbolic.plan counts actual symbolic
+   factorization work, so a warm cache shows fewer increments than
+   points, and the readings stay bit-identical. *)
+let test_warm_plan_cache_across_points () =
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) @@ fun () ->
+  let s =
+    parse_ok
+      "cell = mirror\nanalysis = dcmatch\nbackend = sparse\n\
+       sweep steps = 100, 200, 300, 400\n"
+  in
+  let pts = Sweep_spec.expand s in
+  Alcotest.(check int) "grid" 4 (Array.length pts);
+  let value p =
+    match (Sweep_worker.run_point s p).Sweep_worker.value with
+    | Some v -> v
+    | None -> Alcotest.fail "point failed"
+  in
+  let v0 = value pts.(0) in
+  let plans_after_first = Obs.counter_value "symbolic.plan" in
+  Alcotest.(check bool) "the cold point plans" true (plans_after_first > 0);
+  let rest = List.map value [ pts.(1); pts.(2); pts.(3) ] in
+  Alcotest.(check int) "warm points re-plan nothing" plans_after_first
+    (Obs.counter_value "symbolic.plan");
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) "warm plans do not change the reading"
+        (Int64.bits_of_float v0) (Int64.bits_of_float v))
+    rest
+
 (* ------------------------------------------------- site validation *)
 
 let test_validate_sites () =
@@ -346,6 +412,8 @@ let () =
             test_expand_row_major;
           Alcotest.test_case "empty grid" `Quick test_expand_empty;
           Alcotest.test_case "point hash" `Quick test_point_hash;
+          Alcotest.test_case "deck-content hash" `Quick
+            test_point_hash_deck_content;
         ] );
       ( "journal",
         [
@@ -365,6 +433,8 @@ let () =
           Alcotest.test_case "run_point mirror" `Quick test_run_point_mirror;
           Alcotest.test_case "domain-mode end to end" `Quick
             test_supervisor_domains;
+          Alcotest.test_case "warm plan cache across points" `Quick
+            test_warm_plan_cache_across_points;
         ] );
       ( "faultsim",
         [ Alcotest.test_case "site validation" `Quick test_validate_sites ] );
