@@ -15,6 +15,8 @@
                                  content-addressed result/state cache
                                  (docs/serving.md)
      varsim submit <deck.sp>     send a deck to a running daemon
+     varsim top                  live one-screen daemon view (or --prom:
+                                 dump the Prometheus text exposition)
      varsim version              version / build / default-knob provenance
 
    Exit codes: 0 success; 123 typed analysis/setup failure; 124 budget
@@ -587,8 +589,16 @@ let worker_cmd =
     Arg.(value & flag & info [ "crash-now" ]
            ~doc:"Fault injection: die by SIGKILL before computing")
   in
-  let run spec_path index hash budget_s crash =
-    match Sweep_worker.main ~crash ~spec_path ~index ~hash ~budget_s () with
+  let telemetry_arg =
+    Arg.(value & flag & info [ "telemetry" ]
+           ~doc:"Ship this worker's telemetry (spans, counters, \
+                 histograms) back to the supervisor as a JSON line \
+                 before the result line")
+  in
+  let run spec_path index hash budget_s crash telemetry =
+    match
+      Sweep_worker.main ~crash ~telemetry ~spec_path ~index ~hash ~budget_s ()
+    with
     | 0 -> `Ok ()
     | n -> exit n
   in
@@ -597,7 +607,7 @@ let worker_cmd =
        ~doc:"Internal: run one supervised sweep point and print its \
              result as a JSON line (spawned by $(b,varsim sweep))")
     Term.(ret (const run $ spec_arg $ index_arg $ hash_arg $ pb_arg
-               $ crash_arg))
+               $ crash_arg $ telemetry_arg))
 
 (* ------------------------------------------------------------------ *)
 (* serve / submit: the job daemon and its client (docs/serving.md) *)
@@ -618,7 +628,13 @@ let serve_cmd =
            ~doc:"Default LPTV/PNOISE domains per job (a request may \
                  override with its own $(b,domains) field)")
   in
-  let run socket lanes job_domains cache_dir mem_cache res obs =
+  let log_arg =
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE"
+           ~doc:"Append one JSON record per finished request to $(docv) \
+                 (timestamp, request id, outcome, queue wait, latency, \
+                 fingerprint, cache hit)")
+  in
+  let run socket lanes job_domains cache_dir mem_cache log_path res obs =
     (* serve always runs with at least the in-memory cache: the second
        identical submission answering from cache is the point of the
        daemon.  --cache DIR adds the durable tier. *)
@@ -636,7 +652,7 @@ let serve_cmd =
     in
     let cfg =
       Serve.default_config ~lanes ~job_domains ?cache
-        ?default_budget_s:res.budget_s socket
+        ?default_budget_s:res.budget_s ?log_path socket
     in
     (* Serve.run owns Obs.enable (stats must see live counters even
        with no --metrics), so the with_obs wrapper does not apply; the
@@ -657,7 +673,8 @@ let serve_cmd =
              plan/result cache, streaming progress events and a clean \
              SIGTERM drain (docs/serving.md)")
     Term.(ret (const run $ socket_arg $ lanes_arg $ job_domains_arg
-               $ cache_dir_arg $ mem_cache_arg $ res_term $ obs_term))
+               $ cache_dir_arg $ mem_cache_arg $ log_arg $ res_term
+               $ obs_term))
 
 let submit_cmd =
   let stats_arg =
@@ -763,6 +780,105 @@ let submit_cmd =
                $ steps_arg $ f_offset_arg $ domains_arg $ backend_arg
                $ krylov_arg $ progress_arg $ res_term))
 
+(* ------------------------------------------------------------------ *)
+(* top: live daemon view over the stats/metrics ops
+   (docs/observability.md) *)
+
+let obj_num j k =
+  match Obs_json.member k j with Some (Obs_json.Num v) -> Some v | _ -> None
+
+let render_stats socket j =
+  let b = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let num k = obj_num j k in
+  let i v = int_of_float (Option.value v ~default:0.0) in
+  let reqs = Obs_json.member "requests" j in
+  let rnum k = Option.bind reqs (fun r -> obj_num r k) in
+  let metrics = Obs_json.member "metrics" j in
+  let counters = Option.bind metrics (Obs_json.member "counters") in
+  let gauges = Option.bind metrics (Obs_json.member "gauges") in
+  let cnum k = Option.bind counters (fun c -> obj_num c k) in
+  let gnum k = Option.bind gauges (fun g -> obj_num g k) in
+  let quantiles k =
+    match Obs_json.member k j with
+    | Some q ->
+      let p t =
+        match obj_num q t with
+        | Some v -> Printf.sprintf "%.3gms" (v *. 1e3)
+        | None -> "-"
+      in
+      Printf.sprintf "p50 %-9s p90 %-9s p99 %s" (p "p50") (p "p90") (p "p99")
+    | None -> "-"
+  in
+  add "varsim top — %s   uptime %.1fs\n" socket
+    (Option.value (num "uptime_s") ~default:0.0);
+  add "lanes      %d busy / %d   queue depth %d\n" (i (num "lanes_busy"))
+    (i (num "lanes"))
+    (i (num "queue_depth"));
+  let ok = i (rnum "ok") in
+  add "requests   %d ok, %d failed, %d timed out\n" ok (i (rnum "failed"))
+    (i (rnum "timed_out"));
+  add "latency    %s\n" (quantiles "latency_s");
+  add "queue-wait %s\n" (quantiles "queue_s");
+  let hits = i (cnum "serve.requests.cache_hits") in
+  add "cache      %d/%d hits%s\n" hits ok
+    (if ok > 0 then
+       Printf.sprintf " (%.1f%%)" (100.0 *. float_of_int hits /. float_of_int ok)
+     else "");
+  add "gc         heap %.3gMw  minor %d  major %d\n"
+    (Option.value (gnum "gc.heap_words") ~default:0.0 /. 1e6)
+    (i (gnum "gc.minor_collections"))
+    (i (gnum "gc.major_collections"));
+  Buffer.contents b
+
+let top_cmd =
+  let interval_arg =
+    Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"S"
+           ~doc:"Refresh period in seconds")
+  in
+  let once_arg =
+    Arg.(value & flag & info [ "once" ]
+           ~doc:"Render one snapshot and exit (no screen clearing)")
+  in
+  let prom_arg =
+    Arg.(value & flag & info [ "prom" ]
+           ~doc:"Print the daemon's raw Prometheus text exposition \
+                 (the $(b,metrics) op) and exit — for scrapers and CI")
+  in
+  let run socket interval once prom =
+    if prom then
+      match Serve.call ~socket_path:socket Serve.metrics_request with
+      | Error m -> fail_exit m
+      | Ok (_, j) -> (
+        match Obs_json.member "text" j with
+        | Some (Obs_json.Str text) ->
+          print_string text;
+          flush stdout;
+          `Ok ()
+        | _ -> fail_exit "malformed metrics response (no text field)")
+    else
+      let rec loop () =
+        match Serve.call ~socket_path:socket Serve.stats_request with
+        | Error m -> fail_exit m
+        | Ok (_, j) ->
+          if not once then print_string "\027[2J\027[H";
+          print_string (render_stats socket j);
+          flush stdout;
+          if once then `Ok ()
+          else begin
+            Unix.sleepf (if interval < 0.1 then 0.1 else interval);
+            loop ()
+          end
+      in
+      loop ()
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:"Live one-screen view of a running $(b,varsim serve) daemon: \
+             lane utilization, queue depth, request-latency quantiles, \
+             cache hit rate and GC stats (docs/observability.md)")
+    Term.(ret (const run $ socket_arg $ interval_arg $ once_arg $ prom_arg))
+
 let version_cmd =
   let run () = Format.printf "%a@." Version.pp () in
   Cmd.v
@@ -778,7 +894,7 @@ let main =
        ~doc:"Transient mismatch variation analysis via pseudo-noise LPTV \
              simulation")
     [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd;
-      sweep_cmd; worker_cmd; serve_cmd; submit_cmd; version_cmd ]
+      sweep_cmd; worker_cmd; serve_cmd; submit_cmd; top_cmd; version_cmd ]
 
 let () =
   Faultsim.arm_env ();

@@ -58,9 +58,13 @@ let run ?budget ~label f =
   (match result with
    | Ok _ -> ()
    | Error _ -> Obs.count "resilient.failures" 1);
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  (* every resilient body feeds one latency histogram, so sweeps and
+     the serve daemon get per-analysis quantiles for free *)
+  Obs.observe "resilient.run.seconds" elapsed_s;
   {
     result;
-    elapsed_s = Unix.gettimeofday () -. t0;
+    elapsed_s;
     degradations = Linsys.degradation_count () - d0;
     krylov_fallbacks = Linsys.krylov_fallback_count () - k0;
   }

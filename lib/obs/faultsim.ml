@@ -137,9 +137,10 @@ let parse_schedule s =
    schedule is a typo that would otherwise silently inject nothing. *)
 let known_sites () =
   [ "budget.clock"; "cache.read"; "cache.write"; "linsys.splu"; "lptv.factor";
-    "lptv.gmres"; "newton.factorize"; "newton.residual"; "pnoise.transfer";
-    "pss.gmres"; "sweep.journal.write"; "sweep.worker.crash";
-    "sweep.worker.hang"; "sweep.worker.spawn"; "tran.step" ]
+    "lptv.gmres"; "newton.factorize"; "newton.residual"; "obs.export";
+    "pnoise.transfer"; "pss.gmres"; "serve.log.write"; "sweep.journal.write";
+    "sweep.worker.crash"; "sweep.worker.hang"; "sweep.worker.spawn";
+    "tran.step" ]
 
 let validate_sites triggers =
   let sites = known_sites () in

@@ -40,7 +40,13 @@
       sweep warns and continues (the point is re-run on resume)
     - ["cache.read"], ["cache.write"] — [Exn] fails one on-disk cache
       store access; reads degrade to a miss, writes are swallowed, so
-      a faulty cache only ever costs recomputation (docs/serving.md) *)
+      a faulty cache only ever costs recomputation (docs/serving.md)
+    - ["obs.export"] — [Exn] fails one telemetry file export
+      ({!Obs.write_metrics} / {!Obs.write_trace}); the export warns on
+      stderr and the analysis result is unaffected
+    - ["serve.log.write"] — [Exn] fails one append to the daemon's
+      JSON-lines event log; the request is served normally and the
+      loss is counted (["serve.log.errors"]) *)
 
 type fault =
   | Singular of int  (** behave as a singular factorization at row [k] *)

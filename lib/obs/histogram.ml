@@ -1,0 +1,158 @@
+let subs = 8
+
+type t = {
+  tbl : (int, int ref) Hashtbl.t; (* bucket index -> count *)
+  mutable n : int;
+  mutable total : float;
+  mutable nonpos_n : int;
+  mutable minv : float;
+  mutable maxv : float;
+}
+
+let create () =
+  {
+    tbl = Hashtbl.create 16;
+    n = 0;
+    total = 0.0;
+    nonpos_n = 0;
+    minv = infinity;
+    maxv = neg_infinity;
+  }
+
+let copy h =
+  let tbl = Hashtbl.create (max 16 (Hashtbl.length h.tbl)) in
+  Hashtbl.iter (fun k r -> Hashtbl.add tbl k (ref !r)) h.tbl;
+  { tbl; n = h.n; total = h.total; nonpos_n = h.nonpos_n; minv = h.minv;
+    maxv = h.maxv }
+
+(* v = m * 2^e with m in [0.5, 1); u = 2m - 1 in [0, 1); the sub-bucket
+   is the linear slot of u.  The index is a pure function of the value,
+   so independently-built histograms share every boundary. *)
+let index_of v =
+  let m, e = Float.frexp v in
+  let sub = int_of_float (float_of_int subs *. ((2.0 *. m) -. 1.0)) in
+  let sub = if sub >= subs then subs - 1 else if sub < 0 then 0 else sub in
+  (e * subs) + sub
+
+(* floor division that stays correct for negative indices (subnormal /
+   sub-1.0 values have negative exponents) *)
+let floor_div a b = if a >= 0 then a / b else -(((-a) + b - 1) / b)
+
+let bucket_lower i =
+  let e = floor_div i subs in
+  let sub = i - (e * subs) in
+  Float.ldexp ((1.0 +. (float_of_int sub /. float_of_int subs)) /. 2.0) e
+
+let bucket_upper i = bucket_lower (i + 1)
+
+let observe h v =
+  h.n <- h.n + 1;
+  if Float.is_nan v then h.nonpos_n <- h.nonpos_n + 1
+  else begin
+    h.total <- h.total +. v;
+    if v <= 0.0 || not (Float.is_finite v) then h.nonpos_n <- h.nonpos_n + 1
+    else begin
+      let i = index_of v in
+      (match Hashtbl.find_opt h.tbl i with
+       | Some r -> incr r
+       | None -> Hashtbl.add h.tbl i (ref 1));
+      if v < h.minv then h.minv <- v;
+      if v > h.maxv then h.maxv <- v
+    end
+  end
+
+let count h = h.n
+let sum h = h.total
+let min_value h = h.minv
+let max_value h = h.maxv
+let nonpos h = h.nonpos_n
+
+let buckets h =
+  Hashtbl.fold (fun i r acc -> (i, !r) :: acc) h.tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let quantile h q =
+  if h.n = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int h.n)) in
+      if r < 1 then 1 else if r > h.n then h.n else r
+    in
+    if rank <= h.nonpos_n then 0.0
+    else begin
+      let rec walk cum = function
+        | [] -> if h.maxv > neg_infinity then h.maxv else 0.0
+        | (i, c) :: rest ->
+          let cum = cum + c in
+          if cum >= rank then (bucket_lower i +. bucket_upper i) /. 2.0
+          else walk cum rest
+      in
+      walk h.nonpos_n (buckets h)
+    end
+  end
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun i r ->
+      match Hashtbl.find_opt into.tbl i with
+      | Some d -> d := !d + !r
+      | None -> Hashtbl.add into.tbl i (ref !r))
+    src.tbl;
+  into.n <- into.n + src.n;
+  into.total <- into.total +. src.total;
+  into.nonpos_n <- into.nonpos_n + src.nonpos_n;
+  if src.minv < into.minv then into.minv <- src.minv;
+  if src.maxv > into.maxv then into.maxv <- src.maxv
+
+let merge a b =
+  let h = copy a in
+  merge_into ~into:h b;
+  h
+
+(* ------------------------------------------------------------ JSON wire *)
+
+let to_json_buf b h =
+  Buffer.add_string b
+    (Printf.sprintf "{\"count\":%d,\"sum\":%.17g,\"nonpos\":%d" h.n h.total
+       h.nonpos_n);
+  if h.n > h.nonpos_n then
+    Buffer.add_string b
+      (Printf.sprintf ",\"min\":%.17g,\"max\":%.17g" h.minv h.maxv);
+  Buffer.add_string b ",\"buckets\":[";
+  List.iteri
+    (fun k (i, c) ->
+      if k > 0 then Buffer.add_char b ',';
+      Buffer.add_string b (Printf.sprintf "[%d,%d]" i c))
+    (buckets h);
+  Buffer.add_string b "]}"
+
+let of_json j =
+  let num k = Option.map Obs_json.to_num (Obs_json.member k j) in
+  match num "count", num "sum", Obs_json.member "buckets" j with
+  | Some n, Some total, Some (Obs_json.List bs) -> begin
+    try
+      let h = create () in
+      h.n <- int_of_float n;
+      h.total <- total;
+      h.nonpos_n <-
+        (match num "nonpos" with Some v -> int_of_float v | None -> 0);
+      h.minv <- (match num "min" with Some v -> v | None -> infinity);
+      h.maxv <- (match num "max" with Some v -> v | None -> neg_infinity);
+      let seen = ref 0 in
+      List.iter
+        (fun pair ->
+          match pair with
+          | Obs_json.List [ Obs_json.Num i; Obs_json.Num c ] ->
+            let c = int_of_float c in
+            if c < 0 then raise Exit;
+            seen := !seen + c;
+            Hashtbl.replace h.tbl (int_of_float i) (ref c)
+          | _ -> raise Exit)
+        bs;
+      (* the bucket counts plus the nonpos bin must account for every
+         observation, or the line was torn mid-array *)
+      if h.n < 0 || !seen + h.nonpos_n <> h.n then None else Some h
+    with Exit | Invalid_argument _ -> None
+  end
+  | _ -> None

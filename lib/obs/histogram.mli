@@ -1,0 +1,79 @@
+(** Log-linear latency/size histograms with mergeable buckets.
+
+    The bucket layout is fixed and global: every finite positive value
+    [v = m * 2^e] (with [m] in [0.5, 1)) lands in one of {!subs} linear
+    sub-buckets of its octave, so the bucket index is a pure function
+    of the value — two histograms built in different processes agree on
+    every boundary, which is what makes {!merge} lossless (bucket
+    counts, totals, min and max simply add/combine; no re-binning, no
+    resolution loss) as well as associative and commutative on the
+    integer state.  The float [sum] is the one field subject to
+    floating-point addition order; everything else merges exactly.
+
+    Relative bucket width is [1/subs] of an octave (~9%% with the
+    default 8), so a quantile estimated from bucket counts is always
+    inside the bucket that contains the exact sample quantile.
+
+    Values [<= 0], NaNs and infinities are counted in a separate
+    [nonpos] bin that sorts below every regular bucket.
+
+    A [t] is single-writer mutable; the {!Obs} registry serializes
+    access to its named histograms behind its own lock. *)
+
+type t
+
+val subs : int
+(** Linear sub-buckets per octave (8). *)
+
+val create : unit -> t
+val copy : t -> t
+
+val observe : t -> float -> unit
+(** Record one value. *)
+
+val count : t -> int
+(** Total observations, including the [nonpos] bin. *)
+
+val sum : t -> float
+val min_value : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max_value : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val nonpos : t -> int
+(** Observations that were [<= 0] or not finite. *)
+
+val buckets : t -> (int * int) list
+(** Non-empty regular buckets as [(index, count)], ascending index. *)
+
+val index_of : float -> int
+(** Bucket index of a finite positive value (exposed for tests). *)
+
+val bucket_lower : int -> float
+val bucket_upper : int -> float
+(** Bounds of bucket [i]: values [v] with
+    [bucket_lower i <= v < bucket_upper i]. *)
+
+val quantile : t -> float -> float
+(** [quantile h q] with [q] in [0, 1]: the midpoint of the bucket
+    containing the sample of rank [ceil (q * count)] — within one
+    bucket of the exact sample quantile.  [0.0] when empty; the
+    [nonpos] bin reads as [0.0]. *)
+
+val merge : t -> t -> t
+(** Fresh histogram holding both inputs' observations; neither input is
+    mutated.  Associative and commutative (exactly so on every field
+    but the float [sum], which can differ in the last ulps with
+    grouping). *)
+
+val merge_into : into:t -> t -> unit
+(** In-place variant of {!merge}. *)
+
+val to_json_buf : Buffer.t -> t -> unit
+(** Append the JSON encoding: [{"count":..,"sum":..,"nonpos":..,
+    "min":..,"max":..,"buckets":[[index,count],..]}].  Bounds are not
+    serialized — the layout is global. *)
+
+val of_json : Obs_json.t -> t option
+(** Inverse of {!to_json_buf}; [None] on any malformed input. *)

@@ -1,0 +1,41 @@
+(** Telemetry wire format: one JSON line from a worker process to its
+    supervisor, carrying the worker's whole {!Obs} state — span tree,
+    counters, gauges, histograms and trace events — over the existing
+    result pipe (docs/observability.md).
+
+    A worker prints {!export_line} {e before} its result line, so the
+    supervisor's "last non-empty line is the result" convention is
+    undisturbed and a worker killed mid-write can only ever truncate
+    the telemetry line, never the result.
+
+    Ingestion is all-or-nothing: {!ingest_line} fully parses and
+    validates the line before touching any {!Obs} state, so the partial
+    telemetry of a [kill -9]'d worker is dropped whole — it can never
+    corrupt the merged fleet snapshot. *)
+
+val marker : string
+(** The field ({["telemetry"]}) whose presence distinguishes a
+    telemetry line from a result line. *)
+
+val export_line : unit -> string
+(** Serialize the current {!Obs} state as one newline-free JSON line:
+    [{"telemetry":1,"epoch":<abs s>,"counters":{..},"gauges":{..},
+    "histograms":{..},"spans":[..],"events":[[name,ts_us,dur_us],..]}].
+    Event timestamps are microseconds relative to the worker's
+    {!Obs.epoch}; the absolute [epoch] lets the receiver rebase them.
+    Events are capped (newest kept) so a pathological worker cannot
+    blow up the pipe. *)
+
+val looks_like : string -> bool
+(** Cheap syntactic test (no full parse) that a line is a telemetry
+    line — lets the supervisor skip result lines without parsing. *)
+
+val ingest_line : key:string -> track:string -> string -> bool
+(** Merge one worker's telemetry line into the local {!Obs} state:
+    counters add, gauges last-write-wins, histograms merge losslessly,
+    span trees graft by name ({!Obs.merge_span_tree}), and every trace
+    event lands on one external track registered as [track] with a
+    stable id derived from [key] ({!Obs.extern_track}) — one track per
+    worker in the merged Chrome trace.  Returns [false] (mutating
+    nothing) on anything malformed: not a telemetry line, truncated
+    JSON, or an internally inconsistent histogram. *)

@@ -27,10 +27,13 @@ type config = {
   job_domains : int;  (* default LPTV/PNOISE lanes per job *)
   cache : Cache.t option;
   default_budget_s : float option;
+  log_path : string option;  (* JSON-lines event log, one record/request *)
 }
 
 type job = {
   jid : string;
+  req : int;  (* daemon-assigned monotonic request id *)
+  enqueued_at : float;  (* for the queue-wait histogram *)
   deck_text : string;
   steps : int option;
   f_offset : float option;
@@ -52,10 +55,16 @@ type conn = {
   mutable inflight : int;  (* queued + running jobs of this conn *)
 }
 
+type log_sink = { lfd : Unix.file_descr; lmu : Mutex.t }
+
 type state = {
   cfg : config;
   m : Mutex.t;
   c : Condition.t;
+  started : float;  (* daemon start, for uptime *)
+  req_seq : int Atomic.t;  (* next request id; monotonic per daemon *)
+  busy : int Atomic.t;  (* lanes currently running a job *)
+  log : log_sink option;
   mutable conns : conn list;  (* accept order *)
   mutable cursor : int;  (* round-robin position over [conns] *)
   mutable pending : int;  (* queued jobs across all conns *)
@@ -97,15 +106,19 @@ let event_line job ~phase ~state ?elapsed_s () =
   Printf.sprintf "{\"id\":\"%s\",\"event\":\"phase\",\"phase\":\"%s\",\"state\":\"%s\"%s}"
     (esc job.jid) (esc phase) (esc state) tail
 
-let error_line ?(jid = "") msg =
-  Printf.sprintf "{\"id\":\"%s\",\"outcome\":\"failed:%s\"}" (esc jid) (esc msg)
+let error_line ?(jid = "") ?req msg =
+  let req_part =
+    match req with Some r -> Printf.sprintf ",\"req\":%d" r | None -> ""
+  in
+  Printf.sprintf "{\"id\":\"%s\"%s,\"outcome\":\"failed:%s\"}" (esc jid)
+    req_part (esc msg)
 
 let outcome_line job ~outcome ?output ?fingerprint ?(cache_hit = false)
     ?(degraded = 0) ~elapsed_s () =
   let b = Buffer.create 256 in
   Buffer.add_string b
-    (Printf.sprintf "{\"id\":\"%s\",\"outcome\":\"%s\"" (esc job.jid)
-       (esc outcome));
+    (Printf.sprintf "{\"id\":\"%s\",\"req\":%d,\"outcome\":\"%s\"" (esc job.jid)
+       job.req (esc outcome));
   (match output with
    | Some o -> Buffer.add_string b
        (Printf.sprintf ",\"output\":\"%s\"" (esc o))
@@ -121,7 +134,16 @@ let outcome_line job ~outcome ?output ?fingerprint ?(cache_hit = false)
     (Printf.sprintf ",\"provenance\":\"%s\"}" (esc (Version.provenance ())));
   Buffer.contents b
 
-let stats_line cache =
+let quantile_part name =
+  let q p =
+    match Obs.quantile name p with
+    | Some v -> Printf.sprintf "%.9g" v
+    | None -> "null"
+  in
+  Printf.sprintf "{\"p50\":%s,\"p90\":%s,\"p99\":%s}" (q 0.50) (q 0.90)
+    (q 0.99)
+
+let stats_line st ~req =
   (* metrics_json pretty-prints; the protocol is line-oriented, and
      JSON whitespace outside strings is insignificant (counter names
      never contain newlines) *)
@@ -129,17 +151,77 @@ let stats_line cache =
     String.map (function '\n' | '\r' -> ' ' | c -> c) s
   in
   let cache_part =
-    match cache with
+    match st.cfg.cache with
     | None -> "\"cache\":null"
     | Some c ->
       Printf.sprintf "\"cache\":{\"disk\":%b,\"meta\":\"%s\"}"
         (Cache.has_disk c) (esc (Cache.meta c))
   in
-  Printf.sprintf "{\"outcome\":\"stats\",\"version\":\"%s\",\"provenance\":\"%s\",%s,\"metrics\":%s}"
-    (esc Version.version)
+  Obs.gc_gauges ();
+  Printf.sprintf
+    "{\"outcome\":\"stats\",\"req\":%d,\"version\":\"%s\",\"provenance\":\"%s\",%s,\"uptime_s\":%.3f,\"requests\":{\"ok\":%d,\"failed\":%d,\"timed_out\":%d},\"latency_s\":%s,\"queue_s\":%s,\"queue_depth\":%d,\"lanes\":%d,\"lanes_busy\":%d,\"metrics\":%s}"
+    req (esc Version.version)
     (esc (Version.provenance ()))
     cache_part
+    (Obs.now () -. st.started)
+    (Obs.counter_value "serve.requests.ok")
+    (Obs.counter_value "serve.requests.failed")
+    (Obs.counter_value "serve.requests.timed_out")
+    (quantile_part "serve.request.seconds")
+    (quantile_part "serve.queue.seconds")
+    st.pending (max 1 st.cfg.lanes) (Atomic.get st.busy)
     (flatten (Obs.metrics_json ()))
+
+let metrics_line ~req =
+  (* the protocol is line-oriented, so the Prometheus page travels as
+     one JSON string; varsim top --prom (and the CI scraper) unescape
+     it back to text *)
+  Obs.gc_gauges ();
+  Printf.sprintf "{\"outcome\":\"metrics\",\"req\":%d,\"text\":\"%s\"}" req
+    (esc (Obs.prometheus ()))
+
+(* -------------------------------------------------------- event log *)
+
+(* One JSON record per finished request, appended as a single write to
+   an O_APPEND fd under a mutex, so concurrent lanes never interleave
+   records.  Log failure (injected via serve.log.write, or a real
+   filesystem error) is counted and warned about, never propagated: an
+   unlucky operator loses a log line, not a simulation. *)
+let log_write st line =
+  match st.log with
+  | None -> ()
+  | Some l -> (
+    match
+      Faultsim.check_exn "serve.log.write";
+      let data = line ^ "\n" in
+      let n = String.length data in
+      Mutex.lock l.lmu;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock l.lmu)
+        (fun () ->
+          let rec go off =
+            if off < n then
+              go (off + Unix.write_substring l.lfd data off (n - off))
+          in
+          go 0)
+    with
+    | () -> ()
+    | exception (Faultsim.Injected _ | Unix.Unix_error _) ->
+      Obs.count "serve.log.errors" 1;
+      Printf.eprintf "varsim serve: warning: event log write failed\n%!")
+
+let log_record st job ~outcome ~queue_s ~elapsed_s ?fingerprint
+    ?(cache_hit = false) () =
+  if st.log <> None then
+    log_write st
+      (Printf.sprintf
+         "{\"ts\":%.6f,\"req\":%d,\"id\":\"%s\",\"outcome\":\"%s\",\"queue_s\":%.6f,\"elapsed_s\":%.6f,\"fingerprint\":%s,\"cache_hit\":%b}"
+         (Unix.gettimeofday ()) job.req (esc job.jid) (esc outcome) queue_s
+         elapsed_s
+         (match fingerprint with
+          | Some fp -> Printf.sprintf "\"%s\"" (esc fp)
+          | None -> "null")
+         cache_hit)
 
 (* ------------------------------------------------------------------ *)
 (* request parsing *)
@@ -165,6 +247,7 @@ let parse_request line =
     in
     match Option.value (str "op") ~default:"run" with
     | "stats" -> Ok `Stats
+    | "metrics" -> Ok `Metrics
     | "run" -> (
       match str "deck" with
       | None -> Error "run request without a \"deck\" field"
@@ -192,6 +275,8 @@ let parse_request line =
             (`Run
                {
                  jid = Option.value (str "id") ~default:"";
+                 req = 0;  (* stamped by handle_line *)
+                 enqueued_at = 0.0;
                  deck_text;
                  steps = Option.map int_of_float (num "steps");
                  f_offset = num "f_offset";
@@ -257,23 +342,40 @@ let finish_job st conn =
 
 let run_job st conn job =
   Obs.count "serve.jobs" 1;
+  let t0 = Obs.now () in
+  let queue_s = t0 -. job.enqueued_at in
+  Obs.observe "serve.queue.seconds" queue_s;
+  (* every terminal path of a run request lands here exactly once, so
+     serve.request.seconds's _count is the number of requests served *)
+  let conclude ~outcome ?fingerprint ?cache_hit () =
+    let elapsed_s = Obs.now () -. t0 in
+    Obs.observe "serve.request.seconds" elapsed_s;
+    let cls =
+      if outcome = "ok" || outcome = "degraded" then "ok"
+      else if outcome = "timed_out" then "timed_out"
+      else "failed"
+    in
+    Obs.count ("serve.requests." ^ cls) 1;
+    log_record st job ~outcome ~queue_s ~elapsed_s ?fingerprint ?cache_hit ()
+  in
+  (* accounting (and the event-log record) always lands before the
+     response line goes out: a client that scrapes the metrics op right
+     after a response sees that request already counted *)
+  let reject phase ln m =
+    Obs.count "serve.errors" 1;
+    let msg = Printf.sprintf "line %d: %s: %s" ln phase m in
+    conclude ~outcome:("failed:" ^ msg) ();
+    write_line conn (error_line ~jid:job.jid ~req:job.req msg)
+  in
   match Spice_elab.load_string job.deck_text with
-  | exception Spice_lexer.Lex_error (ln, m) ->
-    Obs.count "serve.errors" 1;
-    write_line conn
-      (error_line ~jid:job.jid (Printf.sprintf "line %d: lex error: %s" ln m))
-  | exception Spice_parser.Parse_error (ln, m) ->
-    Obs.count "serve.errors" 1;
-    write_line conn
-      (error_line ~jid:job.jid
-         (Printf.sprintf "line %d: parse error: %s" ln m))
+  | exception Spice_lexer.Lex_error (ln, m) -> reject "lex error" ln m
+  | exception Spice_parser.Parse_error (ln, m) -> reject "parse error" ln m
   | exception Spice_elab.Elab_error (ln, m) ->
-    Obs.count "serve.errors" 1;
-    write_line conn
-      (error_line ~jid:job.jid
-         (Printf.sprintf "line %d: elaboration error: %s" ln m))
+    reject "elaboration error" ln m
   | deck ->
-    let label = "serve job " ^ job.jid in
+    (* the request id rides in the label, so budget timeouts and
+       Resilient failure messages name the request they belong to *)
+    let label = Printf.sprintf "serve req#%d %s" job.req job.jid in
     let budget_s =
       match job.budget_s with
       | Some _ as b -> b
@@ -299,6 +401,9 @@ let run_job st conn job =
            "degraded"
          else "ok"
        in
+       if o.Spice_job.cache_hit then Obs.count "serve.requests.cache_hits" 1;
+       conclude ~outcome ~fingerprint:o.Spice_job.fingerprint
+         ~cache_hit:o.Spice_job.cache_hit ();
        write_line conn
          (outcome_line job ~outcome ~output:o.Spice_job.output
             ~fingerprint:o.Spice_job.fingerprint
@@ -307,14 +412,16 @@ let run_job st conn job =
             ~elapsed_s:out.Resilient.elapsed_s ())
      | Error (Resilient.Timed_out _) ->
        Obs.count "serve.timeouts" 1;
+       conclude ~outcome:"timed_out" ();
        write_line conn
          (outcome_line job ~outcome:"timed_out"
             ~elapsed_s:out.Resilient.elapsed_s ())
      | Error f ->
        Obs.count "serve.errors" 1;
+       let outcome = "failed:" ^ Resilient.describe f in
+       conclude ~outcome ();
        write_line conn
-         (outcome_line job ~outcome:("failed:" ^ Resilient.describe f)
-            ~elapsed_s:out.Resilient.elapsed_s ()))
+         (outcome_line job ~outcome ~elapsed_s:out.Resilient.elapsed_s ()))
 
 (* round-robin: scan connections starting after the one served last *)
 let pick_locked st =
@@ -329,6 +436,7 @@ let pick_locked st =
       else begin
         st.cursor <- k;
         st.pending <- st.pending - 1;
+        Obs.gauge "serve.queue.depth" (float_of_int st.pending);
         Some (conn, Queue.pop conn.queue)
       end
   in
@@ -358,13 +466,18 @@ let lane_loop st =
     match next_job st with
     | None -> ()
     | Some (conn, job) ->
+      Obs.gauge "serve.lanes.busy"
+        (float_of_int (1 + Atomic.fetch_and_add st.busy 1));
       (match run_job st conn job with
        | () -> ()
        | exception e ->
          (* a lane must never die: anything unexpected becomes a failed
             response for this job only *)
          Obs.count "serve.errors" 1;
-         write_line conn (error_line ~jid:job.jid (Printexc.to_string e)));
+         write_line conn
+           (error_line ~jid:job.jid ~req:job.req (Printexc.to_string e)));
+      Obs.gauge "serve.lanes.busy"
+        (float_of_int (Atomic.fetch_and_add st.busy (-1) - 1));
       finish_job st conn;
       loop ()
   in
@@ -375,19 +488,26 @@ let lane_loop st =
 
 let handle_line st conn line =
   let line = String.trim line in
-  if line <> "" then
+  if line <> "" then begin
+    (* every request line gets the next monotonic id, stamped into the
+       response, so client logs and the daemon's event log correlate *)
+    let req = Atomic.fetch_and_add st.req_seq 1 in
     match parse_request line with
     | Error m ->
       Obs.count "serve.errors" 1;
-      write_line conn (error_line m)
-    | Ok `Stats -> write_line conn (stats_line st.cfg.cache)
+      write_line conn (error_line ~req m)
+    | Ok `Stats -> write_line conn (stats_line st ~req)
+    | Ok `Metrics -> write_line conn (metrics_line ~req)
     | Ok (`Run job) ->
+      let job = { job with req; enqueued_at = Obs.now () } in
       Mutex.lock st.m;
       Queue.push job conn.queue;
       conn.inflight <- conn.inflight + 1;
       st.pending <- st.pending + 1;
+      Obs.gauge "serve.queue.depth" (float_of_int st.pending);
       Condition.signal st.c;
       Mutex.unlock st.m
+  end
 
 let drain_buffer st conn =
   let s = Buffer.contents conn.rbuf in
@@ -446,8 +566,8 @@ let bind_socket path =
   fd
 
 let default_config ?(lanes = 2) ?(job_domains = 1) ?cache ?default_budget_s
-    socket_path =
-  { socket_path; lanes; job_domains; cache; default_budget_s }
+    ?log_path socket_path =
+  { socket_path; lanes; job_domains; cache; default_budget_s; log_path }
 
 let run cfg =
   Atomic.set stop_requested false;
@@ -461,9 +581,24 @@ let run cfg =
   let stop _ = Atomic.set stop_requested true in
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle stop) in
   let old_int = Sys.signal Sys.sigint (Sys.Signal_handle stop) in
+  let log =
+    match cfg.log_path with
+    | None -> None
+    | Some path ->
+      Some
+        {
+          lfd =
+            Unix.openfile path
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ]
+              0o644;
+          lmu = Mutex.create ();
+        }
+  in
   let st =
-    { cfg; m = Mutex.create (); c = Condition.create (); conns = [];
-      cursor = 0; pending = 0; draining = false }
+    { cfg; m = Mutex.create (); c = Condition.create ();
+      started = Unix.gettimeofday (); req_seq = Atomic.make 1;
+      busy = Atomic.make 0; log; conns = []; cursor = 0; pending = 0;
+      draining = false }
   in
   let lanes =
     List.init (max 1 cfg.lanes) (fun _ -> Domain.spawn (fun () -> lane_loop st))
@@ -529,6 +664,9 @@ let run cfg =
         try Unix.close c.fd with Unix.Unix_error _ -> ())
     st.conns;
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
+  (match st.log with
+   | Some l -> ( try Unix.close l.lfd with Unix.Unix_error _ -> ())
+   | None -> ());
   Obs.set_progress_all None;
   Sys.set_signal Sys.sigterm old_term;
   Sys.set_signal Sys.sigint old_int;
@@ -570,6 +708,7 @@ let request_json ?(id = "") ?steps ?f_offset ?backend ?krylov ?budget_s
   Buffer.contents b
 
 let stats_request = "{\"op\":\"stats\"}"
+let metrics_request = "{\"op\":\"metrics\"}"
 
 (* Send one request line; stream phase-event lines to [on_event] as
    they arrive; return the first non-event response as (raw line,

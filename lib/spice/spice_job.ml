@@ -55,10 +55,15 @@ let fingerprint req =
    (resilience summaries, retried trajectories); replaying those bytes
    on a later clean run — or serving clean bytes to a fault drill —
    would falsify both.  The cache's own sites are exempt: they exist
-   precisely to be drilled against live cache traffic. *)
+   precisely to be drilled against live cache traffic.  So are the
+   observability-only sites (telemetry export, the serve event log) —
+   their faults lose records, never bits of the computed result. *)
 let faults_block_caching () =
   List.exists
-    (fun s -> s <> "cache.read" && s <> "cache.write")
+    (fun s ->
+      not
+        (List.mem s
+           [ "cache.read"; "cache.write"; "obs.export"; "serve.log.write" ]))
     (Faultsim.armed_sites ())
 
 let compute req =

@@ -208,6 +208,7 @@ let record st point (entry : Sweep_journal.entry) ~attempts =
   Mutex.unlock st.state_mutex;
   journal_append st entry;
   Obs.count "sweep.points.completed" 1;
+  Obs.observe "sweep.point.seconds" entry.Sweep_journal.elapsed_s;
   Obs.count ("sweep.points." ^ (if outcome_is_ok entry.Sweep_journal.outcome
                                 then "ok" else "bad")) 1;
   if st.conf.progress then
@@ -257,6 +258,9 @@ let spawn st point hash attempt =
      death is delivered by the worker itself — it SIGKILLs itself
      before touching the point, so the injected crash can never race
      the point's completion *)
+  (* relay our own telemetry state: an enabled supervisor asks each
+     worker to ship its Obs snapshot back over the result pipe *)
+  let base = if Obs.enabled () then base @ [ "--telemetry" ] else base in
   let argv =
     match Faultsim.fire "sweep.worker.crash" with
     | Some _ -> base @ [ "--crash-now" ]
@@ -307,6 +311,26 @@ let last_line s =
   |> function
   | [] -> None
   | l :: _ -> Some l
+
+(* Fold a finished worker's telemetry line(s) into the fleet snapshot.
+   Only called for workers that produced a trusted result (V_entry):
+   the partial output of a crashed or reaped worker is dropped whole —
+   Obs_wire.ingest_line mutates nothing on a malformed line, so a
+   kill -9 mid-write can never corrupt the merged trace.  The track id
+   is keyed by the point's content hash, so every attempt of a point
+   (and every run of the same spec) lands on the same track. *)
+let ingest_telemetry c =
+  if Obs.enabled () then
+    String.split_on_char '\n' (Buffer.contents c.buf)
+    |> List.iter (fun line ->
+           let line = String.trim line in
+           if Obs_wire.looks_like line then
+             if
+               Obs_wire.ingest_line ~key:c.c_hash
+                 ~track:(Printf.sprintf "point %d" c.c_point.Sweep_spec.id)
+                 line
+             then Obs.count "sweep.telemetry.merged" 1
+             else Obs.count "sweep.telemetry.dropped" 1)
 
 let classify c status =
   if c.deadline_killed then V_timed_out
@@ -397,6 +421,7 @@ let run_process st =
     drain_child c;
     running := List.filter (fun o -> o.pid <> c.pid) !running;
     let v = classify c status in
+    (match v with V_entry _ -> ingest_telemetry c | _ -> ());
     if retriable v && c.attempt <= st.spec.Sweep_spec.max_retries
        && not !expired then
       requeue c v

@@ -250,7 +250,8 @@ let protocol_error fmt =
       2)
     fmt
 
-let main ?(crash = false) ~spec_path ~index ~hash ~budget_s () =
+let main ?(crash = false) ?(telemetry = false) ~spec_path ~index ~hash
+    ~budget_s () =
   (* injected crash (armed parent-side, delivered here so the death is
      deterministic): die by SIGKILL before touching the point, exactly
      like an OOM kill would *)
@@ -280,10 +281,22 @@ let main ?(crash = false) ~spec_path ~index ~hash ~budget_s () =
              Unix.sleepf 3600.0
            done
          | None -> ());
-        let r = run_point ?budget_s spec point in
+        if telemetry then Obs.enable ();
+        let r =
+          if telemetry then
+            Obs.root "worker" (fun () -> run_point ?budget_s spec point)
+          else run_point ?budget_s spec point
+        in
         let entry =
           result_to_entry ~hash:computed ~id:point.Sweep_spec.id ~attempts:1 r
         in
+        (* telemetry first, result last: the supervisor takes the last
+           non-empty line as the result, and a death mid-write can only
+           ever truncate the (droppable) telemetry line *)
+        if telemetry then begin
+          print_string (Obs_wire.export_line ());
+          print_newline ()
+        end;
         print_string (Sweep_journal.entry_to_json entry);
         print_newline ();
         flush stdout;

@@ -32,11 +32,16 @@ val result_to_entry :
     outcome ["failed:<msg>"]. *)
 
 val main :
-  ?crash:bool -> spec_path:string -> index:int -> hash:string option ->
-  budget_s:float option -> unit -> int
+  ?crash:bool -> ?telemetry:bool -> spec_path:string -> index:int ->
+  hash:string option -> budget_s:float option -> unit -> int
 (** Worker-process body; returns the exit code (0 when a result line
     was produced — the supervisor trusts the JSON, not the code — and
     2 on protocol errors: unreadable spec, index out of range, hash
     mismatch).  [crash] (the supervisor's delivery of an armed
     ["sweep.worker.crash"] fault) SIGKILLs the process before it
-    touches the point, so the injected death is deterministic. *)
+    touches the point, so the injected death is deterministic.
+    [telemetry] (the supervisor's relay of its own {!Obs.enabled}
+    state) enables {!Obs} around the point and prints one
+    {!Obs_wire.export_line} {e before} the result line, so the
+    supervisor can merge the worker's spans, counters and histograms
+    into the fleet snapshot. *)

@@ -167,6 +167,196 @@ let test_trace_json () =
             (List.mem want thread_names))
         [ "main"; "lane 0"; "lane 1" ])
 
+(* ------------------------------------------------------------ histograms *)
+
+let hist_of values =
+  let h = Histogram.create () in
+  List.iter (Histogram.observe h) values;
+  h
+
+(* exact equality on the integer state; the float sum may differ in the
+   last ulps with addition order *)
+let hists_agree a b =
+  Histogram.count a = Histogram.count b
+  && Histogram.nonpos a = Histogram.nonpos b
+  && Histogram.buckets a = Histogram.buckets b
+  && Float.equal (Histogram.min_value a) (Histogram.min_value b)
+  && Float.equal (Histogram.max_value a) (Histogram.max_value b)
+  && Float.abs (Histogram.sum a -. Histogram.sum b)
+     <= 1e-9 *. (1.0 +. Float.abs (Histogram.sum a))
+
+let test_histogram_basics () =
+  let h = hist_of [ 0.5; 1.0; 2.0; 4.0; -1.0; 0.0; Float.nan ] in
+  Alcotest.(check int) "count includes nonpos" 7 (Histogram.count h);
+  Alcotest.(check int) "nonpos bin" 3 (Histogram.nonpos h);
+  Alcotest.(check (float 1e-12)) "min" 0.5 (Histogram.min_value h);
+  Alcotest.(check (float 1e-12)) "max" 4.0 (Histogram.max_value h);
+  Alcotest.(check int) "four distinct buckets" 4
+    (List.length (Histogram.buckets h));
+  (* rank 3 of 7 is still inside the nonpos bin, which reads as 0 *)
+  Alcotest.(check (float 0.0)) "quantile inside nonpos" 0.0
+    (Histogram.quantile h 0.3);
+  let p100 = Histogram.quantile h 1.0 in
+  let i = Histogram.index_of 4.0 in
+  Alcotest.(check bool) "p100 inside the max bucket" true
+    (Histogram.bucket_lower i <= p100 && p100 < Histogram.bucket_upper i);
+  Alcotest.(check (float 0.0)) "empty histogram" 0.0
+    (Histogram.quantile (Histogram.create ()) 0.5)
+
+let test_histogram_json_roundtrip () =
+  let h = hist_of [ 1e-9; 0.25; 3.0; 3.1; 1e6; -2.0 ] in
+  let b = Buffer.create 64 in
+  Histogram.to_json_buf b h;
+  (match Histogram.of_json (Obs_json.parse (Buffer.contents b)) with
+   | Some h' ->
+     Alcotest.(check bool) "roundtrip preserves state" true (hists_agree h h')
+   | None -> Alcotest.fail "of_json rejected its own encoding");
+  (* a torn line whose bucket counts no longer account for [count] must
+     be rejected, not half-applied *)
+  let torn =
+    Obs_json.parse "{\"count\":5,\"sum\":1.0,\"nonpos\":0,\"buckets\":[[8,2]]}"
+  in
+  Alcotest.(check bool) "inconsistent totals rejected" true
+    (Histogram.of_json torn = None)
+
+let float_list = QCheck.(list_of_size Gen.(0 -- 100) float)
+
+let prop_merge_commutative =
+  QCheck.Test.make ~count:300 ~name:"histogram merge is commutative"
+    QCheck.(pair float_list float_list)
+    (fun (xs, ys) ->
+      let a = hist_of xs and b = hist_of ys in
+      let ab = Histogram.merge a b and ba = Histogram.merge b a in
+      hists_agree ab ba
+      (* and neither input was mutated *)
+      && hists_agree a (hist_of xs)
+      && hists_agree b (hist_of ys))
+
+let prop_merge_associative =
+  QCheck.Test.make ~count:300 ~name:"histogram merge is associative"
+    QCheck.(triple float_list float_list float_list)
+    (fun (xs, ys, zs) ->
+      let a = hist_of xs and b = hist_of ys and c = hist_of zs in
+      hists_agree
+        (Histogram.merge (Histogram.merge a b) c)
+        (Histogram.merge a (Histogram.merge b c)))
+
+let prop_quantile_in_bucket =
+  QCheck.Test.make ~count:300
+    ~name:"quantile estimate shares the exact sample quantile's bucket"
+    QCheck.(pair (list_of_size Gen.(1 -- 200) pos_float) (int_bound 100))
+    (fun (raw, k) ->
+      let values =
+        List.map
+          (fun v -> if v > 0.0 && Float.is_finite v then v else 1.0)
+          raw
+      in
+      let n = List.length values in
+      let q = float_of_int k /. 100.0 in
+      let rank =
+        let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+        if r < 1 then 1 else if r > n then n else r
+      in
+      let exact = List.nth (List.sort compare values) (rank - 1) in
+      let est = Histogram.quantile (hist_of values) q in
+      let i = Histogram.index_of exact in
+      Histogram.bucket_lower i <= est && est < Histogram.bucket_upper i)
+
+let test_observe_quantile () =
+  with_obs (fun () ->
+      for i = 1 to 100 do
+        Obs.observe "t.seconds" (float_of_int i)
+      done;
+      (match Obs.quantile "t.seconds" 0.5 with
+       | Some v ->
+         (* p50 of 1..100 is 50; one log-linear bucket is ~9% wide *)
+         Alcotest.(check bool) "p50 within one bucket of 50" true
+           (v >= 44.0 && v <= 57.0)
+       | None -> Alcotest.fail "histogram missing");
+      Alcotest.(check bool) "unknown histogram reads None" true
+        (Obs.quantile "no.such" 0.5 = None);
+      Alcotest.(check bool) "snapshot lists it" true
+        (List.mem_assoc "t.seconds" (Obs.histograms ())))
+
+(* ------------------------------------------------------------ prometheus *)
+
+let test_prometheus () =
+  with_obs (fun () ->
+      Obs.count "newton.solves" 3;
+      Obs.gauge "serve.lanes.busy" 2.0;
+      List.iter (Obs.observe "serve.request.seconds") [ 0.01; 0.02; 0.04; -1.0 ];
+      let lines = String.split_on_char '\n' (Obs.prometheus ()) in
+      let has l = List.mem l lines in
+      Alcotest.(check bool) "counter sample" true
+        (has "varsim_newton_solves_total 3");
+      Alcotest.(check bool) "gauge sample" true
+        (has "varsim_serve_lanes_busy 2");
+      Alcotest.(check bool) "+Inf bucket" true
+        (has "varsim_serve_request_seconds_bucket{le=\"+Inf\"} 4");
+      Alcotest.(check bool) "_count" true
+        (has "varsim_serve_request_seconds_count 4");
+      let bucket_counts =
+        List.filter_map
+          (fun l ->
+            let p = "varsim_serve_request_seconds_bucket{le=\"" in
+            if String.starts_with ~prefix:p l then
+              Option.map
+                (fun i ->
+                  int_of_string (String.sub l (i + 1) (String.length l - i - 1)))
+                (String.rindex_opt l ' ')
+            else None)
+          lines
+      in
+      (* the nonpos observation sorts below every finite bound, so it
+         seeds the cumulative counts *)
+      Alcotest.(check bool) "first cumulative count includes nonpos" true
+        (match bucket_counts with c :: _ -> c >= 1 | [] -> false);
+      let rec mono = function
+        | a :: (b :: _ as rest) -> a <= b && mono rest
+        | _ -> true
+      in
+      Alcotest.(check bool) "bucket counts cumulative" true (mono bucket_counts))
+
+(* ------------------------------------------------------- gauges and faults *)
+
+let test_gauge_cross_domain () =
+  with_obs (fun () ->
+      let writers =
+        List.init 4 (fun k ->
+            Domain.spawn (fun () ->
+                for _ = 1 to 1000 do
+                  Obs.gauge "g.race" (float_of_int k)
+                done))
+      in
+      List.iter Domain.join writers;
+      match List.assoc_opt "g.race" (Obs.gauges ()) with
+      | Some v ->
+        Alcotest.(check bool) "winner is one of the written values" true
+          (List.exists (fun k -> Float.equal v (float_of_int k)) [ 0; 1; 2; 3 ])
+      | None -> Alcotest.fail "gauge missing after concurrent writes")
+
+let test_export_fault_degrades () =
+  with_obs (fun () ->
+      Obs.root "varsim" (fun () -> Obs.count "x" 1);
+      let path = Filename.temp_file "varsim_obs" ".json" in
+      Sys.remove path;
+      Faultsim.arm
+        [ { Faultsim.site = "obs.export"; visit = 0; fault = Faultsim.Exn "boom" } ];
+      Fun.protect ~finally:Faultsim.disarm (fun () ->
+          Obs.write_metrics path;
+          Alcotest.(check bool) "faulted export writes nothing" true
+            (not (Sys.file_exists path));
+          Alcotest.(check int) "loss counted" 1
+            (Obs.counter_value "obs.export.errors");
+          Obs.write_metrics path;
+          Alcotest.(check bool) "next export lands" true (Sys.file_exists path);
+          Sys.remove path);
+      List.iter
+        (fun site ->
+          Alcotest.(check bool) (site ^ " is a known site") true
+            (List.mem site (Faultsim.known_sites ())))
+        [ "obs.export"; "serve.log.write" ])
+
 (* -------------------------------------------------------- bit-identical *)
 
 let test_bit_identical () =
@@ -275,11 +465,31 @@ let () =
           Alcotest.test_case "pss.shooting_iterations" `Quick test_pss_counter;
           Alcotest.test_case "tran.steps" `Quick test_tran_counters;
         ] );
+      ( "histograms",
+        [
+          Alcotest.test_case "observe, bins, quantile" `Quick
+            test_histogram_basics;
+          Alcotest.test_case "json roundtrip, torn line rejected" `Quick
+            test_histogram_json_roundtrip;
+          Alcotest.test_case "named histograms via Obs" `Quick
+            test_observe_quantile;
+          QCheck_alcotest.to_alcotest prop_merge_commutative;
+          QCheck_alcotest.to_alcotest prop_merge_associative;
+          QCheck_alcotest.to_alcotest prop_quantile_in_bucket;
+        ] );
       ( "exports",
         [
           Alcotest.test_case "metrics json" `Quick test_metrics_json;
           Alcotest.test_case "trace json" `Quick test_trace_json;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus;
           Alcotest.test_case "bit-identical results" `Quick test_bit_identical;
+        ] );
+      ( "fleet",
+        [
+          Alcotest.test_case "gauge writes race-free across domains" `Quick
+            test_gauge_cross_domain;
+          Alcotest.test_case "obs.export fault degrades gracefully" `Quick
+            test_export_fault_degrades;
         ] );
       ( "misuse",
         [

@@ -377,6 +377,86 @@ let test_warm_plan_cache_across_points () =
         (Int64.bits_of_float v0) (Int64.bits_of_float v))
     rest
 
+(* ------------------------------------------------- telemetry wire *)
+
+let with_obs f =
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+let test_wire_roundtrip () =
+  with_obs (fun () ->
+      (* worker side: record a small session and export it *)
+      Obs.root "worker" (fun () ->
+          Obs.span "tran" (fun () -> ());
+          Obs.count "tran.steps" 42;
+          Obs.gauge "g.depth" 3.0;
+          Obs.observe "point.seconds" 0.25);
+      let line = Obs_wire.export_line () in
+      Alcotest.(check bool) "telemetry line recognized" true
+        (Obs_wire.looks_like line);
+      Alcotest.(check bool) "result lines are not" false
+        (Obs_wire.looks_like "{\"outcome\":\"ok\",\"value\":1.0}");
+      (* supervisor side: fresh state, merge the line in *)
+      Obs.enable ();
+      Alcotest.(check bool) "ingest succeeds" true
+        (Obs_wire.ingest_line ~key:"h1" ~track:"point 0" line);
+      Alcotest.(check int) "counters add" 42 (Obs.counter_value "tran.steps");
+      Alcotest.(check bool) "gauges land" true
+        (List.assoc_opt "g.depth" (Obs.gauges ()) = Some 3.0);
+      (match Obs.quantile "point.seconds" 0.5 with
+       | Some v ->
+         Alcotest.(check bool) "histogram merged losslessly" true
+           (v > 0.2 && v < 0.3)
+       | None -> Alcotest.fail "histogram not merged");
+      (match Obs.remote_spans () with
+       | [ t ] ->
+         Alcotest.(check string) "remote root" "worker" t.Obs.span_name;
+         Alcotest.(check (list string)) "remote children" [ "tran" ]
+           (List.map (fun c -> c.Obs.span_name) t.Obs.children)
+       | ts -> Alcotest.failf "expected 1 remote tree, got %d" (List.length ts));
+      (* a retry of the same point (same content hash) must land on the
+         same trace track *)
+      let tid = Obs.extern_track ~key:"h1" ~name:"point 0" in
+      Alcotest.(check bool) "second ingest (retry) accepted" true
+        (Obs_wire.ingest_line ~key:"h1" ~track:"point 0" line);
+      Alcotest.(check int) "same key, same track id" tid
+        (Obs.extern_track ~key:"h1" ~name:"point 0");
+      Alcotest.(check int) "counters add again" 84
+        (Obs.counter_value "tran.steps"))
+
+(* the kill -9 contract: a worker dying mid-write tears its telemetry
+   line at an arbitrary byte; every such prefix must be dropped whole,
+   mutating nothing *)
+let test_wire_torn_line () =
+  with_obs (fun () ->
+      Obs.root "worker" (fun () ->
+          Obs.count "c.x" 7;
+          Obs.observe "h.y" 1.0);
+      let line = Obs_wire.export_line () in
+      Obs.enable ();
+      for cut = 0 to String.length line - 1 do
+        let torn = String.sub line 0 cut in
+        if Obs_wire.ingest_line ~key:"k" ~track:"point 9" torn then
+          Alcotest.failf "torn prefix of %d bytes was ingested" cut
+      done;
+      Alcotest.(check int) "no counter leaked" 0 (Obs.counter_value "c.x");
+      Alcotest.(check bool) "no histogram leaked" true
+        (Obs.quantile "h.y" 0.5 = None);
+      Alcotest.(check bool) "no span leaked" true (Obs.remote_spans () = []))
+
+(* all-or-nothing across sections: a line whose counters are fine but
+   whose histogram is internally inconsistent must not apply anything *)
+let test_wire_inconsistent_histogram () =
+  with_obs (fun () ->
+      let bad =
+        "{\"telemetry\":1,\"epoch\":0,\"counters\":{\"c.z\":5},\"gauges\":{},\
+         \"histograms\":{\"h\":{\"count\":5,\"sum\":1.0,\"nonpos\":0,\
+         \"buckets\":[[8,2]]}},\"spans\":[],\"events\":[]}"
+      in
+      Alcotest.(check bool) "rejected" false
+        (Obs_wire.ingest_line ~key:"k" ~track:"point 1" bad);
+      Alcotest.(check int) "counters untouched" 0 (Obs.counter_value "c.z"))
+
 (* ------------------------------------------------- site validation *)
 
 let test_validate_sites () =
@@ -435,6 +515,14 @@ let () =
             test_supervisor_domains;
           Alcotest.test_case "warm plan cache across points" `Quick
             test_warm_plan_cache_across_points;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "telemetry roundtrip" `Quick test_wire_roundtrip;
+          Alcotest.test_case "torn line dropped whole" `Quick
+            test_wire_torn_line;
+          Alcotest.test_case "inconsistent histogram rejected" `Quick
+            test_wire_inconsistent_histogram;
         ] );
       ( "faultsim",
         [ Alcotest.test_case "site validation" `Quick test_validate_sites ] );

@@ -5,7 +5,8 @@
 
      obs_check --metrics m.json --root varsim \
        --counter 'newton.iterations>=1' --counter 'pss.solves=1' \
-       --trace t.json --lanes 2
+       --trace t.json --lanes 2 --tracks-matching 'point >=3' \
+       --prom page.txt --series 'varsim_serve_request_seconds_count=4'
 
    Metrics: the file must parse, the root span must carry the expected
    name, and every --counter constraint (NAME=N exact, NAME>=N lower
@@ -13,8 +14,17 @@
 
    Trace: the file must parse, contain at least one complete ("X")
    event, and name a "main" thread track plus "lane 0".."lane N-1" when
-   --lanes N is given.  Exit 0 on success, 1 with a diagnostic on the
-   first violation. *)
+   --lanes N is given.  --tracks-matching 'PREFIX>=N' additionally
+   requires at least N thread tracks whose names start with PREFIX
+   (the fleet smoke: one "point <id>" track per sweep worker).
+
+   Prom: the file must be a well-formed Prometheus text page — every
+   sample line parses, every histogram family has ascending finite le
+   bounds with non-decreasing cumulative counts, a "+Inf" bucket equal
+   to its _count, and a _sum — and every --series constraint (same
+   NAME=N / NAME>=N grammar, matched against the full sample name
+   including any labels) must hold.  Exit 0 on success, 1 with a
+   diagnostic on the first violation. *)
 
 let fail fmt =
   Printf.ksprintf
@@ -35,7 +45,7 @@ let parse_json path =
 
 type op = Eq | Ge
 
-let parse_counter spec =
+let parse_constraint flag spec =
   let split marker op =
     match String.index_opt spec marker.[0] with
     | Some i
@@ -47,7 +57,7 @@ let parse_counter spec =
       let v = String.sub spec pos (String.length spec - pos) in
       match float_of_string_opt v with
       | Some v -> Some (name, op, v)
-      | None -> fail "--counter %s: bad value %S" spec v
+      | None -> fail "%s %s: bad value %S" flag spec v
     end
     | _ -> None
   in
@@ -56,8 +66,28 @@ let parse_counter spec =
   | None -> begin
     match split "=" Eq with
     | Some c -> c
-    | None -> fail "--counter %s: expected NAME=N or NAME>=N" spec
+    | None -> fail "%s %s: expected NAME=N or NAME>=N" flag spec
   end
+
+(* --tracks-matching 'PREFIX>=N': the prefix may contain spaces, so
+   split on the last ">=" rather than the counter grammar. *)
+let parse_tracks spec =
+  let rec rfind i =
+    if i < 0 then None
+    else if
+      i + 2 <= String.length spec && String.sub spec i 2 = ">="
+    then Some i
+    else rfind (i - 1)
+  in
+  match rfind (String.length spec - 2) with
+  | Some i when i > 0 -> begin
+    let prefix = String.sub spec 0 i in
+    let v = String.sub spec (i + 2) (String.length spec - i - 2) in
+    match int_of_string_opt (String.trim v) with
+    | Some n -> (prefix, n)
+    | None -> fail "--tracks-matching %s: bad count %S" spec v
+  end
+  | _ -> fail "--tracks-matching %s: expected PREFIX>=N" spec
 
 let check_metrics ~root ~counters path =
   let j = parse_json path in
@@ -87,7 +117,112 @@ let check_metrics ~root ~counters path =
   Printf.printf "obs_check: %s ok (%d counter constraints)\n" path
     (List.length counters)
 
-let check_trace ~lanes path =
+(* A Prometheus text-format sample: "name{labels} value" or
+   "name value".  The returned name includes the label set verbatim so
+   --series can pin a specific labelled sample. *)
+let parse_sample path lineno line =
+  let sp =
+    match String.rindex_opt line ' ' with
+    | Some i when i > 0 && i < String.length line - 1 -> i
+    | _ -> fail "%s:%d: unparsable sample line %S" path lineno line
+  in
+  let name = String.sub line 0 sp in
+  let v = String.sub line (sp + 1) (String.length line - sp - 1) in
+  match float_of_string_opt v with
+  | Some v -> (name, v)
+  | None -> fail "%s:%d: bad sample value %S" path lineno v
+
+let le_of name =
+  (* "base_bucket{le=\"0.25\"}" -> Some (base, 0.25); +Inf -> infinity *)
+  match String.index_opt name '{' with
+  | None -> None
+  | Some b ->
+    let base = String.sub name 0 b in
+    if
+      String.length base < 7
+      || String.sub base (String.length base - 7) 7 <> "_bucket"
+      || String.length name < b + 7
+      || String.sub name b 5 <> "{le=\""
+      || name.[String.length name - 2] <> '"'
+      || name.[String.length name - 1] <> '}'
+    then None
+    else begin
+      let base = String.sub base 0 (String.length base - 7) in
+      let le = String.sub name (b + 5) (String.length name - b - 7) in
+      match le, float_of_string_opt le with
+      | "+Inf", _ -> Some (base, infinity)
+      | _, Some v -> Some (base, v)
+      | _, None -> None
+    end
+
+let check_prom ~series path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let samples = ref [] in
+  List.iteri
+    (fun i line ->
+      let line = String.trim line in
+      if line <> "" && line.[0] <> '#' then
+        samples := parse_sample path (i + 1) line :: !samples)
+    lines;
+  let samples = List.rev !samples in
+  if samples = [] then fail "%s: no samples" path;
+  (* histogram families, in order of first appearance *)
+  let fams = ref [] in
+  List.iter
+    (fun (name, v) ->
+      match le_of name with
+      | None -> ()
+      | Some (base, le) -> begin
+        match List.assoc_opt base !fams with
+        | Some cell -> cell := (le, v) :: !cell
+        | None -> fams := !fams @ [ (base, ref [ (le, v) ]) ]
+      end)
+    samples;
+  let value name =
+    match List.assoc_opt name samples with
+    | Some v -> v
+    | None -> fail "%s: missing sample %s" path name
+  in
+  List.iter
+    (fun (base, cell) ->
+      let buckets = List.rev !cell in
+      let rec walk last_le last_c = function
+        | [] -> fail "%s: %s_bucket has no +Inf bucket" path base
+        | (le, c) :: rest ->
+          if le <= last_le then
+            fail "%s: %s_bucket le bounds not ascending (%g after %g)"
+              path base le last_le;
+          if c < last_c then
+            fail "%s: %s_bucket counts not cumulative (%g after %g)" path
+              base c last_c;
+          if le = infinity then begin
+            if rest <> [] then
+              fail "%s: %s_bucket has samples after +Inf" path base;
+            c
+          end
+          else walk le c rest
+      in
+      let total = walk neg_infinity 0.0 buckets in
+      if value (base ^ "_count") <> total then
+        fail "%s: %s_count is %g but +Inf bucket is %g" path base
+          (value (base ^ "_count"))
+          total;
+      ignore (value (base ^ "_sum")))
+    !fams;
+  List.iter
+    (fun (name, op, want) ->
+      let got = value name in
+      let ok = match op with Eq -> got = want | Ge -> got >= want in
+      if not ok then
+        fail "%s: series %s is %g, wanted %s%g" path name got
+          (match op with Eq -> "=" | Ge -> ">=")
+          want)
+    series;
+  Printf.printf
+    "obs_check: %s ok (%d samples, %d histograms, %d series constraints)\n"
+    path (List.length samples) (List.length !fams) (List.length series)
+
+let check_trace ~lanes ~tracks path =
   let j = parse_json path in
   let evs =
     match Obs_json.member "traceEvents" j with
@@ -101,7 +236,7 @@ let check_trace ~lanes path =
   in
   if not (List.exists (fun e -> phase e = "X") evs) then
     fail "%s: no complete (\"X\") events" path;
-  let tracks =
+  let names =
     List.filter_map
       (fun e ->
         match Obs_json.member "name" e with
@@ -114,19 +249,32 @@ let check_trace ~lanes path =
   let want = "main" :: List.init lanes (Printf.sprintf "lane %d") in
   List.iter
     (fun name ->
-      if not (List.mem name tracks) then
+      if not (List.mem name names) then
         fail "%s: missing thread track %S (have: %s)" path name
-          (String.concat ", " tracks))
+          (String.concat ", " names))
     want;
+  List.iter
+    (fun (prefix, n) ->
+      let matches =
+        List.filter (fun t -> String.starts_with ~prefix t) names
+      in
+      if List.length matches < n then
+        fail "%s: %d thread tracks match %S, wanted >=%d (have: %s)" path
+          (List.length matches) prefix n
+          (String.concat ", " names))
+    tracks;
   Printf.printf "obs_check: %s ok (tracks: %s)\n" path
-    (String.concat ", " tracks)
+    (String.concat ", " names)
 
 let () =
   let metrics = ref None in
   let trace = ref None in
+  let prom = ref None in
   let root = ref "varsim" in
   let lanes = ref 0 in
   let counters = ref [] in
+  let series = ref [] in
+  let tracks = ref [] in
   let spec =
     [
       ( "--metrics",
@@ -136,7 +284,8 @@ let () =
         Arg.Set_string root,
         "NAME required root span name (default varsim)" );
       ( "--counter",
-        Arg.String (fun s -> counters := parse_counter s :: !counters),
+        Arg.String
+          (fun s -> counters := parse_constraint "--counter" s :: !counters),
         "SPEC required counter: NAME=N (exact) or NAME>=N (lower bound)" );
       ( "--trace",
         Arg.String (fun s -> trace := Some s),
@@ -144,14 +293,28 @@ let () =
       ( "--lanes",
         Arg.Set_int lanes,
         "N require thread tracks main + lane 0..N-1" );
+      ( "--tracks-matching",
+        Arg.String (fun s -> tracks := parse_tracks s :: !tracks),
+        "SPEC require >=N thread tracks whose name starts with PREFIX \
+         (PREFIX>=N)" );
+      ( "--prom",
+        Arg.String (fun s -> prom := Some s),
+        "FILE Prometheus text page to validate" );
+      ( "--series",
+        Arg.String
+          (fun s -> series := parse_constraint "--series" s :: !series),
+        "SPEC required prom sample: NAME=N or NAME>=N (NAME includes \
+         labels)" );
     ]
   in
   Arg.parse spec
     (fun a -> fail "unexpected argument %S" a)
     "obs_check [--metrics FILE [--root NAME] [--counter SPEC]...] \
-     [--trace FILE [--lanes N]]";
-  if !metrics = None && !trace = None then
-    fail "nothing to check: pass --metrics and/or --trace";
+     [--trace FILE [--lanes N] [--tracks-matching SPEC]...] \
+     [--prom FILE [--series SPEC]...]";
+  if !metrics = None && !trace = None && !prom = None then
+    fail "nothing to check: pass --metrics, --trace and/or --prom";
   Option.iter (check_metrics ~root:!root ~counters:(List.rev !counters))
     !metrics;
-  Option.iter (check_trace ~lanes:!lanes) !trace
+  Option.iter (check_trace ~lanes:!lanes ~tracks:(List.rev !tracks)) !trace;
+  Option.iter (check_prom ~series:(List.rev !series)) !prom
