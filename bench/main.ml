@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table1 fig9 --quick
 
    Experiments: table1 table2 fig5 fig8 fig9 fig10 fig11 fig12 ablation
-   perf sparse scale bechamel *)
+   perf sparse scale yield bechamel *)
 
 let experiments =
   [
@@ -23,6 +23,7 @@ let experiments =
     ("perf", Exp_perf.run);
     ("sparse", Exp_sparse.run);
     ("scale", Exp_scale.run);
+    ("yield", Exp_yield.run);
     ("bechamel", Bechamel_suite.run);
   ]
 

@@ -333,6 +333,101 @@ let dcmatch_cmd =
     Term.(ret (const run $ deck_arg $ output_arg $ domains_arg $ backend_arg
                $ res_term $ obs_term))
 
+let yield_cmd =
+  let above_arg =
+    Arg.(value & opt (some float) None & info [ "above" ] ~docv:"V"
+           ~doc:"Fail when the output exceeds $(docv)")
+  in
+  let below_arg =
+    Arg.(value & opt (some float) None & info [ "below" ] ~docv:"V"
+           ~doc:"Fail when the output is under $(docv)")
+  in
+  let n_arg =
+    Arg.(value & opt int 4096 & info [ "n" ] ~docv:"N"
+           ~doc:"Sample cap: stop after $(docv) measured samples even if \
+                 the FOM target is not reached")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED"
+           ~doc:"Monte-Carlo seed (equal seeds give byte-identical reports, \
+                 for any --domains)")
+  in
+  let batch_arg =
+    Arg.(value & opt int 64 & info [ "batch" ] ~docv:"B"
+           ~doc:"Samples per batch; the stopping rule is evaluated only at \
+                 batch boundaries")
+  in
+  let fom_arg =
+    Arg.(value & opt float 0.1 & info [ "fom" ] ~docv:"F"
+           ~doc:"Target figure of merit (relative standard error of \
+                 P_fail)")
+  in
+  let scale_arg =
+    Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"S"
+           ~doc:"Mean-shift scale multiplier (< 1 backs the shift off, \
+                 > 1 overshoots the linear most-probable-failure point)")
+  in
+  let divergence_arg =
+    Arg.(value & opt float 2.0 & info [ "divergence" ] ~docv:"F"
+           ~doc:"Divergence diagnostic: flag when the linear-model tail \
+                 falls outside the measured CI widened by $(docv) on both \
+                 sides")
+  in
+  let no_shift_arg =
+    Arg.(value & flag & info [ "no-shift" ]
+           ~doc:"Plain (unshifted) Monte Carlo — the reference the \
+                 importance-sampling speedup is measured against")
+  in
+  let run path output above below n seed batch fom scale divergence no_shift
+      domains backend krylov cache_dir mem_cache res obs =
+    if above = None && below = None then
+      fail_exit "yield: need a failure bound (--above and/or --below)";
+    match read_deck path with
+    | Error e -> fail_exit e
+    | Ok deck -> (
+      let card =
+        Spice_ast.A_yield
+          { output; above; below; n; seed; batch; target_fom = fom; scale;
+            divergence; shift = not no_shift }
+      in
+      (* replace the deck's card list with the one requested card so the
+         cached path fingerprints exactly this computation *)
+      let deck = { deck with Spice_elab.analyses = [ (0, card) ] } in
+      let label = "yield " ^ path in
+      match cache_of ~dir:cache_dir ~mem:mem_cache with
+      | None ->
+        handle_run
+          (run_resilient obs res ~label (fun ~policy ~budget ->
+               Spice_run.run_analysis ~domains ~backend ~krylov ~policy
+                 ?budget Format.std_formatter deck card))
+      | Some cache ->
+        handle_run
+          (match
+             run_resilient obs res ~label (fun ~policy ~budget ->
+                 Spice_job.submit
+                   (Spice_job.request ~domains ~backend ~krylov ~policy
+                      ?budget ~cache deck))
+           with
+           | Ok o ->
+             print_string o.Spice_job.output;
+             flush stdout;
+             if o.Spice_job.cache_hit then
+               Printf.eprintf "varsim: cache hit (%s)\n%!"
+                 o.Spice_job.fingerprint;
+             Ok ()
+           | Error _ as e -> e))
+  in
+  Cmd.v
+    (Cmd.info "yield"
+       ~doc:"Estimate the failure probability of a spec on a DC node \
+             voltage by linear-model-guided importance sampling \
+             (docs/yield.md)")
+    Term.(ret (const run $ deck_arg $ output_arg $ above_arg $ below_arg
+               $ n_arg $ seed_arg $ batch_arg $ fom_arg $ scale_arg
+               $ divergence_arg $ no_shift_arg $ domains_arg $ backend_arg
+               $ krylov_arg $ cache_dir_arg $ mem_cache_arg $ res_term
+               $ obs_term))
+
 let period_arg =
   let period_conv =
     Arg.conv
@@ -893,8 +988,9 @@ let main =
     (Cmd.info "varsim" ~version:Version.version
        ~doc:"Transient mismatch variation analysis via pseudo-noise LPTV \
              simulation")
-    [ run_cmd; op_cmd; dcmatch_cmd; mismatch_cmd; pnoise_cmd; demo_cmd;
-      sweep_cmd; worker_cmd; serve_cmd; submit_cmd; top_cmd; version_cmd ]
+    [ run_cmd; op_cmd; dcmatch_cmd; yield_cmd; mismatch_cmd; pnoise_cmd;
+      demo_cmd; sweep_cmd; worker_cmd; serve_cmd; submit_cmd; top_cmd;
+      version_cmd ]
 
 let () =
   Faultsim.arm_env ();

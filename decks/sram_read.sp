@@ -1,15 +1,27 @@
-6T SRAM cell in read condition (note: multi-stable; the .op/.dcmatch
-* cards below use the cold-started state -- use the library API for the
-* warm-started stored-0 state, see lib/cells/sram.ml)
+6T SRAM cell in read condition, stored-0 state
+* The weak R1/R2 tilt biases the cold-started DC homotopy onto the
+* stored-0 branch (q low, qb high), so v(q) is the read-disturb bump --
+* without the tilt the symmetric cell cold-starts at its metastable
+* midpoint (use the library API for explicit state control, see
+* lib/cells/sram.ml).  The cell is sized read-marginal (weak driver,
+* strong access) so a static read upset -- v(q) pulled past the trip
+* point, the stored-0 root lost through a saddle-node -- is a rare
+* event of order 1e-4: the regime the .yield importance-sampling card
+* is built for.  The bump grows superlinearly toward the upset, so the
+* linear (dcmatch) tail prediction diverges from the measured one and
+* .yield's divergence diagnostic fires (the paper's Fig. 11-12 regime).
 VDD vdd 0 1.2
 VWL wl 0 1.2
 VBL bl 0 1.2
 VBLB blb 0 1.2
-M1 q qb 0 0 nmos013 w=0.6u l=0.13u
+M1 q qb 0 0 nmos013 w=0.45u l=0.13u
 M3 q qb vdd vdd pmos013 w=0.3u l=0.13u
-M2 qb q 0 0 nmos013 w=0.6u l=0.13u
+M2 qb q 0 0 nmos013 w=0.45u l=0.13u
 M4 qb q vdd vdd pmos013 w=0.3u l=0.13u
-M5 bl wl q 0 nmos013 w=0.4u l=0.13u
-M6 blb wl qb 0 nmos013 w=0.4u l=0.13u
+M5 bl wl q 0 nmos013 w=0.5u l=0.13u
+M6 blb wl qb 0 nmos013 w=0.5u l=0.13u
+R1 q 0 200k
+R2 qb vdd 200k
 .op
+.yield q above=0.6 n=32768 fom=0.1 scale=0.25
 .end

@@ -39,6 +39,9 @@ let yield_within t ~lo ~hi =
     Special.normal_cdf ~mu:t.nominal ~sigma:t.sigma hi
     -. Special.normal_cdf ~mu:t.nominal ~sigma:t.sigma lo
 
+let tail_probability t ~spec =
+  Spec.gaussian_fail_probability ~mu:t.nominal ~sigma:t.sigma spec
+
 let linear_prediction t ~deltas =
   Array.fold_left
     (fun acc it ->

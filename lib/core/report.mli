@@ -39,6 +39,12 @@ val yield_within : t -> lo:float -> hi:float -> float
 (** Probability that the performance lands inside [lo, hi] under the
     linear Gaussian model — the quantity §VII optimizes. *)
 
+val tail_probability : t -> spec:Spec.t -> float
+(** Failure probability of [spec] under the linear Gaussian model
+    N(nominal, sigma) — the σ-implied tail the yield engine's
+    divergence diagnostic compares against the importance-sampling
+    estimate (docs/yield.md, paper Fig. 11–12 regime). *)
+
 val linear_prediction : t -> deltas:float array -> float
 (** First-order performance shift for a concrete mismatch sample —
     what Fig. 9 / Fig. 12 compare against Monte Carlo. *)

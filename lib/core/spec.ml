@@ -1,0 +1,46 @@
+type t =
+  | Above of float
+  | Below of float
+  | Outside of float * float
+
+let make ?below ?above () =
+  match below, above with
+  | None, None -> Error "spec needs at least one bound (above= or below=)"
+  | None, Some hi -> Ok (Above hi)
+  | Some lo, None -> Ok (Below lo)
+  | Some lo, Some hi ->
+    if lo < hi then Ok (Outside (lo, hi))
+    else Error "spec window is empty (below bound must be under above bound)"
+
+(* a sample whose measurement blew up (NaN/inf) is not a yielding part *)
+let fails t v =
+  if not (Float.is_finite v) then true
+  else
+    match t with
+    | Above hi -> v > hi
+    | Below lo -> v < lo
+    | Outside (lo, hi) -> v < lo || v > hi
+
+let gaussian_fail_probability ~mu ~sigma t =
+  let step b = if fails t b then 1.0 else 0.0 in
+  if sigma <= 0.0 then step mu
+  else
+    let cdf x = Special.normal_cdf ~mu ~sigma x in
+    match t with
+    | Above hi -> 1.0 -. cdf hi
+    | Below lo -> cdf lo
+    | Outside (lo, hi) -> cdf lo +. (1.0 -. cdf hi)
+
+let nearest_bound ~mu t =
+  match t with
+  | Above hi -> hi
+  | Below lo -> lo
+  | Outside (lo, hi) ->
+    if Float.abs (mu -. lo) <= Float.abs (hi -. mu) then lo else hi
+
+let to_string = function
+  | Above hi -> Printf.sprintf "v > %g" hi
+  | Below lo -> Printf.sprintf "v < %g" lo
+  | Outside (lo, hi) -> Printf.sprintf "v < %g or v > %g" lo hi
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

@@ -1,0 +1,39 @@
+(** Performance failure specifications — the "what counts as a fail"
+    half of the yield engine (docs/yield.md).
+
+    A spec partitions the performance axis into pass and fail regions.
+    The same spec drives three things: the per-sample fail indicator of
+    the importance-sampling estimator, the Gaussian tail probability the
+    linear (pseudo-noise / dcmatch) model implies, and the choice of
+    mean-shift direction (toward the nearest failing bound). *)
+
+type t =
+  | Above of float  (** fails when the performance exceeds the bound *)
+  | Below of float  (** fails when the performance is under the bound *)
+  | Outside of float * float
+      (** fails outside the [lo, hi] pass window (lo < hi) *)
+
+val make : ?below:float -> ?above:float -> unit -> (t, string) result
+(** Spec from optional bounds: [above] alone fails above it, [below]
+    alone fails below it, both make an [Outside] window.  Errors when
+    neither bound is given or the window is empty. *)
+
+val fails : t -> float -> bool
+(** Fail indicator.  Non-finite performances (a sample whose
+    measurement did not converge) count as failures — a sample the
+    solver cannot evaluate is not a yielding part. *)
+
+val gaussian_fail_probability : mu:float -> sigma:float -> t -> float
+(** Tail probability of the fail region under N(mu, sigma) — what the
+    linear model predicts P_fail to be.  [sigma = 0] degenerates to the
+    0/1 indicator at [mu]. *)
+
+val nearest_bound : mu:float -> t -> float
+(** The fail boundary closest to [mu] in absolute distance — the bound
+    the mean-shift construction aims at.  For [Outside] this picks the
+    nearer edge of the window. *)
+
+val to_string : t -> string
+(** Canonical rendering, e.g. ["v > 0.32"], ["v < 0.1 or v > 0.5"]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,5 +1,6 @@
 type result = {
   values : float array array;
+  weights : float array;
   summaries : Stats.summary array;
   failed : int;
   timed_out : bool;
@@ -18,46 +19,65 @@ let sample_rng ~seed ~index = Rng.create ((seed * 1_000_003) + index + 1)
 let deltas_for_sample ~seed ~index params =
   draw_deltas (sample_rng ~seed ~index) params
 
-let run_sample ~seed ~transform ~params ~circuit ~measure index =
+let run_sample ~seed ~first ~transform ~weight ~params ~circuit ~measure i =
+  let index = first + i in
   let deltas = deltas_for_sample ~seed ~index params in
+  (* the weight hook sees the raw independent σ-scaled draw — the
+     density the likelihood ratio is taken against — never the
+     shifted/correlated vector the measurement sees *)
+  let w = match weight with Some f -> f ~index deltas | None -> 1.0 in
   let deltas = match transform with Some f -> f deltas | None -> deltas in
   let perturbed = Circuit.apply_deltas circuit deltas in
-  match measure perturbed with row -> Some row | exception _ -> None
+  match measure perturbed with
+  | row -> Some (row, w)
+  | exception _ -> None
 
-let run ?(seed = 42) ?(domains = 1) ?transform ?budget ~n ~circuit ~measure ()
-    =
+let run ?(seed = 42) ?(domains = 1) ?(first = 0) ?transform ?weight ?stop
+    ?budget ~n ~circuit ~measure () =
   Obs.span "monte_carlo.run" @@ fun () ->
   Obs.count "monte_carlo.samples" n;
   let t_start = Unix.gettimeofday () in
   let params = Circuit.mismatch_params circuit in
   let results = Array.make n None in
-  (* each lane writes only its own sample slots; the (seed, index)
+  (* each lane writes only its own sample slots; the (seed, first+index)
      derivation makes the stream independent of the lane count.
-     Budget expiry stops lanes from claiming further samples; the run
-     degrades to a partial result (skipped samples count as failed,
-     [timed_out] flags the truncation) rather than raising — a partial
-     MC population is still a usable estimate. *)
+     Budget expiry (or the caller's stop hook) keeps lanes from claiming
+     further samples; the run degrades to a partial result (skipped
+     samples count as failed, [timed_out] flags a budget truncation)
+     rather than raising — a partial MC population is still a usable
+     estimate. *)
+  let should_stop =
+    match Budget.stop_opt budget, stop with
+    | None, None -> None
+    | (Some _ as s), None -> s
+    | None, (Some _ as s) -> s
+    | Some b, Some s -> Some (fun () -> b () || s ())
+  in
   Domain_pool.with_pool domains (fun pool ->
-      Domain_pool.parallel_for pool n ~label:"monte_carlo.sample"
-        ?should_stop:(Budget.stop_opt budget) (fun i ->
-          results.(i) <- run_sample ~seed ~transform ~params ~circuit ~measure i));
+      Domain_pool.parallel_for pool n ~label:"monte_carlo.sample" ?should_stop
+        (fun i ->
+          results.(i) <-
+            run_sample ~seed ~first ~transform ~weight ~params ~circuit
+              ~measure i));
   let timed_out =
     match budget with Some b -> Budget.expired b | None -> false
   in
   if timed_out then Obs.count "monte_carlo.timed_out" 1;
   let collected = Array.to_list results |> List.filter_map (fun x -> x) in
-  let values = Array.of_list collected in
+  let values = Array.of_list (List.map fst collected) in
+  let weights = Array.of_list (List.map snd collected) in
   let failed = n - Array.length values in
   let n_outputs = if Array.length values = 0 then 0 else Array.length values.(0) in
   let summaries =
     Array.init n_outputs (fun j ->
         Stats.summarize (Array.map (fun row -> row.(j)) values))
   in
-  { values; summaries; failed; timed_out;
+  { values; weights; summaries; failed; timed_out;
     seconds = Unix.gettimeofday () -. t_start }
 
-let run_scalar ?seed ?domains ?transform ?budget ~n ~circuit ~measure () =
-  run ?seed ?domains ?transform ?budget ~n ~circuit
+let run_scalar ?seed ?domains ?first ?transform ?weight ?stop ?budget ~n
+    ~circuit ~measure () =
+  run ?seed ?domains ?first ?transform ?weight ?stop ?budget ~n ~circuit
     ~measure:(fun c -> [| measure c |]) ()
 
 let samples_of r j = Array.map (fun row -> row.(j)) r.values

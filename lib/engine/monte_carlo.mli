@@ -11,6 +11,9 @@
 
 type result = {
   values : float array array; (** values.(sample).(output) *)
+  weights : float array;
+      (** per-sample importance weight, aligned with [values]; all 1.0
+          unless a [weight] hook was given *)
   summaries : Stats.summary array; (** one per output *)
   failed : int;  (** samples whose measurement did not converge or were
                      skipped by budget expiry *)
@@ -19,7 +22,10 @@ type result = {
 }
 
 val run :
-  ?seed:int -> ?domains:int -> ?transform:(float array -> float array) ->
+  ?seed:int -> ?domains:int -> ?first:int ->
+  ?transform:(float array -> float array) ->
+  ?weight:(index:int -> float array -> float) ->
+  ?stop:(unit -> bool) ->
   ?budget:Budget.t ->
   n:int -> circuit:Circuit.t -> measure:(Circuit.t -> float array) -> unit ->
   result
@@ -30,13 +36,29 @@ val run :
     pass {!Correlated.transform} composed appropriately to sample
     correlated mismatch (paper §III-C).
 
+    [first] offsets the global sample index: sample [i] of this call
+    uses the stream of index [first + i] under [seed], so a run split
+    into batches reproduces a single monolithic run exactly — the seam
+    the yield engine's batched importance-sampling loop builds on.
+
+    [weight] computes the per-sample importance weight from the global
+    index and the {e raw, pre-transform} deviation vector (the density
+    the likelihood ratio is taken against).  It must be pure.
+
+    [stop] is polled between samples (merged with the budget's stop
+    condition); returning [true] skips unstarted samples, which count
+    as [failed].
+
     [budget] expiry degrades gracefully to a partial population instead
     of raising: unstarted samples are skipped (counted in [failed]) and
     [timed_out] is set — summaries are then over the completed samples
     only. *)
 
 val run_scalar :
-  ?seed:int -> ?domains:int -> ?transform:(float array -> float array) ->
+  ?seed:int -> ?domains:int -> ?first:int ->
+  ?transform:(float array -> float array) ->
+  ?weight:(index:int -> float array -> float) ->
+  ?stop:(unit -> bool) ->
   ?budget:Budget.t ->
   n:int -> circuit:Circuit.t -> measure:(Circuit.t -> float) -> unit ->
   result

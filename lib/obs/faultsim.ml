@@ -140,7 +140,7 @@ let known_sites () =
     "lptv.gmres"; "newton.factorize"; "newton.residual"; "obs.export";
     "pnoise.transfer"; "pss.gmres"; "serve.log.write"; "sweep.journal.write";
     "sweep.worker.crash"; "sweep.worker.hang"; "sweep.worker.spawn";
-    "tran.step" ]
+    "tran.step"; "yield.sample" ]
 
 let validate_sites triggers =
   let sites = known_sites () in

@@ -39,6 +39,18 @@ type analysis =
     }
   | A_mismatch_freq of { anchor : string; f_guess : float }
   | A_monte_carlo of { n : int; seed : int }
+  | A_yield of {
+      output : string;
+      above : float option;  (* fail when v(output) exceeds this *)
+      below : float option;  (* fail when v(output) is under this *)
+      n : int;  (* sample cap *)
+      seed : int;
+      batch : int;
+      target_fom : float;
+      scale : float;  (* mean-shift scale multiplier *)
+      divergence : float;  (* divergence-diagnostic CI widening factor *)
+      shift : bool;  (* false = unshifted reference Monte Carlo *)
+    }
 
 type statement =
   | S_element of element

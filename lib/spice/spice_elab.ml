@@ -205,7 +205,25 @@ let analysis_signature (a : Spice_ast.analysis) =
    | Spice_ast.A_monte_carlo { n; seed } ->
      Fingerprint.str fp "monte_carlo";
      Fingerprint.int fp n;
-     Fingerprint.int fp seed);
+     Fingerprint.int fp seed
+   | Spice_ast.A_yield
+       { output; above; below; n; seed; batch; target_fom; scale; divergence;
+         shift } ->
+     Fingerprint.str fp "yield";
+     Fingerprint.field fp "output" output;
+     let opt_bound name = function
+       | Some v -> Fingerprint.field fp name (Printf.sprintf "%.17g" v)
+       | None -> Fingerprint.field fp name "-"
+     in
+     opt_bound "above" above;
+     opt_bound "below" below;
+     Fingerprint.int fp n;
+     Fingerprint.int fp seed;
+     Fingerprint.int fp batch;
+     Fingerprint.num fp target_fom;
+     Fingerprint.num fp scale;
+     Fingerprint.num fp divergence;
+     Fingerprint.int fp (if shift then 1 else 0));
   Fingerprint.digest fp
 
 let fingerprint t =

@@ -155,6 +155,29 @@ let parse_dot lineno card tokens =
            n = int_of_float (assoc_num lineno assigns "n" 200.0);
            seed = int_of_float (assoc_num lineno assigns "seed" 42.0);
          })
+  | ".yield", [ output ] ->
+    let opt_num key = Option.map (number lineno) (List.assoc_opt key assigns) in
+    let above = opt_num "above" and below = opt_num "below" in
+    if above = None && below = None then
+      err lineno ".yield needs a failure bound (above= and/or below=)";
+    (match above, below with
+     | Some hi, Some lo when lo >= hi ->
+       err lineno ".yield pass window is empty (below=%g >= above=%g)" lo hi
+     | _ -> ());
+    Spice_ast.S_analysis
+      (Spice_ast.A_yield
+         {
+           output;
+           above;
+           below;
+           n = int_of_float (assoc_num lineno assigns "n" 4096.0);
+           seed = int_of_float (assoc_num lineno assigns "seed" 42.0);
+           batch = int_of_float (assoc_num lineno assigns "batch" 64.0);
+           target_fom = assoc_num lineno assigns "fom" 0.1;
+           scale = assoc_num lineno assigns "scale" 1.0;
+           divergence = assoc_num lineno assigns "divergence" 2.0;
+           shift = assoc_num lineno assigns "shift" 1.0 <> 0.0;
+         })
   | ".subckt", name :: ports ->
     if ports = [] then err lineno ".subckt needs at least one port";
     Spice_ast.S_subckt_begin { name; ports }

@@ -9,6 +9,7 @@ let span_name = function
   | Spice_ast.A_mismatch_delay _ -> "spice.mismatch_delay"
   | Spice_ast.A_mismatch_freq _ -> "spice.mismatch_freq"
   | Spice_ast.A_monte_carlo _ -> "spice.monte_carlo"
+  | Spice_ast.A_yield _ -> "spice.yield"
 
 (* Typed outcome of one analysis card: what {!execute} computes and
    {!render} prints.  The split is what lets the job layer
@@ -25,6 +26,7 @@ type result =
   | R_report of Report.t
   | R_freq of Report.t * Pss_osc.t
   | R_mc of Monte_carlo.result
+  | R_yield of Yield.result
 
 (* Key prefix for the engine-state cache entries of one PSS context:
    the circuit content plus every knob that shapes the solution
@@ -120,6 +122,45 @@ let execute ?(domains = 1) ?(steps = 200) ?(f_offset = 1.0) ?backend ?krylov
            let x = Dc.solve ?backend ?policy c in
            Array.init (Circuit.num_nodes c) (fun i -> x.(i)))
          ())
+  | Spice_ast.A_yield
+      { output; above; below; n; seed; batch; target_fom; scale; divergence;
+        shift } ->
+    let spec =
+      match Spec.make ?below ?above () with
+      | Ok s -> s
+      | Error msg -> invalid_arg (".yield: " ^ msg)
+    in
+    (* the nominal operating point is both the linearization point of
+       the shift model and the warm start of every sample's solve —
+       the warm start keeps multi-stable cells (SRAM, latches) on the
+       nominal equilibrium branch across mismatch perturbations *)
+    let x_op = Dc.solve ?backend ?policy ?budget circuit in
+    let nominal = Circuit.voltage circuit x_op output in
+    let model =
+      Yield.model_of_sens
+        ~metric:(Printf.sprintf "v(%s)" output)
+        ~nominal circuit
+        (Sens.sensitivities ~x_op ?backend circuit ~output)
+    in
+    let shift_v =
+      if shift then Some (Yield.shift_of_model ~scale model ~spec) else None
+    in
+    let measure c =
+      Circuit.voltage c (Dc.solve ?backend ?policy ~x0:x_op c) output
+    in
+    let r =
+      Yield.estimate ~seed ~domains ~batch ~target_fom ?budget ?shift:shift_v
+        ~linear:model ~divergence_factor:divergence ~n ~spec ~circuit ~measure
+        ()
+    in
+    (* a budget-truncated population is a typed partial result at the
+       library level, but here it must raise: the budget is not part of
+       the job fingerprint, so partial bytes must never reach the
+       result cache as if they were the full analysis *)
+    (match r.Yield.status, budget with
+     | Yield.Budget_expired, Some b -> raise (Budget.Timed_out (Budget.info b))
+     | _ -> ());
+    R_yield r
 
 let render ppf (deck : Spice_elab.t) analysis result =
   let circuit = deck.Spice_elab.circuit in
@@ -185,6 +226,8 @@ let render ppf (deck : Spice_elab.t) analysis result =
           s.Stats.mean s.Stats.std_dev)
       mc.Monte_carlo.summaries;
     Format.fprintf ppf "@]@."
+  | Spice_ast.A_yield { output; _ }, R_yield r ->
+    Format.fprintf ppf ".yield v(%s):@.%s" output (Yield.render r)
   | _ -> invalid_arg "Spice_run.render: result does not match the analysis"
 
 let run_analysis ?domains ?steps ?f_offset ?backend ?krylov ?policy ?budget

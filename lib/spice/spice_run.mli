@@ -14,6 +14,11 @@ type result =
   | R_report of Report.t  (** mismatch DC / delay variation *)
   | R_freq of Report.t * Pss_osc.t  (** oscillator frequency variation *)
   | R_mc of Monte_carlo.result
+  | R_yield of Yield.result
+      (** importance-sampling yield estimate; a budget-truncated run
+          raises {!Budget.Timed_out} from {!execute} instead of
+          returning a partial result (cache safety: the budget is not
+          in the job fingerprint) *)
 
 val execute :
   ?domains:int -> ?steps:int -> ?f_offset:float ->

@@ -193,7 +193,7 @@ let compute (spec : Sweep_spec.t) point ~policy ~budget =
   | Spice_run.R_report rep -> ("sigma", rep.Report.sigma)
   | Spice_run.R_freq (rep, _osc) -> ("sigma", rep.Report.sigma)
   | Spice_run.R_tran _ | Spice_run.R_ac _ | Spice_run.R_noise _
-  | Spice_run.R_pss _ | Spice_run.R_mc _ ->
+  | Spice_run.R_pss _ | Spice_run.R_mc _ | Spice_run.R_yield _ ->
     assert false (* the four cards above only yield the four above *)
 
 let run_point ?budget_s (spec : Sweep_spec.t) point =

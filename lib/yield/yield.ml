@@ -1,0 +1,316 @@
+type model = {
+  metric : string;
+  nominal : float;
+  sigma : float;
+  weighted : float array;
+}
+
+let norm2 v = sqrt (Array.fold_left (fun acc x -> acc +. (x *. x)) 0.0 v)
+
+let make_model ~metric ~nominal weighted =
+  { metric; nominal; sigma = norm2 weighted; weighted }
+
+let model_of_report (r : Report.t) =
+  make_model ~metric:r.Report.metric ~nominal:r.Report.nominal
+    (Report.weighted_vector r)
+
+let model_of_sens ?transform ~metric ~nominal circuit sens =
+  let params = Circuit.mismatch_params circuit in
+  let n = Array.length params in
+  if Array.length sens <> n then
+    invalid_arg "Yield.model_of_sens: sensitivity/parameter mismatch";
+  let g = Array.make n 0.0 in
+  Array.iter
+    (fun ((p : Circuit.mismatch_param), s) -> g.(p.Circuit.param_index) <- s)
+    sens;
+  let weighted =
+    match transform with
+    | None -> Array.init n (fun i -> g.(i) *. params.(i).Circuit.sigma)
+    | Some t ->
+      (* push the gradient through the sampling transform column by
+         column: ∂perf/∂u_i = g · T(σ_i e_i) for linear T *)
+      Array.init n (fun i ->
+          let e = Array.make n 0.0 in
+          e.(i) <- params.(i).Circuit.sigma;
+          let col = t e in
+          let acc = ref 0.0 in
+          Array.iteri (fun j c -> acc := !acc +. (g.(j) *. c)) col;
+          !acc)
+  in
+  make_model ~metric ~nominal weighted
+
+let whiten params deltas =
+  Array.mapi
+    (fun i (p : Circuit.mismatch_param) ->
+      if p.Circuit.sigma > 0.0 then deltas.(i) /. p.Circuit.sigma else 0.0)
+    params
+
+let probe_model ?(seed = 42) ?(samples = 0) ?transform ~metric ~circuit
+    ~measure () =
+  let params = Circuit.mismatch_params circuit in
+  let n = Array.length params in
+  let k = if samples > 0 then samples else (2 * n) + 2 in
+  if k < n then invalid_arg "Yield.probe_model: fewer probe samples than parameters";
+  let nominal = measure circuit in
+  (* least-squares gradient in whitened space: (UᵀU + ridge) g = Uᵀr.
+     The tiny ridge keeps zero-σ parameters (identically zero columns)
+     from making the normal equations singular. *)
+  let a = Mat.create n n in
+  let b = Vec.create n in
+  for j = 0 to k - 1 do
+    let deltas = Monte_carlo.deltas_for_sample ~seed ~index:j params in
+    let u = whiten params deltas in
+    let applied = match transform with Some t -> t deltas | None -> deltas in
+    match measure (Circuit.apply_deltas circuit applied) with
+    | exception _ -> ()
+    | y ->
+      let r = y -. nominal in
+      for i = 0 to n - 1 do
+        b.(i) <- b.(i) +. (r *. u.(i));
+        for i' = 0 to n - 1 do
+          Mat.add_to a i i' (u.(i) *. u.(i'))
+        done
+      done
+  done;
+  let trace = ref 0.0 in
+  for i = 0 to n - 1 do
+    trace := !trace +. Mat.get a i i
+  done;
+  let ridge = 1e-9 *. Float.max 1.0 (!trace /. Float.max 1.0 (float_of_int n)) in
+  for i = 0 to n - 1 do
+    Mat.set a i i (Mat.get a i i +. ridge)
+  done;
+  let g = Lu.solve (Lu.factorize a) b in
+  make_model ~metric ~nominal (Array.sub g 0 n)
+
+type shift = { direction : float array; beta : float }
+
+let zero_shift n = { direction = Array.make n 0.0; beta = 0.0 }
+
+(* A mean shift beyond ~6 whitened σ is past any estimable tail and its
+   likelihood ratios underflow binary64; when the linear model puts the
+   bound further out than that (it is then surely diverging from the
+   true tail — the shifted run will say so), clamp rather than emit a
+   degenerate sampler. *)
+let max_beta = 6.0
+
+let shift_of_model ?(scale = 1.0) model ~spec =
+  let n = Array.length model.weighted in
+  if not (Float.is_finite model.sigma) || model.sigma <= 0.0 then zero_shift n
+  else
+    let bound = Spec.nearest_bound ~mu:model.nominal spec in
+    let beta = scale *. (bound -. model.nominal) /. model.sigma in
+    {
+      direction = Array.map (fun w -> w /. model.sigma) model.weighted;
+      beta = Float.max (-.max_beta) (Float.min max_beta beta);
+    }
+
+type status = Converged | Capped | Budget_expired
+
+type result = {
+  spec : Spec.t;
+  p_fail : float;
+  ci_lo : float;
+  ci_hi : float;
+  fom : float;
+  ess : float;
+  samples : int;
+  failures : int;
+  hits : int;
+  batches : int;
+  status : status;
+  shift : shift option;
+  p_linear : float option;
+  divergence : float option;
+  diverged : bool;
+  seconds : float;
+}
+
+let estimate ?(seed = 42) ?(domains = 1) ?(batch = 64) ?(target_fom = 0.1)
+    ?budget ?transform ?shift ?linear ?(divergence_factor = 2.0) ~n ~spec
+    ~circuit ~measure () =
+  Obs.span "yield.estimate" @@ fun () ->
+  let t_start = Unix.gettimeofday () in
+  let params = Circuit.mismatch_params circuit in
+  let batch = Stdlib.max 1 batch in
+  (* active only when the shift actually moves the mean; a zero shift
+     must leave the sample stream and weights bit-identical to plain
+     Monte Carlo *)
+  let active_shift =
+    match shift with
+    | Some s when s.beta <> 0.0 && norm2 s.direction > 0.0 -> Some s
+    | _ -> None
+  in
+  let weight =
+    match active_shift with
+    | None -> None
+    | Some s ->
+      Some
+        (fun ~index:_ deltas ->
+          (* likelihood ratio of N(0,I) against N(β·dir, I) at the
+             *shifted* point u' = u + β·dir the measurement sees:
+             φ(u')/φ(u'−β·dir) = exp(−β·(dir·u) − β²/2) in terms of the
+             raw draw u *)
+          let u = whiten params deltas in
+          let proj = ref 0.0 in
+          Array.iteri (fun i d -> proj := !proj +. (d *. u.(i))) s.direction;
+          exp ((-.s.beta *. !proj) -. (0.5 *. s.beta *. s.beta)))
+  in
+  let mc_transform =
+    match active_shift, transform with
+    | None, base -> base
+    | Some s, base ->
+      let raw_shift =
+        Array.mapi
+          (fun i (p : Circuit.mismatch_param) ->
+            s.beta *. s.direction.(i) *. p.Circuit.sigma)
+          params
+      in
+      let add d = Array.mapi (fun i x -> x +. raw_shift.(i)) d in
+      Some
+        (match base with None -> add | Some t -> fun d -> t (add d))
+  in
+  let measure_row c =
+    match
+      Faultsim.check_exn "yield.sample";
+      measure c
+    with
+    | v -> [| v |]
+    | exception _ -> [| Float.nan |]
+  in
+  let sum_w = ref 0.0 and sum_w2 = ref 0.0 in
+  let sum_wi = ref 0.0 and sum_wi2 = ref 0.0 in
+  let measured = ref 0 and hits = ref 0 and failures = ref 0 in
+  let batches = ref 0 in
+  let first = ref 0 in
+  let status = ref Capped in
+  let stats () =
+    let nf = float_of_int !measured in
+    if !measured = 0 then (0.0, 0.0)
+    else
+      let p = !sum_wi /. nf in
+      let var =
+        if !measured < 2 then 0.0
+        else
+          let raw = (!sum_wi2 /. nf) -. (p *. p) in
+          Float.max 0.0 raw *. (nf /. (nf -. 1.0))
+      in
+      (p, sqrt (var /. nf))
+  in
+  let continue_ = ref (n > 0) in
+  while !continue_ do
+    let bn = Stdlib.min batch (n - !first) in
+    incr batches;
+    Obs.count "yield.batches" 1;
+    let r =
+      Monte_carlo.run ~seed ~domains ~first:!first ?transform:mc_transform
+        ?weight ?budget ~n:bn ~circuit ~measure:measure_row ()
+    in
+    Array.iteri
+      (fun i row ->
+        let w = r.Monte_carlo.weights.(i) in
+        let v = row.(0) in
+        incr measured;
+        if not (Float.is_finite v) then incr failures;
+        sum_w := !sum_w +. w;
+        sum_w2 := !sum_w2 +. (w *. w);
+        if Spec.fails spec v then begin
+          incr hits;
+          sum_wi := !sum_wi +. w;
+          sum_wi2 := !sum_wi2 +. (w *. w)
+        end)
+      r.Monte_carlo.values;
+    Obs.count "yield.samples" (Array.length r.Monte_carlo.values);
+    if active_shift = None then
+      Obs.count "yield.mc.full" (Array.length r.Monte_carlo.values);
+    first := !first + bn;
+    if r.Monte_carlo.timed_out then begin
+      status := Budget_expired;
+      continue_ := false
+    end
+    else begin
+      let p, se = stats () in
+      let fom = if p > 0.0 then se /. p else 1.0 in
+      if fom <= target_fom then begin
+        status := Converged;
+        continue_ := false
+      end
+      else if !first >= n then begin
+        status := Capped;
+        continue_ := false
+      end
+    end
+  done;
+  let p, se = stats () in
+  let fom = if p > 0.0 then se /. p else 1.0 in
+  let half = 1.96 *. se in
+  let ci_lo = Float.max 0.0 (p -. half) in
+  let ci_hi = Float.min 1.0 (p +. half) in
+  let ess = if !sum_w2 > 0.0 then !sum_w *. !sum_w /. !sum_w2 else 0.0 in
+  let p_linear =
+    match linear with
+    | None -> None
+    | Some m -> Some (Spec.gaussian_fail_probability ~mu:m.nominal ~sigma:m.sigma spec)
+  in
+  let diverged =
+    match p_linear with
+    | Some pl when !measured > 0 ->
+      let f = Float.max 1.0 divergence_factor in
+      pl < ci_lo /. f || pl > ci_hi *. f
+    | _ -> false
+  in
+  let divergence =
+    match p_linear with
+    | Some pl when pl > 0.0 && p > 0.0 -> Some (p /. pl)
+    | _ -> None
+  in
+  {
+    spec;
+    p_fail = p;
+    ci_lo;
+    ci_hi;
+    fom;
+    ess;
+    samples = !measured;
+    failures = !failures;
+    hits = !hits;
+    batches = !batches;
+    status = !status;
+    shift;
+    p_linear;
+    divergence;
+    diverged;
+    seconds = Unix.gettimeofday () -. t_start;
+  }
+
+let status_to_string = function
+  | Converged -> "converged"
+  | Capped -> "sample cap reached"
+  | Budget_expired -> "budget expired (partial)"
+
+(* no wall-clock time here: equal-seed runs must render byte-identically *)
+let render r =
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  add "yield: fail when %s\n" (Spec.to_string r.spec);
+  add "  P_fail = %.6e   95%% CI [%.6e, %.6e]\n" r.p_fail r.ci_lo r.ci_hi;
+  add "  fom = %.4g   ESS = %.1f   status = %s\n" r.fom r.ess
+    (status_to_string r.status);
+  add "  samples = %d (%d batches)   hits = %d   failures = %d\n" r.samples
+    r.batches r.hits r.failures;
+  (match r.shift with
+  | Some s when s.beta <> 0.0 -> add "  shift beta = %.4g\n" s.beta
+  | _ -> add "  shift = none (plain Monte Carlo)\n");
+  (match r.p_linear with
+  | None -> ()
+  | Some pl ->
+    add "  linear tail = %.6e" pl;
+    (match r.divergence with
+    | Some ratio -> add "   ratio = %.4g" ratio
+    | None -> ());
+    add "\n  divergence: %s\n"
+      (if r.diverged then "FLAGGED (linear model disagrees with measured tail)"
+       else "ok"));
+  Buffer.contents b
+
+let pp ppf r = Format.pp_print_string ppf (render r)

@@ -1,0 +1,160 @@
+(** Yield and rare-event estimation: linear-model-guided mean-shift
+    importance sampling (docs/yield.md).
+
+    The paper's linear (pseudo-noise) machinery predicts a Gaussian
+    N(nominal, σ) for every performance at near-zero cost; for yield
+    against a {!Spec.t} that prediction is exact only while the
+    performance stays linear out to the failing tail (Fig. 11–12 show
+    where it stops being true).  This module uses the linear model for
+    what it is unconditionally good at — pointing at the most probable
+    failure direction — and measures the tail with the full nonlinear
+    engine via importance sampling:
+
+    + build a {!model} (the whitened-space performance gradient) from
+      an existing sensitivity analysis or a few-sample probe;
+    + {!shift_of_model} aims a mean shift at the nearest failing bound
+      (β = distance in linear σ);
+    + {!estimate} runs shifted Monte Carlo through
+      {!Monte_carlo.run}'s deterministic (seed, index) stream,
+      reweighting each sample by the Gaussian likelihood ratio, with a
+      figure-of-merit stopping rule;
+    + the report carries the σ-implied linear tail next to the measured
+      one and flags disagreement (the divergence diagnostic).
+
+    Determinism: estimates are bit-identical across [domains] and
+    across batched reruns with the same seed, because samples are
+    indexed globally and accumulated in index order. *)
+
+(** {1 Linear model} *)
+
+type model = {
+  metric : string;
+  nominal : float;  (** mismatch-free performance *)
+  sigma : float;  (** linear σ = ‖weighted‖ *)
+  weighted : float array;
+      (** ∂(performance)/∂u_i in whitened space — u the i.i.d. standard
+          normal vector behind {!Monte_carlo}'s σ-scaled draws — in
+          {!Circuit.mismatch_params} order.  Equals S_i·σ_i when
+          sampling is uncorrelated. *)
+}
+
+val model_of_report : Report.t -> model
+(** Adopt any linear analysis report (dcmatch, period sensitivity,
+    pnoise transfer) as the shift model.  Assumes uncorrelated
+    sampling (no [transform] passed to {!estimate}). *)
+
+val model_of_sens :
+  ?transform:(float array -> float array) ->
+  metric:string -> nominal:float -> Circuit.t ->
+  (Circuit.mismatch_param * float) array -> model
+(** Model from raw {!Sens.sensitivities} output.  When the Monte-Carlo
+    sampling applies a linear [transform] (correlated mismatch,
+    {!Correlated.mismatch_transform}), pass the same function here: the
+    gradient is pushed through it column by column so the shift is
+    aimed in the space actually sampled. *)
+
+val probe_model :
+  ?seed:int -> ?samples:int -> ?transform:(float array -> float array) ->
+  metric:string -> circuit:Circuit.t -> measure:(Circuit.t -> float) ->
+  unit -> model
+(** Gradient probe for performances with no adjoint path: least-squares
+    fit of the whitened-space gradient over [samples] full nonlinear
+    measurements on {!Monte_carlo.deltas_for_sample} draws (default
+    2·n+2 for n parameters; raises [Invalid_argument] if fewer than n).
+    The probe's nominal is the unperturbed measurement.  Samples whose
+    measurement raises are dropped from the fit. *)
+
+(** {1 Mean shift} *)
+
+type shift = {
+  direction : float array;  (** unit vector in whitened space *)
+  beta : float;
+      (** shift magnitude in whitened σ — distance from the nominal to
+          the spec bound in linear-model σ, times the caller's scale *)
+}
+
+val shift_of_model : ?scale:float -> model -> spec:Spec.t -> shift
+(** Aim at {!Spec.nearest_bound}: β = scale·(bound − nominal)/σ_linear
+    along weighted/‖weighted‖, so the shifted population is centred on
+    the linear model's most probable failure point.  [scale] (default
+    1.0) backs the shift off (< 1) or overshoots (> 1).  A zero-σ model
+    yields a zero shift (estimate degenerates to plain MC). *)
+
+val zero_shift : int -> shift
+(** The identity shift for [n] parameters: {!estimate} with it is
+    bit-identical to plain Monte Carlo on common random numbers. *)
+
+(** {1 Estimator} *)
+
+type status =
+  | Converged  (** FOM reached the target *)
+  | Capped  (** sample cap [n] hit with the FOM still above target *)
+  | Budget_expired
+      (** the budget stopped the run mid-batch — a typed partial
+          result; totals cover the samples actually measured *)
+
+type result = {
+  spec : Spec.t;
+  p_fail : float;  (** importance-sampling estimate of P(spec fails) *)
+  ci_lo : float;
+  ci_hi : float;  (** 95 % normal CI on [p_fail], clamped to [0, 1] *)
+  fom : float;
+      (** figure of merit sqrt(Var̂[p̂])/p̂ — relative standard error;
+          1.0 by convention while no failure has been seen *)
+  ess : float;  (** Kish effective sample size (Σw)²/Σw² *)
+  samples : int;  (** measurements actually run *)
+  failures : int;
+      (** samples whose measurement blew up (counted as spec fails) *)
+  hits : int;  (** samples in the fail region (unweighted count) *)
+  batches : int;
+  status : status;
+  shift : shift option;  (** the shift used; [None] = plain MC *)
+  p_linear : float option;
+      (** σ-implied Gaussian tail of the linear model, when one was
+          given — the number Fig. 11–12 show diverging *)
+  divergence : float option;  (** p_fail / p_linear when both > 0 *)
+  diverged : bool;
+      (** [p_linear] falls outside [ci_lo/f, ci_hi·f] — the linear
+          model's tail cannot be trusted for this spec *)
+  seconds : float;
+}
+
+val estimate :
+  ?seed:int -> ?domains:int -> ?batch:int -> ?target_fom:float ->
+  ?budget:Budget.t -> ?transform:(float array -> float array) ->
+  ?shift:shift -> ?linear:model -> ?divergence_factor:float ->
+  n:int -> spec:Spec.t -> circuit:Circuit.t ->
+  measure:(Circuit.t -> float) -> unit -> result
+(** Estimate P(spec fails) by (shifted) Monte Carlo.
+
+    Samples run in batches of [batch] (default 64); after each batch
+    the FOM is evaluated and the run stops once it is ≤ [target_fom]
+    (default 0.1) or [n] samples have been measured.  Stopping
+    decisions happen only at batch boundaries on index-ordered
+    accumulation, so the estimate is invariant under [domains] and
+    under splitting a run into reruns with the same [seed].
+
+    [shift] enables importance sampling: each raw draw is moved by
+    β·direction (in whitened space, before [transform]) and reweighted
+    by the exact Gaussian likelihood ratio
+    w = exp(−β·(direction·u) − β²/2).  Without [shift] (or with
+    {!zero_shift}) all weights are 1.0 and the estimator is plain MC —
+    bit-identical to {!Monte_carlo.run} on the same seed.
+
+    [linear] enables the divergence diagnostic: the model's Gaussian
+    tail [p_linear] is compared against the measured CI widened by
+    [divergence_factor] (default 2.0) on both sides.
+
+    A measurement that raises is recorded as a NaN performance — a
+    failing sample ({!Spec.fails}) — so the sample stream never loses
+    indices.  Each sample first passes the ["yield.sample"] fault
+    site.  [budget] expiry returns a typed partial result
+    ([status = Budget_expired]); this function never raises
+    {!Budget.Timed_out} itself. *)
+
+val render : result -> string
+(** Deterministic multi-line report: spec, P_fail with CI, FOM, ESS,
+    sample counts, shift β, linear tail and divergence flag.  Contains
+    no wall-clock time, so equal-seed runs render byte-identically. *)
+
+val pp : Format.formatter -> result -> unit

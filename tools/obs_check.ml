@@ -89,7 +89,7 @@ let parse_tracks spec =
   end
   | _ -> fail "--tracks-matching %s: expected PREFIX>=N" spec
 
-let check_metrics ~root ~counters path =
+let check_metrics ~root ~counters ~absent path =
   let j = parse_json path in
   (match Option.bind (Obs_json.member "root" j) (Obs_json.member "name") with
    | Some n when Obs_json.to_string n = root -> ()
@@ -114,8 +114,17 @@ let check_metrics ~root ~counters path =
           (match op with Eq -> "=" | Ge -> ">=")
           want)
     counters;
-  Printf.printf "obs_check: %s ok (%d counter constraints)\n" path
-    (List.length counters)
+  List.iter
+    (fun name ->
+      match List.assoc_opt name cs with
+      | Some v when Obs_json.to_num v <> 0.0 ->
+        fail "%s: counter %s is %g, wanted absent (the path under test \
+              must never touch it)"
+          path name (Obs_json.to_num v)
+      | Some _ | None -> ())
+    absent;
+  Printf.printf "obs_check: %s ok (%d counter constraints, %d absences)\n"
+    path (List.length counters) (List.length absent)
 
 (* A Prometheus text-format sample: "name{labels} value" or
    "name value".  The returned name includes the label set verbatim so
@@ -273,6 +282,7 @@ let () =
   let root = ref "varsim" in
   let lanes = ref 0 in
   let counters = ref [] in
+  let absent = ref [] in
   let series = ref [] in
   let tracks = ref [] in
   let spec =
@@ -287,6 +297,10 @@ let () =
         Arg.String
           (fun s -> counters := parse_constraint "--counter" s :: !counters),
         "SPEC required counter: NAME=N (exact) or NAME>=N (lower bound)" );
+      ( "--counter-absent",
+        Arg.String (fun s -> absent := s :: !absent),
+        "NAME forbidden counter: fail if present with a nonzero value \
+         (missing or zero passes)" );
       ( "--trace",
         Arg.String (fun s -> trace := Some s),
         "FILE Chrome trace JSON to validate" );
@@ -309,12 +323,15 @@ let () =
   in
   Arg.parse spec
     (fun a -> fail "unexpected argument %S" a)
-    "obs_check [--metrics FILE [--root NAME] [--counter SPEC]...] \
+    "obs_check [--metrics FILE [--root NAME] [--counter SPEC]... \
+     [--counter-absent NAME]...] \
      [--trace FILE [--lanes N] [--tracks-matching SPEC]...] \
      [--prom FILE [--series SPEC]...]";
   if !metrics = None && !trace = None && !prom = None then
     fail "nothing to check: pass --metrics, --trace and/or --prom";
-  Option.iter (check_metrics ~root:!root ~counters:(List.rev !counters))
+  Option.iter
+    (check_metrics ~root:!root ~counters:(List.rev !counters)
+       ~absent:(List.rev !absent))
     !metrics;
   Option.iter (check_trace ~lanes:!lanes ~tracks:(List.rev !tracks)) !trace;
   Option.iter (check_prom ~series:(List.rev !series)) !prom
